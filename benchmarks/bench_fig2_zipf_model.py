@@ -1,0 +1,74 @@
+"""Figure 2 — Zipf frequency functions for two sample sizes.
+
+The figure shows two Zipf curves (same skew, scale growing with the
+sample size) and the rank cut-offs r_f / r_r induced by the F_f / F_r
+thresholds, with r_f1 < r_f2 and r_r1 < r_r2 for l1 < l2.  This bench fits
+the model on two prefixes of the synthetic collection, renders the curves,
+and benchmarks the fitting routine.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.zipf import fit_zipf
+from repro.corpus.stats import compute_statistics
+from repro.utils import format_table
+
+from .conftest import BENCH_EXPERIMENT, publish
+
+
+def test_fig2_zipf_functions(benchmark, bench_collection):
+    half_ids = bench_collection.doc_ids()[: len(bench_collection) // 2]
+    small = compute_statistics(bench_collection.subset(half_ids))
+    large = compute_statistics(bench_collection)
+    model_small = fit_zipf(small.rank_frequency, min_frequency=2.0)
+    model_large = benchmark(
+        fit_zipf, large.rank_frequency, 2.0
+    )
+    # Thresholds scaled to the harness collection (the paper's F_f=1e5 /
+    # F_r=100 are Wikipedia-sized).
+    ff = max(4.0, large.frequency_of_rank(1) / 20)
+    fr = max(2.0, ff / 10)
+    rf1, rr1 = model_small.rank_cutoffs(ff, fr)
+    rf2, rr2 = model_large.rank_cutoffs(ff, fr)
+    rows = [
+        (
+            f"l1 = {small.sample_size:,} words",
+            f"{model_small.skew:.3f}",
+            f"{model_small.scale:,.0f}",
+            f"{rf1:.1f}",
+            f"{rr1:.1f}",
+        ),
+        (
+            f"l2 = {large.sample_size:,} words",
+            f"{model_large.skew:.3f}",
+            f"{model_large.scale:,.0f}",
+            f"{rf2:.1f}",
+            f"{rr2:.1f}",
+        ),
+    ]
+    curve_rows = [
+        (
+            rank,
+            f"{model_small.frequency(rank):,.1f}",
+            f"{model_large.frequency(rank):,.1f}",
+        )
+        for rank in (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    ]
+    publish(
+        "fig2_zipf_model",
+        "Figure 2: Zipf functions for two sample sizes "
+        f"(thresholds F_f={ff:.0f}, F_r={fr:.0f})\n\n"
+        + format_table(
+            ["sample", "skew a", "scale C(l)", "r_f", "r_r"], rows
+        )
+        + "\n\nz(r) curves:\n"
+        + format_table(["rank", "z_small(r)", "z_large(r)"], curve_rows),
+    )
+    # Paper shape: both cut-off ranks move right as the sample grows.
+    assert rf1 <= rf2
+    assert rr1 <= rr2
+    # And r_f <= r_r for each curve (F_f >= F_r).
+    assert rf1 <= rr1 and rf2 <= rr2
+    # The scale grows with the sample while the skew stays comparable.
+    assert model_large.scale > model_small.scale
+    assert abs(model_large.skew - model_small.skew) < 0.5

@@ -1,0 +1,99 @@
+"""Figure 5 — ratio between inserted index size IS and sample size D.
+
+Paper shape: IS1/D <= 1 always; IS2/D dominates; IS3/D is smaller but
+growing with the collection; and Theorem 3's closed form gives an upper
+bound on the asymptotic ratios (the paper's estimates, 12.16 for IS2/D
+and 11.35 for IS3/D, deliberately overestimate the measurements).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.estimators import index_size_ratio
+from repro.analysis.zipf import fit_zipf
+from repro.corpus.stats import compute_statistics
+from repro.engine.reporting import series_by_label
+from repro.utils import format_table
+
+from .conftest import BENCH_DF_MAX_VALUES, BENCH_EXPERIMENT, publish
+
+
+def _measured_frequent_probability(stats, df_max: int) -> float:
+    """Empirical P_f,1 consistent with the indexing run.
+
+    The scalability analysis's worst case equates frequent keys with
+    non-discriminative keys (K_f = K_nd), so the frequent band observed by
+    the actual indexing protocol is the set of terms with df > DF_max —
+    exactly the expansion vocabulary peers combine into larger keys.
+    """
+    frequent_mass = sum(
+        stats.collection_frequency[term]
+        for term, df in stats.document_frequency.items()
+        if df > df_max
+    )
+    return frequent_mass / max(1, stats.sample_size)
+
+
+def test_fig5_index_size_ratios(benchmark, growth_results, bench_collection):
+    low = BENCH_DF_MAX_VALUES[0]
+    series = series_by_label(growth_results)[f"HDK df_max={low}"]
+    rows = []
+    for step in series:
+        rows.append(
+            [
+                step.num_documents,
+                f"{step.is_ratio_by_size.get(1, 0.0):.3f}",
+                f"{step.is_ratio_by_size.get(2, 0.0):.3f}",
+                f"{step.is_ratio_by_size.get(3, 0.0):.3f}",
+                f"{step.is_ratio_total:.3f}",
+            ]
+        )
+    # Theorem 3 upper bounds from the fitted Zipf model of the harness
+    # collection (the paper's counterpart values: 12.16 and 11.35).
+    stats = compute_statistics(bench_collection)
+    fit = benchmark(fit_zipf, stats.rank_frequency, 2.0)
+    w = BENCH_EXPERIMENT.hdk.window_size
+    p_f1 = _measured_frequent_probability(stats, low)
+    estimate_is2 = index_size_ratio(p_f1, w, 2)
+    # P_f,2 is not directly observable without enumerating all pairs; the
+    # paper reuses a fitted size-2 skew.  We bound it by P_f,1.
+    estimate_is3 = index_size_ratio(p_f1, w, 3)
+    publish(
+        "fig5_index_ratio",
+        "Figure 5: inserted postings / sample size D "
+        f"(HDK df_max={low})\n\n"
+        + format_table(
+            ["#docs", "IS1/D", "IS2/D", "IS3/D", "IS/D"], rows
+        )
+        + (
+            f"\n\nTheorem 3 upper bounds (fitted a={fit.skew:.2f}, "
+            f"P_f1={p_f1:.2f}, w={w}): "
+            f"IS2/D <= {estimate_is2:.2f}, IS3/D <= {estimate_is3:.2f}\n"
+            "(paper: estimates 12.16 / 11.35 vs measured 6.26 / 2.82 — "
+            "large overestimates by design)"
+        ),
+    )
+    for step in series:
+        # IS1/D <= 1 (each occurrence contributes at most one posting).
+        assert step.is_ratio_by_size.get(1, 0.0) <= 1.0 + 1e-9
+        # Theorem 3 bounds the measured ratios (the paper's estimates are
+        # deliberate large overestimates; ours must bound likewise).
+        assert step.is_ratio_by_size.get(2, 0.0) <= estimate_is2 + 1e-9
+        assert step.is_ratio_by_size.get(3, 0.0) <= estimate_is3 + 1e-9
+    # Multi-term keys contribute at every step, and IS2 dominates IS3 at
+    # these collection sizes (paper: "the largest part of the index is
+    # currently associated with K2").
+    last = series[-1]
+    assert last.is_ratio_by_size.get(2, 0.0) > 0.0
+    assert last.is_ratio_by_size.get(3, 0.0) > 0.0
+    assert last.is_ratio_by_size.get(2, 0.0) >= last.is_ratio_by_size.get(
+        3, 0.0
+    )
+    # And IS2/D, IS3/D grow toward their Theorem-3 constants while IS1/D
+    # stays flat (Figure 5's curve shapes).
+    first = series[0]
+    assert last.is_ratio_by_size.get(2, 0.0) >= first.is_ratio_by_size.get(
+        2, 0.0
+    )
+    assert last.is_ratio_by_size.get(3, 0.0) >= first.is_ratio_by_size.get(
+        3, 0.0
+    )

@@ -1,0 +1,49 @@
+"""Figure 7 — top-20 overlap with the centralized BM25 engine.
+
+Paper shape: the single-term distributed engine tracks centralized BM25
+essentially perfectly; the HDK engine shows a significant overlap that
+improves with DF_max (the retrieval-quality side of the DF_max trade-off).
+"""
+
+from __future__ import annotations
+
+from repro.engine.reporting import render_figure_series, series_by_label
+from repro.retrieval.metrics import top_k_overlap
+
+from .conftest import BENCH_DF_MAX_VALUES, publish
+
+
+def test_fig7_top20_overlap(benchmark, growth_results):
+    low, high = BENCH_DF_MAX_VALUES
+    publish(
+        "fig7_top20_overlap",
+        render_figure_series(
+            growth_results,
+            value_of=lambda s: round(s.top20_overlap, 1),
+            value_header=(
+                "Figure 7: top-20 overlap with centralized BM25 [%]"
+            ),
+        ),
+    )
+    series = series_by_label(growth_results)
+    # ST with full posting lists reproduces centralized BM25 (ties aside).
+    for st_step in series["ST"]:
+        assert st_step.top20_overlap > 95.0
+    # HDK achieves substantial overlap at every step.
+    for label in (f"HDK df_max={low}", f"HDK df_max={high}"):
+        for step in series[label]:
+            assert step.top20_overlap > 20.0
+    # The DF_max trade-off: averaged over the sweep, the larger DF_max
+    # mimics the centralized engine at least as well.
+    mean_low = sum(
+        s.top20_overlap for s in series[f"HDK df_max={low}"]
+    ) / len(series[f"HDK df_max={low}"])
+    mean_high = sum(
+        s.top20_overlap for s in series[f"HDK df_max={high}"]
+    ) / len(series[f"HDK df_max={high}"])
+    assert mean_high > mean_low
+    # Benchmark the metric itself on representative result lists.
+    list_a = list(range(0, 40, 2))
+    list_b = list(range(0, 40, 3))
+    value = benchmark(top_k_overlap, list_a, list_b, 20)
+    assert 0.0 <= value <= 100.0

@@ -1,0 +1,163 @@
+"""Encyclopedia search: real text through the full pipeline.
+
+Run with::
+
+    python examples/encyclopedia_search.py
+
+Indexes a small hand-written encyclopedia (raw text -> tokenizer -> stop
+words -> Porter stemmer) across 4 peers and compares three engines on the
+same queries:
+
+- the HDK P2P engine (the paper's model),
+- the distributed single-term baseline,
+- the centralized BM25 reference.
+
+This mirrors the paper's Figure 6/7 methodology at toy scale: identical
+queries, per-engine traffic, and top-k overlap against centralized BM25.
+"""
+
+from __future__ import annotations
+
+from repro import EngineMode, HDKParameters, P2PSearchEngine
+from repro.corpus import build_collection_from_texts
+from repro.retrieval.centralized import CentralizedBM25Engine
+from repro.retrieval.metrics import top_k_overlap
+from repro.utils import format_table
+
+ARTICLES = {
+    "Apple pie": (
+        "Apple pie is a dessert pie whose filling is made of sliced "
+        "apples, sugar and cinnamon baked inside a pastry crust. Many "
+        "recipes add butter to the crust and serve the pie warm."
+    ),
+    "Apple orchard": (
+        "An apple orchard is a plantation of apple trees cultivated for "
+        "fruit production. Orchards require pruning, pollination and "
+        "careful harvest timing to keep fruit quality high."
+    ),
+    "Quantum computer": (
+        "A quantum computer performs computation using quantum bits. "
+        "Superconducting qubits and trapped ions are leading hardware "
+        "platforms for building quantum processors."
+    ),
+    "Quantum entanglement": (
+        "Quantum entanglement links the states of particles so that "
+        "measuring one constrains the other, a resource exploited by "
+        "quantum communication and quantum computers."
+    ),
+    "Pastry": (
+        "Pastry is a dough of flour, water and butter used as a base "
+        "for baked products such as pies, tarts and croissants. Crust "
+        "texture depends on how the butter is folded."
+    ),
+    "Distributed hash table": (
+        "A distributed hash table routes keys to responsible peers in "
+        "a structured overlay network, enabling scalable storage and "
+        "lookup without central coordination."
+    ),
+    "Peer-to-peer search": (
+        "Peer-to-peer search engines distribute indexing and retrieval "
+        "across many peers. Posting lists stored in the overlay answer "
+        "keyword queries without a central index server."
+    ),
+    "Inverted index": (
+        "An inverted index maps every term of a collection to the "
+        "posting list of documents containing it, the core structure "
+        "behind keyword retrieval and ranking."
+    ),
+    "BM25 ranking": (
+        "BM25 is a ranking function scoring documents by term frequency, "
+        "inverse document frequency and document length normalization, "
+        "a strong baseline for keyword retrieval."
+    ),
+    "Cider": (
+        "Cider is a fermented beverage pressed from apples. Orchard "
+        "growers select apple varieties whose sugar and tannin balance "
+        "suits fermentation."
+    ),
+    "Baking": (
+        "Baking transforms dough through dry heat in an oven. Pies, "
+        "bread and pastry rely on precise temperature control and "
+        "timing for texture."
+    ),
+    "Overlay network": (
+        "An overlay network is a virtual topology built on top of the "
+        "internet. Structured overlays such as rings and tries give "
+        "logarithmic routing guarantees for key lookup."
+    ),
+}
+
+QUERIES = [
+    "apple pie crust",
+    "quantum computer hardware",
+    "peer to peer index",
+    "apple orchard fruit",
+    "bm25 ranking documents",
+]
+
+
+def main() -> None:
+    titles = list(ARTICLES)
+    collection = build_collection_from_texts(
+        ARTICLES.values(), title_fn=lambda i: titles[i]
+    )
+    params = HDKParameters(df_max=2, window_size=8, s_max=3, ff=500, fr=1)
+
+    hdk = P2PSearchEngine.build(collection, num_peers=4, params=params)
+    hdk.index()
+    single_term = P2PSearchEngine.build(
+        collection,
+        num_peers=4,
+        params=params,
+        mode=EngineMode.SINGLE_TERM,
+    )
+    single_term.index()
+    centralized = CentralizedBM25Engine(collection)
+
+    print(
+        f"indexed {len(collection)} articles; HDK global index holds "
+        f"{hdk.global_index.key_count()} keys "
+        f"({hdk.stored_postings_total()} postings) vs "
+        f"{single_term.stored_postings_total()} single-term postings\n"
+    )
+
+    rows = []
+    for raw_query in QUERIES:
+        hdk_result = hdk.search(raw_query, k=5)
+        st_result = single_term.search(raw_query, k=5)
+        reference = centralized.search(hdk_result.query, k=5)
+        overlap = top_k_overlap(hdk_result.results, reference, k=5)
+        top = (
+            collection.get(hdk_result.results[0].doc_id).title
+            if hdk_result.results
+            else "-"
+        )
+        rows.append(
+            [
+                raw_query,
+                top,
+                hdk_result.postings_transferred,
+                st_result.postings_transferred,
+                f"{overlap:.0f}%",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "query",
+                "HDK top hit",
+                "HDK postings",
+                "ST postings",
+                "top-5 overlap",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nHDK fetches bounded per-key posting lists; the single-term "
+        "baseline ships full lists for every query term."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Quickstart: build a P2P HDK search engine and run a query.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a synthetic 400-document collection, distributes it over 8
+simulated peers, runs the distributed HDK indexing protocol, and executes
+a few queries, printing results and the traffic each query generated.
+"""
+
+from __future__ import annotations
+
+from repro import EngineMode, HDKParameters, P2PSearchEngine
+from repro.corpus import SyntheticCorpusConfig, SyntheticCorpusGenerator
+from repro.net.accounting import Phase
+
+
+def main() -> None:
+    # 1. A document collection.  Real deployments read documents from
+    #    disk (see examples/encyclopedia_search.py); here we synthesize a
+    #    Wikipedia-like corpus with Zipf-distributed topical text.
+    config = SyntheticCorpusConfig(
+        vocabulary_size=900, mean_doc_length=70, num_topics=12
+    )
+    collection = SyntheticCorpusGenerator(config, seed=42).generate(400)
+    print(
+        f"collection: {collection.size} documents, "
+        f"{collection.sample_size:,} tokens, "
+        f"{len(collection.vocabulary()):,} distinct terms"
+    )
+
+    # 2. HDK model parameters, scaled down from the paper's Table 2
+    #    (DF_max=400, w=20, s_max=3 at Wikipedia scale).
+    params = HDKParameters(
+        df_max=15, window_size=8, s_max=3, ff=5_000, fr=3
+    )
+
+    # 3. Build and index: 8 peers share the collection and construct the
+    #    global key-to-documents index collaboratively.
+    engine = P2PSearchEngine.build(collection, num_peers=8, params=params)
+    engine.index()
+    print(
+        f"indexed: {engine.global_index.key_count():,} keys, "
+        f"{engine.stored_postings_total():,} stored postings, "
+        f"{engine.inserted_postings_total():,} inserted postings"
+    )
+
+    # 4. Search.  Queries go through the same text pipeline as documents.
+    for raw_query in ("t00012 t00055", "t00003 t00104 t00288"):
+        result = engine.search(raw_query, k=10)
+        print(f"\nquery {raw_query!r}:")
+        print(
+            f"  lattice lookups (n_k) : {result.keys_looked_up}"
+            f" ({result.dk_keys} DK, {result.ndk_keys} NDK)"
+        )
+        print(f"  postings transferred  : {result.postings_transferred}")
+        for rank, ranked in enumerate(result.results[:5], start=1):
+            doc = collection.get(ranked.doc_id)
+            print(
+                f"  #{rank}  doc {ranked.doc_id:>4}  "
+                f"score {ranked.score:6.3f}  {doc.title}"
+            )
+
+    # 5. Traffic accounting, the paper's central cost measure.
+    accounting = engine.network.accounting
+    print(
+        f"\ntraffic: indexing={accounting.postings(Phase.INDEXING):,} "
+        f"retrieval={accounting.postings(Phase.RETRIEVAL):,} postings"
+    )
+
+    # 6. The same collection under the naive single-term baseline, for
+    #    comparison (full posting lists fetched per query term).
+    baseline = P2PSearchEngine.build(
+        collection,
+        num_peers=8,
+        params=params,
+        mode=EngineMode.SINGLE_TERM,
+    )
+    baseline.index()
+    st_result = baseline.search("t00012 t00055", k=10)
+    print(
+        f"\nsingle-term baseline on 't00012 t00055': "
+        f"{st_result.postings_transferred} postings transferred "
+        f"(HDK transferred "
+        f"{engine.search('t00012 t00055', k=10).postings_transferred})"
+    )
+
+
+if __name__ == "__main__":
+    main()

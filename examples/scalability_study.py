@@ -1,0 +1,128 @@
+"""Scalability study: the Section-5 growth experiment plus the Figure-8
+traffic extrapolation.
+
+Run with::
+
+    python examples/scalability_study.py
+
+Reproduces the paper's experimental protocol at reduced scale — peers
+join in waves, each contributing a fixed number of documents — and prints
+the data series behind Figures 3-7, then feeds the measurements into the
+analytic Figure-8 model to extrapolate total monthly traffic up to one
+billion documents.
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentParameters, HDKParameters
+from repro.analysis.traffic import TrafficModel
+from repro.corpus import SyntheticCorpusConfig
+from repro.engine.experiment import GrowthExperiment
+from repro.engine.reporting import (
+    render_figure_series,
+    render_growth_table,
+    series_by_label,
+)
+from repro.utils import format_count, format_table
+
+
+def main() -> None:
+    experiment = ExperimentParameters(
+        initial_peers=4,
+        peer_step=4,
+        max_peers=12,
+        docs_per_peer=60,
+        hdk=HDKParameters(
+            df_max=12, window_size=8, s_max=3, ff=6_000, fr=3
+        ),
+        seed=7,
+    )
+    corpus = SyntheticCorpusConfig(
+        vocabulary_size=5_000,
+        mean_doc_length=50,
+        num_topics=12,
+        zipf_skew=1.0,
+    )
+    print("running growth experiment (this takes ~30s)...\n")
+    results = GrowthExperiment(
+        experiment,
+        corpus_config=corpus,
+        df_max_values=(12, 20),
+        num_queries=25,
+    ).run()
+
+    print(render_growth_table(results))
+    for header, value_of in [
+        (
+            "\nFigure 3: stored postings per peer",
+            lambda s: s.stored_postings_per_peer,
+        ),
+        (
+            "\nFigure 4: inserted postings per peer",
+            lambda s: s.inserted_postings_per_peer,
+        ),
+        (
+            "\nFigure 6: retrieved postings per query",
+            lambda s: s.retrieval_postings_per_query,
+        ),
+        (
+            "\nFigure 7: top-20 overlap with centralized BM25 [%]",
+            lambda s: round(s.top20_overlap, 1),
+        ),
+    ]:
+        print(render_figure_series(results, value_of, header))
+
+    # Figure 8: extrapolate with the analytic model calibrated from the
+    # final measured step.
+    series = series_by_label(results)
+    st = series["ST"][-1]
+    hdk = series["HDK df_max=12"][-1]
+    model = TrafficModel.calibrated(
+        st_postings_per_doc=(
+            st.inserted_postings_per_peer * st.num_peers / st.num_documents
+        ),
+        hdk_postings_per_doc=(
+            hdk.inserted_postings_per_peer
+            * hdk.num_peers
+            / hdk.num_documents
+        ),
+        st_retrieval_slope=(
+            st.retrieval_postings_per_query / st.num_documents
+        ),
+        measured_keys_per_query=max(1.0, hdk.keys_per_query),
+        df_max=12,
+    )
+    rows = []
+    for docs in (10_000, 653_546, 10**7, 10**8, 10**9):
+        point = model.point(docs)
+        rows.append(
+            [
+                format_count(docs),
+                format_count(point.st_total),
+                format_count(point.hdk_total),
+                f"{point.st_over_hdk:.1f}x",
+            ]
+        )
+    print(
+        "\nFigure 8: extrapolated total monthly traffic "
+        "(calibrated from the measurements above)"
+    )
+    print(
+        format_table(["#docs", "single-term", "HDK", "ST/HDK"], rows)
+    )
+    print(
+        "\npaper reference points: ~20x at 653,546 documents, "
+        "~42x at one billion documents"
+    )
+    print(
+        "(the toy-scale calibration inflates the ratio: with a ~600-term "
+        "vocabulary each query term matches a large fraction of the "
+        "collection, so the measured single-term slope per document is "
+        "an order of magnitude above the paper's Wikipedia slope — the "
+        "qualitative result, a gap that widens with collection size, is "
+        "what carries over)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — reproduction of "Scalable Peer-to-Peer Web Retrieval with
+Highly Discriminative Keys" (Podnar, Rajman, Luu, Klemm, Aberer;
+ICDE 2007).
+
+The package implements the paper's HDK indexing/retrieval model and every
+substrate it runs on: the text pipeline, a synthetic Wikipedia-like corpus
+and query log, the structured P2P overlay simulators (Chord ring and
+P-Grid trie) with posting-level traffic accounting, the distributed global
+key index, the HDK generator, the retrieval engines (HDK, distributed
+single-term, centralized BM25), and the Section-4 scalability analysis.
+
+Quickstart::
+
+    from repro import HDKParameters, P2PSearchEngine
+    from repro.corpus import SyntheticCorpusGenerator
+
+    collection = SyntheticCorpusGenerator(seed=1).generate(600)
+    params = HDKParameters(df_max=12, window_size=8, s_max=3, ff=4_000)
+    engine = P2PSearchEngine.build(collection, num_peers=8, params=params)
+    engine.index()
+    result = engine.search("t00042 t00137")
+    for ranked in result.results[:10]:
+        print(ranked.doc_id, f"{ranked.score:.3f}")
+"""
+
+from .config import (
+    ExperimentParameters,
+    HDKParameters,
+    PAPER_PARAMETERS,
+    SMALL_SCALE_PARAMETERS,
+)
+from .engine.experiment import GrowthExperiment, GrowthStepResult
+from .engine.p2p_engine import EngineMode, P2PSearchEngine
+from .errors import (
+    AnalysisError,
+    ConfigurationError,
+    CorpusError,
+    KeyGenerationError,
+    NetworkError,
+    ReproError,
+    RetrievalError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentParameters",
+    "HDKParameters",
+    "PAPER_PARAMETERS",
+    "SMALL_SCALE_PARAMETERS",
+    "GrowthExperiment",
+    "GrowthStepResult",
+    "EngineMode",
+    "P2PSearchEngine",
+    "AnalysisError",
+    "ConfigurationError",
+    "CorpusError",
+    "KeyGenerationError",
+    "NetworkError",
+    "ReproError",
+    "RetrievalError",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Scalability analysis (paper Section 4).
+
+- :mod:`repro.analysis.zipf` — the Zipf rank-frequency model ``z(r) = C·r^-a``
+  with least-squares fitting from empirical rank-frequency data (Figure 2).
+- :mod:`repro.analysis.estimators` — Theorems 1-3: occurrence probabilities
+  of very frequent / frequent terms and the positional index-size bound
+  ``IS_s(D) = D · P²_{f,s-1} · C(w-1, s-1)``.
+- :mod:`repro.analysis.retrieval_cost` — the query-to-key mapping count
+  ``n_k`` and the retrieval traffic upper bound ``n_k · DF_max``.
+- :mod:`repro.analysis.traffic` — the combined indexing+retrieval traffic
+  model behind Figure 8.
+"""
+
+from .estimators import (
+    frequent_term_probability,
+    index_size_estimate,
+    index_size_ratio,
+    very_frequent_term_probability,
+)
+from .planner import ParameterPlan, plan_df_max, plan_parameters
+from .retrieval_cost import keys_per_query, retrieval_traffic_bound
+from .traffic import TrafficModel, TrafficPoint
+from .zipf import ZipfModel, fit_zipf
+
+__all__ = [
+    "ZipfModel",
+    "fit_zipf",
+    "very_frequent_term_probability",
+    "frequent_term_probability",
+    "index_size_estimate",
+    "index_size_ratio",
+    "keys_per_query",
+    "retrieval_traffic_bound",
+    "ParameterPlan",
+    "plan_df_max",
+    "plan_parameters",
+    "TrafficModel",
+    "TrafficPoint",
+]

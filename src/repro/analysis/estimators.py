@@ -1,0 +1,158 @@
+"""Theorems 1-3 of the paper: occurrence probabilities and index size.
+
+These estimators reproduce the closed forms derived in Section 4.1 and the
+appendix:
+
+- Theorem 1: probability of *very frequent* term occurrences, which depends
+  on the sample size through the Zipf scale ``C(l)`` — motivating the
+  removal of very frequent terms from the key vocabulary.
+- Theorem 2: probability of *frequent* term occurrences, a constant of the
+  collection (independent of the sample size), which makes the per-peer
+  index size bounded.
+- Theorem 3: upper bound on the positional index size for keys of size
+  ``s``: ``IS_s(D) = D · P²_{f,s-1} · C(w-1, s-1)``.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from ..utils import binomial
+
+__all__ = [
+    "very_frequent_term_probability",
+    "frequent_term_probability",
+    "index_size_estimate",
+    "index_size_ratio",
+]
+
+
+def _check_thresholds(fr: float, ff: float) -> None:
+    if fr < 1 or ff < 1:
+        raise AnalysisError(
+            f"frequency thresholds must be >= 1, got fr={fr}, ff={ff}"
+        )
+    if fr > ff:
+        raise AnalysisError(f"fr ({fr}) must not exceed ff ({ff})")
+
+
+def very_frequent_term_probability(
+    skew: float, scale: float, ff: float
+) -> float:
+    """Theorem 1: ``P_vf(l) = (1 - (Ff/C(l))^((a-1)/a)) / (1 - (1/C(l))^((a-1)/a))``.
+
+    Args:
+        skew: the Zipf skew ``a`` (must be > 1 for the closed form to be a
+            probability; the paper's fits are a=1.5).
+        scale: the sample-size-dependent Zipf scale ``C(l)``.
+        ff: the very-frequent cut-off ``F_f``.
+
+    Returns:
+        The probability mass of term occurrences contributed by terms with
+        collection frequency above ``F_f``; clamped to [0, 1].
+    """
+    if skew <= 1:
+        raise AnalysisError(
+            f"the closed form requires skew > 1, got {skew}; for skew <= 1 "
+            "the occurrence mass concentrates in the tail and the integral "
+            "approximation of Theorem 1 does not apply"
+        )
+    if scale <= 1:
+        raise AnalysisError(f"scale must be > 1, got {scale}")
+    if ff < 1:
+        raise AnalysisError(f"ff must be >= 1, got {ff}")
+    exponent = (skew - 1.0) / skew
+    if ff >= scale:
+        # No term reaches frequency F_f: nothing is very frequent.
+        return 0.0
+    numerator = 1.0 - (ff / scale) ** exponent
+    denominator = 1.0 - (1.0 / scale) ** exponent
+    probability = numerator / denominator
+    return min(1.0, max(0.0, probability))
+
+
+def frequent_term_probability(skew: float, fr: float, ff: float) -> float:
+    """Theorem 2: ``P_f = (1 - (Fr/Ff)^((a-1)/a)) / (1 - (1/Ff)^((a-1)/a))``.
+
+    Independent of the sample size — the key property that bounds the HDK
+    index: the density of frequent (hence expandable) terms converges to a
+    collection constant.
+
+    Args:
+        skew: the Zipf skew ``a`` (> 1).
+        fr: the rare/frequent cut-off ``F_r``.
+        ff: the frequent/very-frequent cut-off ``F_f``.
+    """
+    if skew <= 1:
+        raise AnalysisError(
+            f"the closed form requires skew > 1, got {skew}"
+        )
+    _check_thresholds(fr, ff)
+    exponent = (skew - 1.0) / skew
+    numerator = 1.0 - (fr / ff) ** exponent
+    denominator = 1.0 - (1.0 / ff) ** exponent
+    if denominator <= 0:
+        raise AnalysisError(
+            f"degenerate thresholds: ff={ff} yields a zero denominator"
+        )
+    probability = numerator / denominator
+    return min(1.0, max(0.0, probability))
+
+
+def index_size_estimate(
+    sample_size: int,
+    frequent_probability_prev: float,
+    window_size: int,
+    key_size: int,
+) -> float:
+    """Theorem 3: ``IS_s(D) = D · P²_{f,s-1} · C(w-1, s-1)``.
+
+    Upper bound on the positional index size contributed by keys of size
+    ``s`` (rare + frequent), which in turn bounds the document-granularity
+    HDK/NDK index.
+
+    Args:
+        sample_size: ``D`` — total term occurrences of the collection.
+        frequent_probability_prev: ``P_{f,s-1}`` — occurrence probability
+            of frequent keys of size ``s-1`` (from Theorem 2 with the
+            size-``s-1`` skew, or measured empirically).
+        window_size: the proximity window ``w``.
+        key_size: the key size ``s`` (>= 1).
+
+    Returns:
+        The estimated number of postings; for ``s = 1`` the bound is simply
+        ``D`` (each occurrence yields at most one posting).
+    """
+    if sample_size < 0:
+        raise AnalysisError(f"sample_size must be >= 0, got {sample_size}")
+    if key_size < 1:
+        raise AnalysisError(f"key_size must be >= 1, got {key_size}")
+    if window_size < 2:
+        raise AnalysisError(
+            f"window_size must be >= 2, got {window_size}"
+        )
+    if not 0.0 <= frequent_probability_prev <= 1.0:
+        raise AnalysisError(
+            "frequent_probability_prev must be in [0, 1], got "
+            f"{frequent_probability_prev}"
+        )
+    if key_size == 1:
+        return float(sample_size)
+    return (
+        sample_size
+        * frequent_probability_prev**2
+        * binomial(window_size - 1, key_size - 1)
+    )
+
+
+def index_size_ratio(
+    frequent_probability_prev: float, window_size: int, key_size: int
+) -> float:
+    """The constant ``c = IS_s(D) / D`` of Theorem 3 (Figure 5's asymptote).
+
+    For ``s = 1`` this is the paper's ``IS_1/D <= 1`` bound, returned as 1.
+    """
+    if key_size == 1:
+        return 1.0
+    return index_size_estimate(
+        1, frequent_probability_prev, window_size, key_size
+    )

@@ -1,0 +1,130 @@
+"""Adaptive parameter planning.
+
+The paper's conclusion highlights that the model "makes it possible to
+take into account the characteristics of the used document collection,
+the nature of the targeted usage model (e.g. the planned frequency of
+indexing and querying), and the network related capacity constraints, and
+can adequately adapt the various parameters of the model in order to meet
+desired indexing and retrieval traffic requirements."
+
+This module implements that planning loop: given a per-query traffic
+budget, a query-size profile, and the collection's Zipf characteristics,
+it derives the largest ``DF_max`` that honours the budget (maximizing
+retrieval quality, per Figure 7) and estimates the induced index size via
+Theorem 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HDKParameters
+from ..errors import AnalysisError
+from .estimators import frequent_term_probability, index_size_ratio
+from .retrieval_cost import expected_keys_per_query
+
+__all__ = ["ParameterPlan", "plan_df_max", "plan_parameters"]
+
+
+@dataclass(frozen=True)
+class ParameterPlan:
+    """The outcome of parameter planning.
+
+    Attributes:
+        params: the recommended :class:`HDKParameters`.
+        expected_keys_per_query: expected ``n_k`` under the query profile.
+        retrieval_bound_per_query: worst-case postings per query,
+            ``E[n_k] * DF_max``.
+        index_size_multiplier: estimated index postings per collection
+            token (sum of Theorem-3 ratios over key sizes) — the indexing
+            cost the budget buys.
+    """
+
+    params: HDKParameters
+    expected_keys_per_query: float
+    retrieval_bound_per_query: float
+    index_size_multiplier: float
+
+
+def plan_df_max(
+    traffic_budget_per_query: float,
+    query_size_distribution: dict[int, float],
+    s_max: int,
+) -> int:
+    """The largest ``DF_max`` whose expected retrieval traffic fits the
+    per-query budget.
+
+    Figure 7 shows retrieval quality improves with ``DF_max`` while
+    Figure 6 shows traffic grows with it, so the budget-maximal value is
+    the right choice.
+
+    Raises:
+        AnalysisError: when even ``DF_max = 1`` exceeds the budget.
+    """
+    if traffic_budget_per_query <= 0:
+        raise AnalysisError(
+            f"traffic budget must be > 0, got {traffic_budget_per_query}"
+        )
+    nk = expected_keys_per_query(query_size_distribution, s_max)
+    df_max = int(traffic_budget_per_query / nk)
+    if df_max < 1:
+        raise AnalysisError(
+            f"budget {traffic_budget_per_query} cannot accommodate even "
+            f"DF_max=1 at expected n_k={nk:.2f}; raise the budget or "
+            "lower s_max"
+        )
+    return df_max
+
+
+def plan_parameters(
+    traffic_budget_per_query: float,
+    query_size_distribution: dict[int, float],
+    window_size: int = 20,
+    s_max: int = 3,
+    zipf_skew: float = 1.5,
+    fr: int = 100,
+    ff: int = 100_000,
+) -> ParameterPlan:
+    """Produce a full parameter recommendation.
+
+    Args:
+        traffic_budget_per_query: maximal postings the network should
+            transfer per query (derived from link capacity and expected
+            query rate).
+        query_size_distribution: query size -> probability (from a query
+            log; the paper's log averages 2.3 terms).
+        window_size: proximity window ``w``.
+        s_max: maximal key size.
+        zipf_skew: the collection's fitted Zipf skew ``a``.
+        fr: rare/frequent threshold ``F_r``.
+        ff: frequent/very-frequent threshold ``F_f``.
+
+    Returns:
+        A :class:`ParameterPlan` with the recommended parameters and the
+        estimated costs they imply.
+    """
+    df_max = plan_df_max(
+        traffic_budget_per_query, query_size_distribution, s_max
+    )
+    nk = expected_keys_per_query(query_size_distribution, s_max)
+    params = HDKParameters(
+        df_max=df_max,
+        window_size=window_size,
+        s_max=s_max,
+        ff=ff,
+        fr=fr,
+    )
+    # Index-size estimate: sum of the Theorem-3 ratios for sizes 1..s_max
+    # using the frequent-term probability from Theorem 2 as P_f for every
+    # size (an upper bound, since P_f,s decreases with s).
+    p_f = frequent_term_probability(zipf_skew, fr, ff)
+    multiplier = sum(
+        index_size_ratio(p_f, window_size, size)
+        for size in range(1, s_max + 1)
+    )
+    return ParameterPlan(
+        params=params,
+        expected_keys_per_query=nk,
+        retrieval_bound_per_query=nk * df_max,
+        index_size_multiplier=multiplier,
+    )

@@ -1,0 +1,134 @@
+"""The Zipf rank-frequency model (paper Section 4.1, Figure 2).
+
+The paper models term collection frequencies as ``z(r) = C(l) · r^-a``
+where ``r`` is the term's rank, ``a`` the (collection-independent) skew and
+``C(l)`` a scale that grows with the sample size ``l``.  This module
+provides the parametric model, its inverse, and a log-log least-squares
+fit from empirical rank-frequency data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import AnalysisError
+
+__all__ = ["ZipfModel", "fit_zipf"]
+
+
+@dataclass(frozen=True)
+class ZipfModel:
+    """A fitted/parametric Zipf law ``z(r) = scale * r**-skew``.
+
+    Attributes:
+        skew: the exponent ``a`` (> 0).
+        scale: the scale ``C`` (> 0); approximately the frequency of the
+            rank-1 term.
+    """
+
+    skew: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.skew <= 0:
+            raise AnalysisError(f"skew must be > 0, got {self.skew}")
+        if self.scale <= 0:
+            raise AnalysisError(f"scale must be > 0, got {self.scale}")
+
+    def frequency(self, rank: int | float) -> float:
+        """Return ``z(rank) = C · rank^-a``."""
+        if rank < 1:
+            raise AnalysisError(f"rank must be >= 1, got {rank}")
+        return self.scale * float(rank) ** -self.skew
+
+    def rank(self, frequency: float) -> float:
+        """Inverse Zipf: the (real-valued) rank whose frequency is given,
+        ``z^-1(y) = (C / y)^(1/a)`` (used in the proofs of Thms 1-2)."""
+        if frequency <= 0:
+            raise AnalysisError(
+                f"frequency must be > 0, got {frequency}"
+            )
+        return (self.scale / frequency) ** (1.0 / self.skew)
+
+    def hapax_rank(self) -> float:
+        """Rank ``T'`` of the first hapax legomenon, ``z(T') = 1``.
+
+        The scalability proofs truncate the normalizing integral at this
+        rank to disregard the hapax tail.
+        """
+        return self.rank(1.0)
+
+    def series(self, max_rank: int) -> list[float]:
+        """Return ``[z(1), ..., z(max_rank)]`` (Figure 2 plotting data)."""
+        if max_rank < 1:
+            raise AnalysisError(f"max_rank must be >= 1, got {max_rank}")
+        return [self.frequency(r) for r in range(1, max_rank + 1)]
+
+    def rank_cutoffs(self, ff: float, fr: float) -> tuple[float, float]:
+        """Return ``(r_f, r_r)`` — ranks where frequency crosses ``F_f``
+        and ``F_r`` (the vertical guides of Figure 2).
+
+        Raises:
+            AnalysisError: when ``fr > ff`` (the paper requires
+                ``F_r <= F_f``).
+        """
+        if fr > ff:
+            raise AnalysisError(
+                f"fr ({fr}) must not exceed ff ({ff})"
+            )
+        return self.rank(ff), self.rank(fr)
+
+
+def fit_zipf(
+    rank_frequency: Sequence[int | float],
+    min_frequency: float = 2.0,
+    max_points: int | None = None,
+) -> ZipfModel:
+    """Fit a :class:`ZipfModel` to empirical rank-frequency data.
+
+    Performs ordinary least squares on ``log f = log C - a · log r``.
+
+    Args:
+        rank_frequency: frequencies sorted descending (element ``r-1`` is
+            the frequency of rank ``r``), e.g.
+            :attr:`repro.corpus.stats.CollectionStatistics.rank_frequency`.
+        min_frequency: ranks whose frequency falls below this value are
+            excluded; the paper's proofs disregard the hapax tail, which
+            otherwise flattens the fit.
+        max_points: optionally restrict the fit to the first ``max_points``
+            ranks.
+
+    Raises:
+        AnalysisError: when fewer than two usable points remain.
+    """
+    points: list[tuple[float, float]] = []
+    for index, freq in enumerate(rank_frequency):
+        if freq < min_frequency:
+            break
+        points.append((math.log(index + 1), math.log(freq)))
+        if max_points is not None and len(points) >= max_points:
+            break
+    if len(points) < 2:
+        raise AnalysisError(
+            "need at least two rank-frequency points with frequency >= "
+            f"{min_frequency} to fit a Zipf model, got {len(points)}"
+        )
+    n = len(points)
+    sum_x = math.fsum(x for x, _ in points)
+    sum_y = math.fsum(y for _, y in points)
+    sum_xx = math.fsum(x * x for x, _ in points)
+    sum_xy = math.fsum(x * y for x, y in points)
+    denominator = n * sum_xx - sum_x * sum_x
+    if denominator == 0:
+        raise AnalysisError("degenerate rank data: all ranks identical")
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    intercept = (sum_y - slope * sum_x) / n
+    skew = -slope
+    if skew <= 0:
+        raise AnalysisError(
+            f"fitted skew must be positive, got {skew:.4f}; the data is "
+            "not Zipf-like (frequencies increase with rank?)"
+        )
+    return ZipfModel(skew=skew, scale=math.exp(intercept))

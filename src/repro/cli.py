@@ -1,0 +1,304 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro stats       corpus statistics (Table 1) for a synthetic corpus
+                      or a directory of .txt files
+    repro search      build + index + query in one shot
+    repro experiment  run the Section-5 growth experiment
+    repro plan        adaptive parameter planning from a traffic budget
+    repro traffic     the Figure-8 total-traffic model
+
+Run ``repro <subcommand> --help`` for options.  Everything prints plain
+text; machine-readable output can use ``--format csv`` where offered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .analysis.planner import plan_parameters
+from .analysis.traffic import TrafficModel
+from .config import ExperimentParameters, HDKParameters
+from .corpus import (
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+    build_collection_from_texts,
+    compute_statistics,
+)
+from .engine.experiment import GrowthExperiment
+from .engine.p2p_engine import EngineMode, P2PSearchEngine
+from .engine.reporting import render_growth_table
+from .utils import format_count, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_corpus_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--docs", type=int, default=300, help="synthetic documents"
+    )
+    parser.add_argument(
+        "--vocabulary", type=int, default=2_000, help="vocabulary size"
+    )
+    parser.add_argument(
+        "--doc-length", type=int, default=60, help="mean document length"
+    )
+    parser.add_argument(
+        "--topics", type=int, default=10, help="number of topics"
+    )
+    parser.add_argument(
+        "--zipf-skew", type=float, default=1.2, help="Zipf skew a"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="RNG seed")
+    parser.add_argument(
+        "--text-dir",
+        type=Path,
+        default=None,
+        help="index .txt files from this directory instead of synthesizing",
+    )
+
+
+def _add_hdk_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--df-max", type=int, default=15)
+    parser.add_argument("--window", type=int, default=8)
+    parser.add_argument("--s-max", type=int, default=3)
+    parser.add_argument("--ff", type=int, default=10_000)
+    parser.add_argument("--peers", type=int, default=8)
+    parser.add_argument(
+        "--mode",
+        choices=["hdk", "single_term"],
+        default="hdk",
+        help="indexing model",
+    )
+    parser.add_argument(
+        "--overlay", choices=["chord", "pgrid"], default="chord"
+    )
+
+
+def _build_collection(args: argparse.Namespace):
+    if args.text_dir is not None:
+        paths = sorted(args.text_dir.glob("*.txt"))
+        if not paths:
+            raise SystemExit(f"no .txt files under {args.text_dir}")
+        texts = [path.read_text(encoding="utf-8") for path in paths]
+        return build_collection_from_texts(
+            texts, title_fn=lambda i: paths[i].name
+        )
+    config = SyntheticCorpusConfig(
+        vocabulary_size=args.vocabulary,
+        mean_doc_length=args.doc_length,
+        num_topics=args.topics,
+        zipf_skew=args.zipf_skew,
+    )
+    return SyntheticCorpusGenerator(config, seed=args.seed).generate(
+        args.docs
+    )
+
+
+def _hdk_params(args: argparse.Namespace) -> HDKParameters:
+    return HDKParameters(
+        df_max=args.df_max,
+        window_size=args.window,
+        s_max=args.s_max,
+        ff=args.ff,
+    )
+
+
+# -- subcommand implementations -----------------------------------------------
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    collection = _build_collection(args)
+    stats = compute_statistics(collection)
+    rows = stats.summary_rows()
+    rows.append(("hapax legomena", f"{stats.hapax_count():,}"))
+    print(format_table(["statistic", "value"], rows))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    collection = _build_collection(args)
+    engine = P2PSearchEngine.build(
+        collection,
+        num_peers=args.peers,
+        params=_hdk_params(args),
+        mode=EngineMode(args.mode),
+        overlay=args.overlay,
+    )
+    engine.index()
+    print(
+        f"indexed {len(collection)} documents over {args.peers} peers "
+        f"({engine.stored_postings_total():,} stored postings)"
+    )
+    result = engine.search(args.query, k=args.top)
+    print(
+        f"query {args.query!r}: n_k={result.keys_looked_up}, "
+        f"{result.postings_transferred} postings transferred"
+    )
+    rows = []
+    for rank, ranked in enumerate(result.results, start=1):
+        title = collection.get(ranked.doc_id).title
+        rows.append([rank, ranked.doc_id, f"{ranked.score:.3f}", title])
+    print(format_table(["#", "doc", "score", "title"], rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiment = ExperimentParameters(
+        initial_peers=args.initial_peers,
+        peer_step=args.peer_step,
+        max_peers=args.max_peers,
+        docs_per_peer=args.docs_per_peer,
+        hdk=_hdk_params(args),
+        seed=args.seed,
+    )
+    corpus = SyntheticCorpusConfig(
+        vocabulary_size=args.vocabulary,
+        mean_doc_length=args.doc_length,
+        num_topics=args.topics,
+        zipf_skew=args.zipf_skew,
+    )
+    results = GrowthExperiment(
+        experiment,
+        corpus_config=corpus,
+        df_max_values=tuple(args.df_max_values),
+        num_queries=args.queries,
+    ).run()
+    print(render_growth_table(results))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    distribution = {2: 0.7, 3: 0.3}
+    if args.query_sizes:
+        distribution = {}
+        for piece in args.query_sizes.split(","):
+            size, weight = piece.split(":")
+            distribution[int(size)] = float(weight)
+    plan = plan_parameters(
+        args.budget,
+        distribution,
+        window_size=args.window,
+        s_max=args.s_max,
+        zipf_skew=args.zipf_skew,
+    )
+    rows = [
+        ("recommended DF_max", plan.params.df_max),
+        ("expected n_k", f"{plan.expected_keys_per_query:.2f}"),
+        (
+            "retrieval bound/query",
+            format_count(plan.retrieval_bound_per_query),
+        ),
+        (
+            "index size multiplier (IS/D bound)",
+            f"{plan.index_size_multiplier:.2f}",
+        ),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    model = TrafficModel(df_max=args.df_max)
+    rows = []
+    for docs in args.doc_counts:
+        point = model.point(docs)
+        rows.append(
+            [
+                format_count(docs),
+                format_count(point.st_total),
+                format_count(point.hdk_total),
+                f"{point.st_over_hdk:.1f}x",
+            ]
+        )
+    print(format_table(["#docs", "single-term", "HDK", "ST/HDK"], rows))
+    return 0
+
+
+# -- parser ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "HDK-based P2P web retrieval "
+            "(Podnar et al., ICDE 2007 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser("stats", help="collection statistics")
+    _add_corpus_options(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
+    search = subparsers.add_parser("search", help="index and query")
+    _add_corpus_options(search)
+    _add_hdk_options(search)
+    search.add_argument("query", help="query string")
+    search.add_argument("--top", type=int, default=10)
+    search.set_defaults(handler=_cmd_search)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="Section-5 growth experiment"
+    )
+    _add_corpus_options(experiment)
+    _add_hdk_options(experiment)
+    experiment.add_argument("--initial-peers", type=int, default=2)
+    experiment.add_argument("--peer-step", type=int, default=2)
+    experiment.add_argument("--max-peers", type=int, default=4)
+    experiment.add_argument("--docs-per-peer", type=int, default=40)
+    experiment.add_argument("--queries", type=int, default=10)
+    experiment.add_argument(
+        "--df-max-values",
+        type=int,
+        nargs="+",
+        default=[8, 16],
+        help="DF_max sweep values",
+    )
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    plan = subparsers.add_parser(
+        "plan", help="parameter planning from a traffic budget"
+    )
+    plan.add_argument(
+        "budget", type=float, help="max postings per query"
+    )
+    plan.add_argument(
+        "--query-sizes",
+        default="",
+        help="size:weight pairs, e.g. '2:0.7,3:0.3'",
+    )
+    plan.add_argument("--window", type=int, default=20)
+    plan.add_argument("--s-max", type=int, default=3)
+    plan.add_argument("--zipf-skew", type=float, default=1.5)
+    plan.set_defaults(handler=_cmd_plan)
+
+    traffic = subparsers.add_parser(
+        "traffic", help="Figure-8 total-traffic model"
+    )
+    traffic.add_argument("--df-max", type=int, default=400)
+    traffic.add_argument(
+        "--doc-counts",
+        type=int,
+        nargs="+",
+        default=[100_000, 653_546, 10**7, 10**8, 10**9],
+    )
+    traffic.set_defaults(handler=_cmd_traffic)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

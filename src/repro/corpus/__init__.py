@@ -1,0 +1,28 @@
+"""Document collections: containers, synthetic generation, statistics.
+
+The paper evaluates on a 653,546-document Wikipedia subset and a 2004
+Wikipedia query log; neither is shippable here, so this package provides a
+topic-mixture synthetic corpus with Zipf-distributed term marginals and a
+query-log generator that samples co-occurring terms from document windows
+(see DESIGN.md §4 for why these substitutions preserve the paper's
+behaviour).  Real text can still be used through
+:func:`repro.corpus.collection.build_collection_from_texts`.
+"""
+
+from .collection import DocumentCollection, build_collection_from_texts
+from .document import Document
+from .querylog import Query, QueryLogGenerator
+from .stats import CollectionStatistics, compute_statistics
+from .synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator
+
+__all__ = [
+    "Document",
+    "DocumentCollection",
+    "build_collection_from_texts",
+    "Query",
+    "QueryLogGenerator",
+    "CollectionStatistics",
+    "compute_statistics",
+    "SyntheticCorpusConfig",
+    "SyntheticCorpusGenerator",
+]

@@ -1,0 +1,150 @@
+"""Document collections and helpers to build them.
+
+A :class:`DocumentCollection` is the unit the paper calls ``D`` — a set of
+``M`` documents whose total number of term occurrences is the *sample size*
+``D``.  Peers hold disjoint slices of one global collection
+(:meth:`DocumentCollection.split`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..errors import CorpusError
+from ..text.pipeline import TextPipeline
+from .document import Document
+
+__all__ = ["DocumentCollection", "build_collection_from_texts"]
+
+
+class DocumentCollection:
+    """An ordered collection of documents with id-based access.
+
+    Document ids must be unique within the collection; they are global
+    (DHT-wide) identifiers, so peers holding slices of the same global
+    collection never collide.
+    """
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._documents: list[Document] = []
+        self._by_id: dict[int, Document] = {}
+        for doc in documents:
+            self.add(doc)
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._by_id
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, document: Document) -> None:
+        """Append ``document``; raises :class:`CorpusError` on id clash."""
+        if document.doc_id in self._by_id:
+            raise CorpusError(
+                f"duplicate document id {document.doc_id} in collection"
+            )
+        self._documents.append(document)
+        self._by_id[document.doc_id] = document
+
+    def extend(self, documents: Iterable[Document]) -> None:
+        """Append every document of ``documents`` in order."""
+        for doc in documents:
+            self.add(doc)
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, doc_id: int) -> Document:
+        """Return the document with id ``doc_id``.
+
+        Raises:
+            CorpusError: when the id is unknown.
+        """
+        try:
+            return self._by_id[doc_id]
+        except KeyError:
+            raise CorpusError(f"unknown document id {doc_id}") from None
+
+    def doc_ids(self) -> list[int]:
+        """Return all document ids in insertion order."""
+        return [doc.doc_id for doc in self._documents]
+
+    def doc_length(self, doc_id: int) -> int:
+        """Return the processed length of document ``doc_id``."""
+        return len(self.get(doc_id))
+
+    # -- aggregate measures (paper Section 3 notation) ----------------------
+
+    @property
+    def size(self) -> int:
+        """``M`` — the number of documents."""
+        return len(self._documents)
+
+    @property
+    def sample_size(self) -> int:
+        """``D`` — the total number of term occurrences."""
+        return sum(len(doc) for doc in self._documents)
+
+    @property
+    def average_document_length(self) -> float:
+        """Mean processed document length (BM25's ``avgdl``)."""
+        if not self._documents:
+            return 0.0
+        return self.sample_size / len(self._documents)
+
+    def vocabulary(self) -> set[str]:
+        """``T`` — the set of distinct terms in the collection."""
+        vocab: set[str] = set()
+        for doc in self._documents:
+            vocab.update(doc.distinct_terms)
+        return vocab
+
+    # -- slicing across peers ------------------------------------------------
+
+    def split(self, parts: int) -> list["DocumentCollection"]:
+        """Split into ``parts`` collections, round-robin by position.
+
+        Round-robin matches the paper's "randomly distributed over the
+        peers" when the input order is already random (the synthetic
+        generator shuffles), while staying deterministic for tests.
+        """
+        if parts < 1:
+            raise CorpusError(f"parts must be >= 1, got {parts}")
+        slices: list[DocumentCollection] = [
+            DocumentCollection() for _ in range(parts)
+        ]
+        for position, doc in enumerate(self._documents):
+            slices[position % parts].add(doc)
+        return slices
+
+    def subset(self, doc_ids: Sequence[int]) -> "DocumentCollection":
+        """Return a new collection with the given documents, in id order."""
+        return DocumentCollection(self.get(doc_id) for doc_id in doc_ids)
+
+
+def build_collection_from_texts(
+    texts: Iterable[str],
+    pipeline: TextPipeline | None = None,
+    title_fn: Callable[[int], str] | None = None,
+) -> DocumentCollection:
+    """Process raw ``texts`` through ``pipeline`` into a collection.
+
+    Args:
+        texts: raw document strings.
+        pipeline: the text pipeline; defaults to the paper's configuration
+            (250 stop words + Porter stemming).
+        title_fn: optional function from document index to title.
+    """
+    pipeline = pipeline or TextPipeline()
+    collection = DocumentCollection()
+    for index, text in enumerate(texts):
+        tokens = tuple(pipeline.process(text))
+        title = title_fn(index) if title_fn else f"doc-{index}"
+        collection.add(Document(doc_id=index, tokens=tokens, title=title))
+    return collection

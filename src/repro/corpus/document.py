@@ -1,0 +1,62 @@
+"""The document model.
+
+A :class:`Document` holds the *processed* token sequence (after stop-word
+removal and stemming) because every stage of the HDK model — windowing,
+key generation, posting lists, BM25 statistics — operates on processed
+tokens.  Raw text, when it exists, is processed once at collection build
+time and not retained.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["Document"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable processed document.
+
+    Attributes:
+        doc_id: globally unique integer id (unique across all peers).
+        tokens: processed tokens in document order; order matters because
+            proximity filtering slides a window over this sequence.
+        title: optional human-readable label (examples print it).
+    """
+
+    doc_id: int
+    tokens: tuple[str, ...]
+    title: str = ""
+    _term_counts: Counter = field(
+        default=None, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        # Cache term frequencies; Counter construction is the only
+        # mutation and happens before the instance escapes.
+        object.__setattr__(self, "_term_counts", Counter(self.tokens))
+
+    def __len__(self) -> int:
+        """Document length in processed tokens (BM25's ``|d|``)."""
+        return len(self.tokens)
+
+    @property
+    def distinct_terms(self) -> frozenset[str]:
+        """The set of distinct terms occurring in the document."""
+        return frozenset(self._term_counts)
+
+    def term_frequency(self, term: str) -> int:
+        """Return the number of occurrences of ``term`` in the document."""
+        return self._term_counts.get(term, 0)
+
+    def term_frequencies(self) -> dict[str, int]:
+        """Return a copy of the full term -> frequency map."""
+        return dict(self._term_counts)
+
+    def contains_all(self, terms: frozenset[str]) -> bool:
+        """Return True iff every term of ``terms`` occurs in the document
+        (ignoring proximity; used by exhaustiveness tests)."""
+        counts = self._term_counts
+        return all(t in counts for t in terms)

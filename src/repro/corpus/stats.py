@@ -1,0 +1,104 @@
+"""Collection statistics (paper Table 1).
+
+The paper characterizes its Wikipedia subset by the number of documents
+``M``, the sample size (total words) ``D``, and the average document size.
+:func:`compute_statistics` produces those plus the frequency data the
+scalability analysis consumes: term collection frequencies, document
+frequencies, and the rank-frequency sequence used to fit the Zipf skew.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .collection import DocumentCollection
+
+__all__ = ["CollectionStatistics", "compute_statistics"]
+
+
+@dataclass(frozen=True)
+class CollectionStatistics:
+    """Aggregate statistics of a document collection.
+
+    Attributes:
+        num_documents: ``M``.
+        sample_size: ``D`` — total term occurrences.
+        vocabulary_size: ``|T|`` — distinct terms.
+        average_document_length: mean tokens per document.
+        collection_frequency: term -> number of occurrences in ``D``.
+        document_frequency: term -> number of documents containing it.
+        rank_frequency: collection frequencies sorted descending; position
+            ``r-1`` holds the frequency of the rank-``r`` term (the input
+            to Zipf fitting, Figure 2).
+    """
+
+    num_documents: int
+    sample_size: int
+    vocabulary_size: int
+    average_document_length: float
+    collection_frequency: dict[str, int] = field(repr=False)
+    document_frequency: dict[str, int] = field(repr=False)
+    rank_frequency: tuple[int, ...] = field(repr=False)
+
+    def hapax_count(self) -> int:
+        """Number of hapax legomena (terms occurring exactly once); the
+        scalability proofs truncate the Zipf integral at the first hapax."""
+        return sum(1 for f in self.collection_frequency.values() if f == 1)
+
+    def very_frequent_terms(self, ff: int) -> set[str]:
+        """Terms with collection frequency strictly above ``ff``
+        (Definition 9's very frequent keys, restricted to single terms)."""
+        return {
+            term
+            for term, freq in self.collection_frequency.items()
+            if freq > ff
+        }
+
+    def frequency_of_rank(self, rank: int) -> int:
+        """Collection frequency of the rank-``rank`` term (1-based)."""
+        if rank < 1 or rank > len(self.rank_frequency):
+            raise ValueError(
+                f"rank must be in [1, {len(self.rank_frequency)}], got {rank}"
+            )
+        return self.rank_frequency[rank - 1]
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        """Rows mirroring paper Table 1 (plus vocabulary size)."""
+        return [
+            ("total number of documents M", f"{self.num_documents:,}"),
+            ("size in words D", f"{self.sample_size:,}"),
+            (
+                "average document size",
+                f"{self.average_document_length:.1f} words",
+            ),
+            ("vocabulary size |T|", f"{self.vocabulary_size:,}"),
+        ]
+
+
+def compute_statistics(collection: DocumentCollection) -> CollectionStatistics:
+    """Compute :class:`CollectionStatistics` in a single pass."""
+    collection_frequency: Counter[str] = Counter()
+    document_frequency: Counter[str] = Counter()
+    sample_size = 0
+    for doc in collection:
+        counts = doc.term_frequencies()
+        sample_size += len(doc)
+        for term, count in counts.items():
+            collection_frequency[term] += count
+            document_frequency[term] += 1
+    rank_frequency = tuple(
+        sorted(collection_frequency.values(), reverse=True)
+    )
+    num_documents = len(collection)
+    return CollectionStatistics(
+        num_documents=num_documents,
+        sample_size=sample_size,
+        vocabulary_size=len(collection_frequency),
+        average_document_length=(
+            sample_size / num_documents if num_documents else 0.0
+        ),
+        collection_frequency=dict(collection_frequency),
+        document_frequency=dict(document_frequency),
+        rank_frequency=rank_frequency,
+    )

@@ -1,0 +1,25 @@
+"""The assembled P2P retrieval engine and the Section-5 experiments.
+
+- :mod:`repro.engine.peer` — a peer bundling its local collection with its
+  indexing role,
+- :mod:`repro.engine.p2p_engine` — :class:`P2PSearchEngine`, the
+  user-facing engine (build network, index, search) in either HDK or
+  single-term mode,
+- :mod:`repro.engine.experiment` — the peer-growth experiment protocol
+  (4 -> 28 peers) producing the data series of Figures 3-7,
+- :mod:`repro.engine.reporting` — typed result rows and text rendering.
+"""
+
+from .experiment import GrowthExperiment, GrowthStepResult
+from .p2p_engine import EngineMode, P2PSearchEngine
+from .peer import Peer
+from .reporting import render_growth_table
+
+__all__ = [
+    "GrowthExperiment",
+    "GrowthStepResult",
+    "EngineMode",
+    "P2PSearchEngine",
+    "Peer",
+    "render_growth_table",
+]

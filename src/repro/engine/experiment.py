@@ -1,0 +1,313 @@
+"""The peer-growth experiment of Section 5.
+
+The paper simulates the evolution of a P2P system by starting with 4 peers
+and adding 4 peers per run, each contributing 5,000 Wikipedia documents;
+at every step it measures stored postings per peer (Figure 3), inserted
+postings per peer (Figure 4), the IS_s/D ratios (Figure 5), retrieval
+traffic per query (Figure 6), and the top-20 overlap with a centralized
+BM25 engine (Figure 7).
+
+:class:`GrowthExperiment` reproduces that protocol at configurable scale
+over the synthetic corpus, for any set of ``DF_max`` values plus the
+single-term baseline, producing one :class:`GrowthStepResult` per
+(network size, engine configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ExperimentParameters, HDKParameters
+from ..corpus.collection import DocumentCollection
+from ..corpus.querylog import Query, QueryLogGenerator
+from ..corpus.synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator
+from ..errors import ConfigurationError
+from ..retrieval.centralized import CentralizedBM25Engine
+from ..retrieval.metrics import mean_overlap, top_k_overlap
+from .p2p_engine import EngineMode, P2PSearchEngine
+
+__all__ = ["GrowthStepResult", "GrowthExperiment"]
+
+
+@dataclass
+class GrowthStepResult:
+    """Measurements for one (network size, engine configuration) point.
+
+    Attributes:
+        label: configuration label, e.g. ``"ST"`` or ``"HDK df_max=12"``.
+        num_peers: network size at this step.
+        num_documents: total collection size at this step.
+        stored_postings_per_peer: Figure 3's y-value.
+        inserted_postings_per_peer: Figure 4's y-value.
+        is_ratio_by_size: key size -> inserted postings / D (Figure 5).
+        retrieval_postings_per_query: Figure 6's y-value (mean).
+        keys_per_query: measured mean ``n_k`` (HDK only; 0 for ST).
+        top20_overlap: Figure 7's y-value (mean % vs centralized BM25).
+    """
+
+    label: str
+    num_peers: int
+    num_documents: int
+    stored_postings_per_peer: float = 0.0
+    inserted_postings_per_peer: float = 0.0
+    is_ratio_by_size: dict[int, float] = field(default_factory=dict)
+    retrieval_postings_per_query: float = 0.0
+    keys_per_query: float = 0.0
+    top20_overlap: float = 0.0
+
+    @property
+    def is_ratio_total(self) -> float:
+        """IS/D — the sum over key sizes (Figure 5's top curve)."""
+        return sum(self.is_ratio_by_size.values())
+
+
+class GrowthExperiment:
+    """Runs the full Section-5 protocol over the synthetic corpus.
+
+    Args:
+        experiment: growth protocol parameters (peer counts, docs/peer).
+        corpus_config: synthetic corpus configuration.
+        df_max_values: the DF_max sweep (the paper uses 400 and 500);
+            one HDK engine per value is measured at every step.
+        include_single_term: also measure the ST baseline at every step.
+        num_queries: queries sampled per step for Figures 6-7.
+        top_k: ranking depth for the overlap metric (paper: 20).
+        overlay: ``"chord"`` or ``"pgrid"``.
+    """
+
+    def __init__(
+        self,
+        experiment: ExperimentParameters,
+        corpus_config: SyntheticCorpusConfig | None = None,
+        df_max_values: tuple[int, ...] | None = None,
+        include_single_term: bool = True,
+        num_queries: int = 30,
+        top_k: int = 20,
+        overlay: str = "chord",
+        incremental: bool = False,
+    ) -> None:
+        if num_queries < 1:
+            raise ConfigurationError(
+                f"num_queries must be >= 1, got {num_queries}"
+            )
+        self.experiment = experiment
+        self.corpus_config = corpus_config or SyntheticCorpusConfig()
+        base = experiment.hdk
+        self.df_max_values = df_max_values or (base.df_max,)
+        self.include_single_term = include_single_term
+        self.num_queries = num_queries
+        self.top_k = top_k
+        self.overlay = overlay
+        #: When True, each step joins the new peers into the *live*
+        #: engines via the incremental protocol (NDK notifications +
+        #: expansion) instead of rebuilding from scratch — the paper's
+        #: actual growth mechanism, and much cheaper for long sweeps.
+        self.incremental = incremental
+        # One corpus for the largest step; smaller steps use prefixes, so
+        # growth is cumulative exactly like peers joining with new docs.
+        total_docs = experiment.max_peers * experiment.docs_per_peer
+        self._corpus = SyntheticCorpusGenerator(
+            self.corpus_config, seed=experiment.seed
+        ).generate(total_docs)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> list[GrowthStepResult]:
+        """Execute every step; returns all measurement rows."""
+        results: list[GrowthStepResult] = []
+        live_engines: dict[str, P2PSearchEngine] = {}
+        previous_docs = 0
+        for num_peers in self.experiment.peer_counts():
+            num_docs = num_peers * self.experiment.docs_per_peer
+            step_collection = self._collection_prefix(num_docs)
+            queries = self._sample_queries(step_collection)
+            centralized = CentralizedBM25Engine(step_collection)
+            reference = {
+                query.query_id: centralized.search(query, self.top_k)
+                for query in queries
+            }
+            configs: list[tuple[str, EngineMode, HDKParameters]] = []
+            if self.include_single_term:
+                configs.append(
+                    ("ST", EngineMode.SINGLE_TERM, self.experiment.hdk)
+                )
+            for df_max in self.df_max_values:
+                configs.append(
+                    (
+                        f"HDK df_max={df_max}",
+                        EngineMode.HDK,
+                        self.experiment.hdk.with_df_max(df_max),
+                    )
+                )
+            for label, mode, params in configs:
+                if self.incremental:
+                    engine = self._grow_live_engine(
+                        live_engines,
+                        label,
+                        mode,
+                        params,
+                        step_collection,
+                        num_peers,
+                        previous_docs,
+                    )
+                    step = self._measure_live(
+                        engine, label, num_peers, queries, reference, mode
+                    )
+                else:
+                    step = self._measure_engine(
+                        label=label,
+                        mode=mode,
+                        params=params,
+                        collection=step_collection,
+                        num_peers=num_peers,
+                        queries=queries,
+                        reference=reference,
+                    )
+                results.append(step)
+            previous_docs = num_docs
+        return results
+
+    def _grow_live_engine(
+        self,
+        live_engines: dict[str, P2PSearchEngine],
+        label: str,
+        mode: EngineMode,
+        params: HDKParameters,
+        step_collection: DocumentCollection,
+        num_peers: int,
+        previous_docs: int,
+    ) -> P2PSearchEngine:
+        """Create or incrementally grow the live engine for ``label``."""
+        engine = live_engines.get(label)
+        if engine is None:
+            engine = P2PSearchEngine.build(
+                step_collection,
+                num_peers=num_peers,
+                params=params,
+                mode=mode,
+                overlay=self.overlay,
+            )
+            engine.index()
+            live_engines[label] = engine
+            return engine
+        ids = step_collection.doc_ids()[previous_docs:]
+        new_docs = step_collection.subset(ids)
+        engine.add_peers(new_docs, num_peers - len(engine.peers))
+        return engine
+
+    def _measure_live(
+        self,
+        engine: P2PSearchEngine,
+        label: str,
+        num_peers: int,
+        queries: list[Query],
+        reference: dict[int, list],
+        mode: EngineMode,
+    ) -> GrowthStepResult:
+        """Measure a live (incrementally grown) engine at this step."""
+        step = GrowthStepResult(
+            label=label,
+            num_peers=num_peers,
+            num_documents=num_peers * self.experiment.docs_per_peer,
+        )
+        step.stored_postings_per_peer = engine.stored_postings_per_peer()
+        step.inserted_postings_per_peer = (
+            engine.inserted_postings_per_peer()
+        )
+        sample_size = engine.collection_sample_size()
+        if sample_size:
+            step.is_ratio_by_size = {
+                size: postings / sample_size
+                for size, postings in sorted(
+                    engine.inserted_postings_by_key_size().items()
+                )
+            }
+        transferred: list[float] = []
+        lookups: list[float] = []
+        overlaps: list[float] = []
+        for query in queries:
+            result = engine.search(query, k=self.top_k)
+            transferred.append(result.postings_transferred)
+            lookups.append(result.keys_looked_up)
+            overlaps.append(
+                top_k_overlap(
+                    result.results, reference[query.query_id], self.top_k
+                )
+            )
+        step.retrieval_postings_per_query = sum(transferred) / len(
+            transferred
+        )
+        step.keys_per_query = (
+            sum(lookups) / len(lookups) if mode is EngineMode.HDK else 0.0
+        )
+        step.top20_overlap = mean_overlap(overlaps)
+        return step
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _collection_prefix(self, num_docs: int) -> DocumentCollection:
+        ids = self._corpus.doc_ids()[:num_docs]
+        return self._corpus.subset(ids)
+
+    def _sample_queries(self, collection: DocumentCollection) -> list[Query]:
+        generator = QueryLogGenerator(
+            collection,
+            window_size=self.experiment.hdk.window_size,
+            min_hits=min(20, max(1, len(collection) // 20)),
+            seed=self.experiment.seed + len(collection),
+        )
+        return generator.generate(self.num_queries)
+
+    def _measure_engine(
+        self,
+        label: str,
+        mode: EngineMode,
+        params: HDKParameters,
+        collection: DocumentCollection,
+        num_peers: int,
+        queries: list[Query],
+        reference: dict[int, list],
+    ) -> GrowthStepResult:
+        engine = P2PSearchEngine.build(
+            collection,
+            num_peers=num_peers,
+            params=params,
+            mode=mode,
+            overlay=self.overlay,
+        )
+        engine.index()
+        step = GrowthStepResult(
+            label=label,
+            num_peers=num_peers,
+            num_documents=len(collection),
+        )
+        step.stored_postings_per_peer = engine.stored_postings_per_peer()
+        step.inserted_postings_per_peer = engine.inserted_postings_per_peer()
+        sample_size = engine.collection_sample_size()
+        if sample_size:
+            step.is_ratio_by_size = {
+                size: postings / sample_size
+                for size, postings in sorted(
+                    engine.inserted_postings_by_key_size().items()
+                )
+            }
+        transferred: list[float] = []
+        lookups: list[float] = []
+        overlaps: list[float] = []
+        for query in queries:
+            result = engine.search(query, k=self.top_k)
+            transferred.append(result.postings_transferred)
+            lookups.append(result.keys_looked_up)
+            overlaps.append(
+                top_k_overlap(
+                    result.results, reference[query.query_id], self.top_k
+                )
+            )
+        step.retrieval_postings_per_query = sum(transferred) / len(
+            transferred
+        )
+        step.keys_per_query = (
+            sum(lookups) / len(lookups) if mode is EngineMode.HDK else 0.0
+        )
+        step.top20_overlap = mean_overlap(overlaps)
+        return step

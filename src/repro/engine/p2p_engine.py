@@ -1,0 +1,353 @@
+"""The assembled P2P search engine.
+
+:class:`P2PSearchEngine` is the library's primary entry point: give it a
+document collection and a peer count, and it builds the overlay, splits the
+collection across peers, runs the distributed indexing protocol (HDK or
+single-term), and answers queries with full traffic accounting.
+
+Typical use::
+
+    from repro import HDKParameters, P2PSearchEngine
+    from repro.corpus import SyntheticCorpusGenerator
+
+    collection = SyntheticCorpusGenerator(seed=1).generate(600)
+    engine = P2PSearchEngine.build(
+        collection, num_peers=8, params=HDKParameters(df_max=12,
+        window_size=8, s_max=3, ff=4000))
+    engine.index()
+    result = engine.search("t00042 t00137")
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..config import HDKParameters
+from ..corpus.collection import DocumentCollection
+from ..corpus.querylog import Query
+from ..errors import ConfigurationError, RetrievalError
+from ..hdk.indexer import (
+    IndexingReport,
+    PeerIndexer,
+    run_distributed_indexing,
+    run_incremental_join,
+)
+from ..index.global_index import GlobalKeyIndex
+from ..net.accounting import Phase, TrafficAccounting
+from ..net.chord import ChordOverlay, Overlay
+from ..net.network import P2PNetwork
+from ..net.pgrid import PGridOverlay
+from ..retrieval.hdk_engine import HDKRetrievalEngine, HDKSearchResult
+from ..retrieval.query import QueryProcessor
+from ..retrieval.single_term import (
+    SingleTermIndexer,
+    SingleTermRetrievalEngine,
+)
+from ..text.pipeline import PipelineConfig, TextPipeline
+from .peer import Peer
+
+__all__ = ["EngineMode", "P2PSearchEngine"]
+
+
+class EngineMode(Enum):
+    """Which indexing/retrieval model the engine runs."""
+
+    HDK = "hdk"
+    SINGLE_TERM = "single_term"
+
+
+class P2PSearchEngine:
+    """A complete simulated P2P retrieval engine.
+
+    Build via :meth:`build`; then :meth:`index` and :meth:`search`.
+    """
+
+    def __init__(
+        self,
+        peers: list[Peer],
+        network: P2PNetwork,
+        params: HDKParameters,
+        mode: EngineMode,
+        pipeline: TextPipeline,
+    ) -> None:
+        if not peers:
+            raise ConfigurationError("engine needs at least one peer")
+        self.peers = peers
+        self.network = network
+        self.params = params
+        self.mode = mode
+        self.pipeline = pipeline
+        self.query_processor = QueryProcessor(pipeline)
+        self.global_index = GlobalKeyIndex(network, params)
+        self._indexed = False
+        self._reports: list[IndexingReport] = []
+        self._st_indexers: list[SingleTermIndexer] = []
+        self._hdk_indexers: list[PeerIndexer] = []
+        self._hdk_engine: HDKRetrievalEngine | None = None
+        self._st_engine: SingleTermRetrievalEngine | None = None
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        collection: DocumentCollection,
+        num_peers: int,
+        params: HDKParameters | None = None,
+        mode: EngineMode = EngineMode.HDK,
+        overlay: str = "chord",
+        pipeline: TextPipeline | None = None,
+        accounting: TrafficAccounting | None = None,
+    ) -> "P2PSearchEngine":
+        """Build an engine over ``collection`` split across ``num_peers``.
+
+        Args:
+            collection: the global document collection.
+            num_peers: how many peers share it (round-robin split).
+            params: HDK model parameters (paper defaults when omitted).
+            mode: HDK (the paper's model) or SINGLE_TERM (the baseline).
+            overlay: ``"chord"`` or ``"pgrid"``.
+            pipeline: the text pipeline queries are processed with; must
+                match the one used to build ``collection``.
+            accounting: shared traffic counters (created when omitted).
+        """
+        if num_peers < 1:
+            raise ConfigurationError(f"num_peers must be >= 1, got {num_peers}")
+        params = params or HDKParameters()
+        overlay_impl = cls._make_overlay(overlay)
+        network = P2PNetwork(overlay=overlay_impl, accounting=accounting)
+        slices = collection.split(num_peers)
+        peers: list[Peer] = []
+        for index, slice_ in enumerate(slices):
+            name = f"peer-{index:03d}"
+            network.add_peer(name)
+            peers.append(Peer(name=name, collection=slice_))
+        pipeline = pipeline or TextPipeline(PipelineConfig())
+        return cls(peers, network, params, mode, pipeline)
+
+    @staticmethod
+    def _make_overlay(overlay: str) -> Overlay:
+        if overlay == "chord":
+            return ChordOverlay()
+        if overlay == "pgrid":
+            return PGridOverlay()
+        raise ConfigurationError(
+            f"unknown overlay {overlay!r}; use 'chord' or 'pgrid'"
+        )
+
+    # -- indexing ---------------------------------------------------------------------
+
+    def index(self) -> list[IndexingReport]:
+        """Run the distributed indexing protocol for the configured mode.
+
+        Returns per-peer indexing reports (HDK mode) or synthesized
+        reports with total inserted postings (single-term mode).
+        """
+        if self._indexed:
+            raise ConfigurationError("engine is already indexed")
+        self.network.accounting.set_phase(Phase.INDEXING)
+        if self.mode is EngineMode.HDK:
+            self._hdk_indexers = [
+                PeerIndexer(
+                    peer.name, peer.collection, self.global_index, self.params
+                )
+                for peer in self.peers
+            ]
+            self._reports = run_distributed_indexing(
+                self._hdk_indexers, self.params
+            )
+            self._hdk_engine = HDKRetrievalEngine(
+                self.global_index, self.params
+            )
+        else:
+            self._st_indexers = [
+                SingleTermIndexer(peer.name, peer.collection, self.network)
+                for peer in self.peers
+            ]
+            for indexer, peer in zip(self._st_indexers, self.peers):
+                indexer.index()
+                report = IndexingReport(peer_name=peer.name)
+                report.inserted_postings_by_size[1] = (
+                    indexer.inserted_postings
+                )
+                self._reports.append(report)
+            total_docs = sum(p.num_documents for p in self.peers)
+            total_tokens = sum(p.sample_size for p in self.peers)
+            self._st_engine = SingleTermRetrievalEngine(
+                self.network,
+                num_documents=max(1, total_docs),
+                average_doc_length=(
+                    total_tokens / total_docs if total_docs else 1.0
+                ),
+            )
+        self._indexed = True
+        return self._reports
+
+    def add_peers(
+        self, new_collection: DocumentCollection, num_new_peers: int
+    ) -> list[IndexingReport]:
+        """Grow the network: new peers join with new documents and index
+        them incrementally (the paper's growth protocol).
+
+        In HDK mode the joining peers run the generation rounds against
+        the live global index; keys their inserts push over ``DF_max``
+        trigger NDK notifications and expansion at the contributing peers
+        (see :func:`repro.hdk.indexer.run_incremental_join`).  In
+        single-term mode the new peers simply insert their posting lists.
+
+        Args:
+            new_collection: the documents the joining peers contribute;
+                ids must not collide with already-indexed documents.
+            num_new_peers: how many peers share the new documents.
+
+        Returns the joining peers' indexing reports.
+        """
+        if not self._indexed:
+            raise ConfigurationError(
+                "index() the initial network before add_peers()"
+            )
+        if num_new_peers < 1:
+            raise ConfigurationError(
+                f"num_new_peers must be >= 1, got {num_new_peers}"
+            )
+        slices = new_collection.split(num_new_peers)
+        new_peers: list[Peer] = []
+        start = len(self.peers)
+        for offset, slice_ in enumerate(slices):
+            name = f"peer-{start + offset:03d}"
+            self.network.add_peer(name)
+            new_peers.append(Peer(name=name, collection=slice_))
+        self.network.accounting.set_phase(Phase.INDEXING)
+        if self.mode is EngineMode.HDK:
+            joining = [
+                PeerIndexer(
+                    peer.name, peer.collection, self.global_index, self.params
+                )
+                for peer in new_peers
+            ]
+            reports = run_incremental_join(
+                self._hdk_indexers, joining, self.params
+            )
+            self._hdk_indexers.extend(joining)
+        else:
+            reports = []
+            for peer in new_peers:
+                indexer = SingleTermIndexer(
+                    peer.name, peer.collection, self.network
+                )
+                indexer.index()
+                self._st_indexers.append(indexer)
+                report = IndexingReport(peer_name=peer.name)
+                report.inserted_postings_by_size[1] = (
+                    indexer.inserted_postings
+                )
+                reports.append(report)
+            total_docs = sum(p.num_documents for p in self.peers) + sum(
+                p.num_documents for p in new_peers
+            )
+            total_tokens = sum(p.sample_size for p in self.peers) + sum(
+                p.sample_size for p in new_peers
+            )
+            self._st_engine = SingleTermRetrievalEngine(
+                self.network,
+                num_documents=max(1, total_docs),
+                average_doc_length=(
+                    total_tokens / total_docs if total_docs else 1.0
+                ),
+            )
+        self.peers.extend(new_peers)
+        self._reports.extend(reports)
+        return reports
+
+    # -- searching ------------------------------------------------------------------------
+
+    def search(
+        self,
+        raw_query: str | Query,
+        k: int = 20,
+        source_peer: str | None = None,
+    ) -> HDKSearchResult:
+        """Execute a query; returns an :class:`HDKSearchResult` in both
+        modes (the single-term result is adapted into the same shape).
+
+        Args:
+            raw_query: a raw query string (processed through the engine's
+                pipeline) or an already-processed :class:`Query`.
+            k: result depth.
+            source_peer: the querying peer's name; defaults to the first
+                peer.
+        """
+        if not self._indexed:
+            raise RetrievalError("call index() before search()")
+        if isinstance(raw_query, Query):
+            query = raw_query
+        else:
+            query = self.query_processor.process(raw_query)
+        source = source_peer or self.peers[0].name
+        if self.mode is EngineMode.HDK:
+            assert self._hdk_engine is not None
+            return self._hdk_engine.search(source, query, k)
+        assert self._st_engine is not None
+        results, transferred = self._st_engine.search(source, query, k)
+        adapted = HDKSearchResult(query=query)
+        adapted.results = results
+        adapted.keys_looked_up = len(query.terms)
+        adapted.keys_found = sum(
+            1 for _ in query.terms
+        )  # every term lookup is answered (possibly empty)
+        adapted.postings_transferred = transferred
+        return adapted
+
+    # -- inspection -----------------------------------------------------------------------
+
+    @property
+    def indexing_reports(self) -> list[IndexingReport]:
+        return list(self._reports)
+
+    def stored_postings_total(self) -> int:
+        """Total postings stored in the network (Figure 3 numerator)."""
+        if self.mode is EngineMode.HDK:
+            return self.global_index.stored_postings_total()
+        return self.network.stored_value_total(
+            lambda value: value.posting_count()
+            if hasattr(value, "posting_count")
+            else 0
+        )
+
+    def stored_postings_per_peer(self) -> float:
+        """Average postings stored per peer (Figure 3's y-axis)."""
+        return self.stored_postings_total() / max(1, len(self.peers))
+
+    def inserted_postings_total(self) -> int:
+        """Total postings inserted during indexing (Figure 4 numerator)."""
+        return self.network.accounting.postings(Phase.INDEXING)
+
+    def inserted_postings_per_peer(self) -> float:
+        """Average postings inserted per peer (Figure 4's y-axis)."""
+        return self.inserted_postings_total() / max(1, len(self.peers))
+
+    def inserted_postings_by_key_size(self) -> dict[int, int]:
+        """Key size -> postings inserted across all peers (Figure 5)."""
+        totals: dict[int, int] = {}
+        for report in self._reports:
+            for size, postings in report.inserted_postings_by_size.items():
+                totals[size] = totals.get(size, 0) + postings
+        return totals
+
+    def collection_sample_size(self) -> int:
+        """Global sample size ``D`` (Figure 5's denominator)."""
+        return sum(peer.sample_size for peer in self.peers)
+
+    def stored_index_bytes(self) -> int:
+        """Total wire size of the stored index in bytes (delta+varint
+        codec), the byte-level counterpart of
+        :meth:`stored_postings_total`."""
+        from ..index.codec import posting_list_wire_size
+
+        total = 0
+        for storage in self.network.storages():
+            for entry in storage:
+                postings = getattr(entry.value, "postings", None)
+                if postings is not None:
+                    total += posting_list_wire_size(postings)
+        return total

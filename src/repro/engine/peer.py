@@ -1,0 +1,44 @@
+"""A peer: local documents plus its two index roles.
+
+Following Section 3, each peer (1) stores a fraction of the global
+document collection and indexes it into the global index, and (2)
+maintains the fraction of the global index the DHT allocates to it.  Role
+(2) lives in the network substrate (:class:`repro.net.storage.PeerStorage`);
+this class binds a named peer to role (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..corpus.collection import DocumentCollection
+
+__all__ = ["Peer"]
+
+
+@dataclass
+class Peer:
+    """A named peer and its local document fraction ``D(P_i)``.
+
+    Attributes:
+        name: the peer's network name (registered with the overlay).
+        collection: the documents this peer contributes.
+    """
+
+    name: str
+    collection: DocumentCollection
+
+    @property
+    def num_documents(self) -> int:
+        return len(self.collection)
+
+    @property
+    def sample_size(self) -> int:
+        """Local sample size ``l`` — term occurrences contributed."""
+        return self.collection.sample_size
+
+    def __repr__(self) -> str:
+        return (
+            f"Peer(name={self.name!r}, docs={self.num_documents}, "
+            f"tokens={self.sample_size})"
+        )

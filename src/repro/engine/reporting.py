@@ -1,0 +1,96 @@
+"""Text rendering of experiment results.
+
+Benchmarks and examples print the same rows the paper's figures plot;
+these helpers render :class:`GrowthStepResult` sequences as aligned text
+tables and as per-figure series.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..utils import format_count, format_table
+from .experiment import GrowthStepResult
+
+__all__ = [
+    "render_growth_table",
+    "series_by_label",
+    "render_figure_series",
+]
+
+
+def render_growth_table(results: Sequence[GrowthStepResult]) -> str:
+    """All measurements, one row per (step, configuration)."""
+    headers = [
+        "config",
+        "peers",
+        "docs",
+        "stored/peer",
+        "inserted/peer",
+        "IS/D",
+        "retrieved/query",
+        "n_k",
+        "top-20 overlap %",
+    ]
+    rows = []
+    for step in results:
+        rows.append(
+            [
+                step.label,
+                step.num_peers,
+                step.num_documents,
+                format_count(step.stored_postings_per_peer),
+                format_count(step.inserted_postings_per_peer),
+                f"{step.is_ratio_total:.2f}",
+                format_count(step.retrieval_postings_per_query),
+                f"{step.keys_per_query:.2f}" if step.keys_per_query else "-",
+                f"{step.top20_overlap:.1f}",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def series_by_label(
+    results: Sequence[GrowthStepResult],
+) -> dict[str, list[GrowthStepResult]]:
+    """Group results into one series per configuration label, ordered by
+    collection size (the lines of Figures 3-7)."""
+    series: dict[str, list[GrowthStepResult]] = {}
+    for step in results:
+        series.setdefault(step.label, []).append(step)
+    for steps in series.values():
+        steps.sort(key=lambda s: s.num_documents)
+    return series
+
+
+def render_figure_series(
+    results: Sequence[GrowthStepResult],
+    value_of,
+    value_header: str,
+) -> str:
+    """Render one figure: rows are collection sizes, columns are series.
+
+    Args:
+        results: the experiment output.
+        value_of: function extracting the plotted value from a step.
+        value_header: what the value means (title row).
+    """
+    series = series_by_label(results)
+    labels = sorted(series)
+    doc_counts = sorted({step.num_documents for step in results})
+    headers = ["#docs"] + labels
+    rows = []
+    for docs in doc_counts:
+        row: list[str] = [str(docs)]
+        for label in labels:
+            match = next(
+                (
+                    step
+                    for step in series[label]
+                    if step.num_documents == docs
+                ),
+                None,
+            )
+            row.append(format_count(value_of(match)) if match else "-")
+        rows.append(row)
+    return f"{value_header}\n" + format_table(headers, rows)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the HDK reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from protocol-level failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CorpusError",
+    "PipelineError",
+    "IndexError_",
+    "KeyGenerationError",
+    "NetworkError",
+    "RoutingError",
+    "PeerNotFoundError",
+    "StorageError",
+    "RetrievalError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model parameter is missing, out of range, or inconsistent."""
+
+
+class CorpusError(ReproError):
+    """A document collection could not be built, loaded, or sampled."""
+
+
+class PipelineError(ReproError):
+    """Text pre-processing failed (tokenization, stemming, windowing)."""
+
+
+class IndexError_(ReproError):
+    """An index operation failed (named with a trailing underscore to
+    avoid shadowing the :class:`IndexError` builtin)."""
+
+
+class KeyGenerationError(ReproError):
+    """HDK computation failed or was given inconsistent inputs."""
+
+
+class NetworkError(ReproError):
+    """A simulated P2P network operation failed."""
+
+
+class RoutingError(NetworkError):
+    """A DHT lookup could not be routed to a responsible peer."""
+
+
+class PeerNotFoundError(NetworkError, LookupError):
+    """A peer identifier does not exist in the simulated network."""
+
+
+class StorageError(NetworkError):
+    """A peer-local storage operation failed."""
+
+
+class RetrievalError(ReproError):
+    """Query processing failed."""
+
+
+class AnalysisError(ReproError):
+    """A scalability-analysis computation received invalid inputs."""

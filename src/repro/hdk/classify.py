@@ -1,0 +1,36 @@
+"""DK / NDK classification (paper Definitions 3-4).
+
+A key is *discriminative* (DK) w.r.t. a collection iff its document
+frequency is at most ``DF_max``; otherwise it is *non-discriminative*
+(NDK).  The subsumption properties follow directly: supersets of DKs are
+DKs; subsets of NDKs are NDKs.
+"""
+
+from __future__ import annotations
+
+from ..errors import KeyGenerationError
+from ..index.global_index import KeyStatus
+
+__all__ = ["classify_df", "is_discriminative"]
+
+
+def classify_df(document_frequency: int, df_max: int) -> KeyStatus:
+    """Classify a document frequency against ``DF_max``.
+
+    Raises:
+        KeyGenerationError: for negative df or non-positive df_max.
+    """
+    if document_frequency < 0:
+        raise KeyGenerationError(
+            f"document frequency must be >= 0, got {document_frequency}"
+        )
+    if df_max < 1:
+        raise KeyGenerationError(f"df_max must be >= 1, got {df_max}")
+    if document_frequency <= df_max:
+        return KeyStatus.DISCRIMINATIVE
+    return KeyStatus.NON_DISCRIMINATIVE
+
+
+def is_discriminative(document_frequency: int, df_max: int) -> bool:
+    """True iff the df classifies as discriminative (Definition 3)."""
+    return classify_df(document_frequency, df_max) is KeyStatus.DISCRIMINATIVE

@@ -1,0 +1,75 @@
+"""The three key-filtering methods (paper Section 3.1).
+
+- **Size filtering**: keys have at most ``s_max`` terms.
+- **Proximity filtering**: a key's terms must co-occur in at least one
+  window of ``w`` consecutive tokens.
+- **Redundancy filtering**: only *intrinsically discriminative* keys — DKs
+  whose every proper sub-key is an NDK — are indexed (Definition 5); the
+  others are subsumed by a smaller DK whose answer set contains theirs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import KeyGenerationError
+from ..index.global_index import KeyStatus
+from ..text.windows import cooccurring_term_sets
+from .keys import proper_subkeys
+
+__all__ = [
+    "passes_size_filter",
+    "proximity_candidates",
+    "is_intrinsically_discriminative",
+]
+
+
+def passes_size_filter(key: frozenset[str], s_max: int) -> bool:
+    """Size filtering: ``|k| <= s_max`` (Definition 6, condition 1)."""
+    if s_max < 1:
+        raise KeyGenerationError(f"s_max must be >= 1, got {s_max}")
+    return 1 <= len(key) <= s_max
+
+
+def proximity_candidates(
+    tokens: Sequence[str],
+    window_size: int,
+    set_size: int,
+    allowed_terms: frozenset[str] | None = None,
+) -> set[frozenset[str]]:
+    """Proximity filtering: enumerate the size-``set_size`` term sets whose
+    terms co-occur inside a window of ``window_size`` tokens (Definition 2).
+
+    ``allowed_terms`` restricts the enumeration (HDK generation only
+    combines non-discriminative terms).
+    """
+    return cooccurring_term_sets(
+        tokens, window_size, set_size, allowed_terms
+    )
+
+
+def is_intrinsically_discriminative(
+    key: frozenset[str],
+    status_of: Callable[[frozenset[str]], KeyStatus | None],
+) -> bool:
+    """Redundancy filtering predicate (Definition 5).
+
+    A key is intrinsically discriminative iff it is discriminative and
+    *all* proper sub-keys are non-discriminative.  ``status_of`` supplies
+    the global classification of a key (None when the key was never
+    observed, which — by the subsumption property — can only happen for
+    keys that never co-occur anywhere, treated as discriminative-by-absence
+    and therefore *disqualifying* the parent, since the parent would be
+    subsumed by that empty-answer sub-key).
+
+    Note the predicate evaluates the key's own status too: a key whose own
+    status is NDK is not discriminative at all.
+    """
+    own_status = status_of(key)
+    if own_status is not KeyStatus.DISCRIMINATIVE:
+        return False
+    for subkey in proper_subkeys(key):
+        sub_status = status_of(subkey)
+        if sub_status is not KeyStatus.NON_DISCRIMINATIVE:
+            return False
+    return True

@@ -1,0 +1,406 @@
+"""The distributed HDK indexing driver.
+
+Runs the per-peer generation rounds against the global index: every peer
+publishes its term statistics, then — round by round, size 1 through
+``s_max`` — proposes candidate keys with local posting lists, learns from
+the acknowledgements/notifications which keys are globally
+non-discriminative, and expands those in the next round.
+
+The driver operates on *sets of peers* (the paper's peers index
+collaboratively): statuses discovered globally in round ``s`` feed every
+peer's round ``s+1``, exactly like the prototype's NDK notification flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import HDKParameters
+from ..corpus.collection import DocumentCollection
+from ..errors import KeyGenerationError
+from ..index.global_index import GlobalKeyIndex, KeyStatus
+from ..index.postings import PostingList
+from ..net.accounting import Phase
+from .generator import LocalHDKGenerator
+from .semantic import filter_candidates_by_pmi
+
+__all__ = ["IndexingReport", "PeerIndexer", "run_distributed_indexing"]
+
+
+@dataclass
+class IndexingReport:
+    """Per-peer accounting of one full indexing run.
+
+    Attributes:
+        peer_name: the reporting peer.
+        inserted_postings_by_size: key size -> local postings inserted into
+            the global index (the *indexing cost*, Figures 4-5).
+        candidate_keys_by_size: key size -> number of proposed keys.
+        ndk_keys_by_size: key size -> how many of the peer's proposals were
+            (or became) globally non-discriminative.
+    """
+
+    peer_name: str
+    inserted_postings_by_size: dict[int, int] = field(default_factory=dict)
+    candidate_keys_by_size: dict[int, int] = field(default_factory=dict)
+    ndk_keys_by_size: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_inserted_postings(self) -> int:
+        return sum(self.inserted_postings_by_size.values())
+
+    @property
+    def total_candidate_keys(self) -> int:
+        return sum(self.candidate_keys_by_size.values())
+
+
+class PeerIndexer:
+    """One peer's side of the distributed indexing protocol.
+
+    Args:
+        peer_name: the peer's registered network name.
+        collection: the peer's local documents ``D(P_i)``.
+        global_index: the shared global index facade.
+        params: the HDK model parameters.
+    """
+
+    def __init__(
+        self,
+        peer_name: str,
+        collection: DocumentCollection,
+        global_index: GlobalKeyIndex,
+        params: HDKParameters,
+    ) -> None:
+        self.peer_name = peer_name
+        self.collection = collection
+        self.global_index = global_index
+        self.params = params
+        self.generator = LocalHDKGenerator(collection, params)
+        # Global statuses this peer has learned (acks + notifications).
+        self._known_status: dict[frozenset[str], KeyStatus] = {}
+        # Keys this peer has already inserted (idempotence for the
+        # incremental expansion cascade).
+        self._submitted: set[frozenset[str]] = set()
+        # Local term document frequencies (for the optional PMI filter).
+        self._local_term_dfs: dict[str, int] = {}
+        for doc in collection:
+            for term in doc.distinct_terms:
+                self._local_term_dfs[term] = (
+                    self._local_term_dfs.get(term, 0) + 1
+                )
+        self.report = IndexingReport(peer_name=peer_name)
+
+    def _apply_semantic_filter(
+        self, candidates: dict[frozenset[str], PostingList]
+    ) -> dict[frozenset[str], PostingList]:
+        """Drop low-PMI multi-term candidates when the model asks for it."""
+        threshold = self.params.semantic_pmi_threshold
+        if threshold is None or len(self.collection) == 0:
+            return candidates
+        return filter_candidates_by_pmi(
+            candidates,
+            self._local_term_dfs,
+            num_documents=len(self.collection),
+            threshold=threshold,
+        )
+
+    # -- statistics publication --------------------------------------------------
+
+    def publish_statistics(self) -> None:
+        """Publish local term df/cf plus document-count statistics."""
+        term_stats: dict[str, tuple[int, int]] = {}
+        total_length = 0
+        for doc in self.collection:
+            total_length += len(doc)
+            for term, tf in doc.term_frequencies().items():
+                df, cf = term_stats.get(term, (0, 0))
+                term_stats[term] = (df + 1, cf + tf)
+        self.global_index.publish_term_stats(
+            self.peer_name,
+            term_stats,
+            num_documents=len(self.collection),
+            total_doc_length=total_length,
+        )
+
+    # -- indexing rounds --------------------------------------------------------------
+
+    def run_round(self, key_size: int) -> dict[frozenset[str], KeyStatus]:
+        """Run one generation+insertion round; returns the statuses of the
+        keys this peer proposed in the round."""
+        if key_size == 1:
+            very_frequent = frozenset(self.global_index.very_frequent_terms())
+            round_ = self.generator.round_one(very_frequent)
+        else:
+            ndk_terms = frozenset(
+                next(iter(key))
+                for key, status in self._known_status.items()
+                if len(key) == 1 and status is KeyStatus.NON_DISCRIMINATIVE
+            )
+            previous_ndk = frozenset(
+                key
+                for key, status in self._known_status.items()
+                if len(key) == key_size - 1
+                and status is KeyStatus.NON_DISCRIMINATIVE
+            )
+            round_ = self.generator.next_round(
+                key_size, ndk_terms, previous_ndk
+            )
+        candidates = self._apply_semantic_filter(round_.candidates)
+        statuses: dict[frozenset[str], KeyStatus] = {}
+        inserted_postings = 0
+        for key, posting_list in candidates.items():
+            payload = self._insertion_payload(posting_list)
+            status = self.global_index.insert(
+                self.peer_name, key, payload, local_df=len(posting_list)
+            )
+            statuses[key] = status
+            self._known_status[key] = status
+            self._submitted.add(key)
+            inserted_postings += len(payload)
+        self.report.candidate_keys_by_size[key_size] = len(candidates)
+        self.report.inserted_postings_by_size[key_size] = (
+            self.report.inserted_postings_by_size.get(key_size, 0)
+            + inserted_postings
+        )
+        return statuses
+
+    def _insertion_payload(self, posting_list: PostingList) -> PostingList:
+        """Locally non-discriminative keys only publish their local
+        top-``DF_max`` postings (the paper's NDK posting-list policy)."""
+        if len(posting_list) <= self.params.df_max:
+            return posting_list
+        return posting_list.truncate_top(
+            self.params.df_max, self.params.ndk_truncation
+        )
+
+    # -- incremental expansion (NDK notifications) ----------------------------------------
+
+    def expand_transitioned_key(
+        self, key: frozenset[str]
+    ) -> dict[frozenset[str], KeyStatus]:
+        """React to an NDK notification for ``key``: generate and insert
+        the one-term expansions this peer's local collection supports.
+
+        Returns the statuses of the *newly submitted* expansions (keys the
+        peer had already submitted are skipped); callers cascade on the
+        expansions that come back non-discriminative.
+        """
+        self._known_status[key] = KeyStatus.NON_DISCRIMINATIVE
+        ndk_terms = frozenset(
+            next(iter(k))
+            for k, status in self._known_status.items()
+            if len(k) == 1 and status is KeyStatus.NON_DISCRIMINATIVE
+        )
+
+        def subkey_is_ndk(subkey: frozenset[str]) -> bool:
+            return (
+                self._known_status.get(subkey)
+                is KeyStatus.NON_DISCRIMINATIVE
+            )
+
+        candidates = self._apply_semantic_filter(
+            self.generator.expansion_candidates(
+                key, ndk_terms, subkey_is_ndk
+            )
+        )
+        statuses: dict[frozenset[str], KeyStatus] = {}
+        inserted_postings = 0
+        for candidate, posting_list in candidates.items():
+            if candidate in self._submitted:
+                continue
+            payload = self._insertion_payload(posting_list)
+            status = self.global_index.insert(
+                self.peer_name,
+                candidate,
+                payload,
+                local_df=len(posting_list),
+            )
+            statuses[candidate] = status
+            self._known_status[candidate] = status
+            self._submitted.add(candidate)
+            inserted_postings += len(payload)
+        size = len(key) + 1
+        self.report.inserted_postings_by_size[size] = (
+            self.report.inserted_postings_by_size.get(size, 0)
+            + inserted_postings
+        )
+        self.report.candidate_keys_by_size[size] = (
+            self.report.candidate_keys_by_size.get(size, 0)
+            + len(statuses)
+        )
+        return statuses
+
+    @property
+    def overlay_id(self) -> int:
+        """This peer's overlay id (contributor matching in cascades)."""
+        return self.global_index.network.id_of(self.peer_name)
+
+    # -- notification intake -------------------------------------------------------------
+
+    def learn_status(self, key: frozenset[str], status: KeyStatus) -> None:
+        """Record a status learned outside this peer's own inserts (e.g.
+        an NDK notification for a key that transitioned after another
+        peer's insert)."""
+        self._known_status[key] = status
+
+    def known_ndk_count(self, key_size: int) -> int:
+        """How many size-``key_size`` keys this peer knows to be NDK."""
+        return sum(
+            1
+            for key, status in self._known_status.items()
+            if len(key) == key_size
+            and status is KeyStatus.NON_DISCRIMINATIVE
+        )
+
+
+def run_incremental_join(
+    existing_indexers: list[PeerIndexer],
+    joining_indexers: list[PeerIndexer],
+    params: HDKParameters,
+) -> list[IndexingReport]:
+    """Index newly joined peers into an already-built global index.
+
+    This is the paper's actual growth protocol ("peers joining the
+    network and increasing the document collection"): the joining peers
+    run the normal generation rounds over their local documents, and any
+    existing key their inserts push over ``DF_max`` triggers NDK
+    notifications — the contributing peers then *expand* the key with
+    additional co-occurring terms, which may cascade into further
+    transitions until the index is quiescent.
+
+    Because document frequencies only grow, the NDK set is monotone and
+    the cascade terminates; the resulting global index is identical to a
+    fresh rebuild over the union collection with the same peer partition
+    (verified by the integration tests) — with one documented exception:
+    when a term's collection frequency crosses ``F_f`` *during* growth, a
+    rebuild excludes it from the key vocabulary (the paper's
+    collection-dependent stop words "increase with l"), while the live
+    system retains the keys indexed before the crossing and existing
+    peers keep expanding with them.  The incremental index is then a
+    strict superset of the rebuilt one; every common key still agrees
+    exactly on status, df, and postings.  Retiring such keys is the
+    "adaptive parameters" future work the paper's conclusion sketches.
+
+    Returns the reports of the joining peers.
+    """
+    if not joining_indexers:
+        raise KeyGenerationError("no joining peers")
+    global_index = joining_indexers[0].global_index
+    global_index.set_phase(Phase.INDEXING)
+    # Discard transitions from the original build: its reconciliation
+    # already delivered them.
+    global_index.drain_transitions()
+    for indexer in joining_indexers:
+        indexer.publish_statistics()
+    for key_size in range(1, params.s_max + 1):
+        for indexer in joining_indexers:
+            indexer.run_round(key_size)
+    _run_expansion_cascade(
+        existing_indexers + joining_indexers, global_index, params
+    )
+    return [indexer.report for indexer in joining_indexers]
+
+
+def _run_expansion_cascade(
+    indexers: list[PeerIndexer],
+    global_index: GlobalKeyIndex,
+    params: HDKParameters,
+) -> None:
+    """Process DK->NDK transitions until quiescent.
+
+    Each batch: first every contributor *learns* all transitioned
+    statuses (so expansions within the batch see each other's updates),
+    then each contributor expands its transitioned keys.  Expansions that
+    come back NDK enter the next batch implicitly through the index's
+    transition log; already-NDK acks are cascaded explicitly.
+    """
+    by_overlay_id = {indexer.overlay_id: indexer for indexer in indexers}
+    pending = global_index.drain_transitions()
+    # Acked-NDK expansions that never transition (inserted already-NDK).
+    extra: list[tuple[frozenset[str], frozenset[int]]] = []
+    guard = 0
+    while pending or extra:
+        guard += 1
+        if guard > 10_000:
+            raise KeyGenerationError(
+                "expansion cascade failed to converge"
+            )  # pragma: no cover - safety net
+        batch = pending + extra
+        extra = []
+        # Phase 1: disseminate statuses.
+        for key, contributors in batch:
+            for overlay_id in contributors:
+                indexer = by_overlay_id.get(overlay_id)
+                if indexer is not None:
+                    indexer.learn_status(
+                        key, KeyStatus.NON_DISCRIMINATIVE
+                    )
+        # Phase 2: expansions.
+        for key, contributors in batch:
+            if len(key) >= params.s_max:
+                continue
+            for overlay_id in sorted(contributors):
+                indexer = by_overlay_id.get(overlay_id)
+                if indexer is None:
+                    continue
+                statuses = indexer.expand_transitioned_key(key)
+                for candidate, status in statuses.items():
+                    if status is KeyStatus.NON_DISCRIMINATIVE:
+                        extra.append(
+                            (candidate, frozenset((overlay_id,)))
+                        )
+        pending = global_index.drain_transitions()
+
+
+def run_distributed_indexing(
+    indexers: list[PeerIndexer],
+    params: HDKParameters,
+) -> list[IndexingReport]:
+    """Execute the full collaborative indexing protocol.
+
+    Phase order matches the prototype: statistics publication first (so
+    very frequent terms are known globally), then rounds of increasing key
+    size with a *global status reconciliation* after each round — peers
+    whose proposed key became NDK through a later peer's insert are brought
+    up to date, standing in for asynchronous NDK notifications.
+
+    Returns each peer's :class:`IndexingReport`.
+    """
+    if not indexers:
+        raise KeyGenerationError("no peers to index with")
+    global_index = indexers[0].global_index
+    global_index.set_phase(Phase.INDEXING)
+    for indexer in indexers:
+        indexer.publish_statistics()
+    for key_size in range(1, params.s_max + 1):
+        proposed: dict[frozenset[str], set[int]] = {}
+        for position, indexer in enumerate(indexers):
+            statuses = indexer.run_round(key_size)
+            for key in statuses:
+                proposed.setdefault(key, set()).add(position)
+            indexer.report.ndk_keys_by_size[key_size] = sum(
+                1
+                for status in statuses.values()
+                if status is KeyStatus.NON_DISCRIMINATIVE
+            )
+        # Reconciliation: a key inserted early in the round may have turned
+        # NDK after later inserts; deliver the final statuses to all
+        # proposers (the notification path already logged the messages).
+        for key, proposer_positions in proposed.items():
+            entry = _entry_of(global_index, key)
+            if entry is None:
+                continue
+            for position in proposer_positions:
+                indexers[position].learn_status(key, entry.status)
+    return [indexer.report for indexer in indexers]
+
+
+def _entry_of(global_index: GlobalKeyIndex, key: frozenset[str]):
+    """Read a stored entry without logging retrieval traffic (the
+    reconciliation piggybacks on the already-logged notifications)."""
+    network = global_index.network
+    target = network.responsible_peer_for(key)
+    for storage in network.storages():
+        if storage.peer_id == target:
+            return storage.get(key)
+    return None

@@ -1,0 +1,74 @@
+"""Canonical keys and lattice helpers.
+
+A key (Definition 1) is a set of terms; the canonical representation is a
+``frozenset[str]``, which is hashable (DHT hashing, dict membership) and
+order-free.  The helpers here enumerate the sub-/super-key lattice used by
+redundancy filtering and by the retrieval model's query-lattice walk.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+from ..errors import KeyGenerationError
+
+__all__ = [
+    "make_key",
+    "key_size",
+    "subkeys_of_size",
+    "proper_subkeys",
+    "superkeys_within",
+    "key_sort_form",
+]
+
+
+def make_key(terms: Iterable[str]) -> frozenset[str]:
+    """Build a canonical key from terms.
+
+    Raises:
+        KeyGenerationError: for an empty term collection.
+    """
+    key = frozenset(terms)
+    if not key:
+        raise KeyGenerationError("a key must contain at least one term")
+    return key
+
+
+def key_size(key: frozenset[str]) -> int:
+    """The size of a key — its number of terms (Definition 1)."""
+    return len(key)
+
+
+def key_sort_form(key: frozenset[str]) -> tuple[str, ...]:
+    """Deterministic tuple form (sorted terms) for stable iteration."""
+    return tuple(sorted(key))
+
+
+def subkeys_of_size(key: frozenset[str], size: int) -> Iterator[frozenset[str]]:
+    """Yield every sub-key of exactly ``size`` terms, deterministically.
+
+    Yields nothing when ``size`` exceeds the key size or is < 1.
+    """
+    if size < 1 or size > len(key):
+        return
+    for combo in itertools.combinations(sorted(key), size):
+        yield frozenset(combo)
+
+
+def proper_subkeys(key: frozenset[str]) -> Iterator[frozenset[str]]:
+    """Yield every non-empty proper sub-key, smallest sizes first."""
+    for size in range(1, len(key)):
+        yield from subkeys_of_size(key, size)
+
+
+def superkeys_within(
+    key: frozenset[str], candidate_terms: Iterable[str]
+) -> Iterator[frozenset[str]]:
+    """Yield ``key ∪ {t}`` for every candidate term not already in the key.
+
+    This is the elementary *key expansion* step triggered by an NDK
+    notification: a non-discriminative key grows by one co-occurring term.
+    """
+    for term in sorted(set(candidate_terms) - key):
+        yield key | {term}

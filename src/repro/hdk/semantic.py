@@ -1,0 +1,97 @@
+"""Semantic key filtering (the paper's first future-work direction).
+
+"The HDK generation process might integrate more semantics about the
+indexing keys in order to further reduce the size of the produced global
+index" (Section 6).  This module implements the natural instantiation: a
+pointwise-mutual-information (PMI) filter that keeps only multi-term
+candidate keys whose terms co-occur *more often than chance*.  Random
+co-occurrences of frequent terms inside a window — which inflate the key
+vocabulary without helping retrieval — score near or below zero and are
+dropped.
+
+For a key ``k = {t1..ts}`` over a local collection of ``M`` documents
+with document frequencies ``df``:
+
+    pmi(k) = log2( (df(k) / M) / prod_i (df(t_i) / M) )
+           = log2( df(k) * M^(s-1) / prod_i df(t_i) )
+
+The filter is *local* (each peer applies it to its own candidates before
+insertion), so it composes with the distributed protocol without extra
+messages.  Note that it intentionally trades the exhaustiveness guarantee
+for index size — exactly the trade the paper sketches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..errors import KeyGenerationError
+from ..index.postings import PostingList
+
+__all__ = ["key_pmi", "filter_candidates_by_pmi"]
+
+
+def key_pmi(
+    key_df: int,
+    term_dfs: Mapping[str, int],
+    key: frozenset[str],
+    num_documents: int,
+) -> float:
+    """Pointwise mutual information of a multi-term key (base-2).
+
+    Args:
+        key_df: the key's document frequency.
+        term_dfs: per-term document frequencies.
+        key: the key (>= 2 terms).
+        num_documents: collection size ``M``.
+
+    Raises:
+        KeyGenerationError: for single-term keys (PMI undefined), zero
+            frequencies, or an empty collection.
+    """
+    if len(key) < 2:
+        raise KeyGenerationError(
+            "PMI is defined for multi-term keys only"
+        )
+    if num_documents < 1:
+        raise KeyGenerationError(
+            f"num_documents must be >= 1, got {num_documents}"
+        )
+    if key_df < 1:
+        raise KeyGenerationError(f"key_df must be >= 1, got {key_df}")
+    log_joint = math.log2(key_df / num_documents)
+    log_independent = 0.0
+    for term in key:
+        df = term_dfs.get(term, 0)
+        if df < 1:
+            raise KeyGenerationError(
+                f"term {term!r} has zero document frequency"
+            )
+        log_independent += math.log2(df / num_documents)
+    return log_joint - log_independent
+
+
+def filter_candidates_by_pmi(
+    candidates: dict[frozenset[str], PostingList],
+    term_dfs: Mapping[str, int],
+    num_documents: int,
+    threshold: float,
+) -> dict[frozenset[str], PostingList]:
+    """Drop multi-term candidates whose PMI falls below ``threshold``.
+
+    Single-term candidates pass through untouched.  Returns a new dict.
+    """
+    if num_documents < 1:
+        raise KeyGenerationError(
+            f"num_documents must be >= 1, got {num_documents}"
+        )
+    kept: dict[frozenset[str], PostingList] = {}
+    for key, postings in candidates.items():
+        if len(key) < 2:
+            kept[key] = postings
+            continue
+        pmi = key_pmi(len(postings), term_dfs, key, num_documents)
+        if pmi >= threshold:
+            kept[key] = postings
+    return kept

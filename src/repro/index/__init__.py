@@ -1,0 +1,33 @@
+"""Index substrate: posting lists, local inverted index, BM25, global index.
+
+- :mod:`repro.index.postings` — postings with per-term frequency payloads,
+  sorted posting lists, union/intersection/truncation.
+- :mod:`repro.index.codec` — varint/delta wire encoding of posting lists
+  (byte-level traffic accounting).
+- :mod:`repro.index.inverted` — a local single-term inverted index.
+- :mod:`repro.index.bm25` — the BM25 relevance scheme (the paper's
+  centralized comparison baseline).
+- :mod:`repro.index.global_index` — the DHT-distributed key-to-documents
+  index with df aggregation, NDK truncation, and NDK notifications.
+"""
+
+from .bloom import BloomFilter
+from .bm25 import BM25Scorer, TermStats
+from .codec import decode_posting_list, encode_posting_list
+from .global_index import GlobalEntry, GlobalKeyIndex, KeyStatus
+from .inverted import LocalInvertedIndex
+from .postings import Posting, PostingList
+
+__all__ = [
+    "BloomFilter",
+    "BM25Scorer",
+    "TermStats",
+    "decode_posting_list",
+    "encode_posting_list",
+    "GlobalEntry",
+    "GlobalKeyIndex",
+    "KeyStatus",
+    "LocalInvertedIndex",
+    "Posting",
+    "PostingList",
+]

@@ -1,0 +1,108 @@
+"""Bloom filters over document ids.
+
+The paper's related work ([15] Reynolds & Vahdat, [17] ODISSEA, [20]
+Zhang & Suel) optimizes distributed single-term retrieval by shipping a
+Bloom filter of one term's posting list instead of the list itself, so
+the peer holding the other term can pre-intersect locally.  The paper
+argues the approach still scales linearly; the
+:mod:`repro.retrieval.single_term_bloom` baseline quantifies that claim.
+
+The filter hashes document ids with ``k`` salted SHA-1 functions into an
+``m``-bit array.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+from ..errors import IndexError_
+
+__all__ = ["BloomFilter", "optimal_bits_per_element"]
+
+
+def optimal_bits_per_element(target_fpr: float) -> float:
+    """Bits per element for a target false-positive rate:
+    ``m/n = -ln(p) / (ln 2)^2``."""
+    if not 0.0 < target_fpr < 1.0:
+        raise IndexError_(
+            f"target_fpr must be in (0, 1), got {target_fpr}"
+        )
+    return -math.log(target_fpr) / (math.log(2) ** 2)
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter for integer document ids."""
+
+    def __init__(self, num_bits: int, num_hashes: int) -> None:
+        if num_bits < 8:
+            raise IndexError_(f"num_bits must be >= 8, got {num_bits}")
+        if num_hashes < 1:
+            raise IndexError_(
+                f"num_hashes must be >= 1, got {num_hashes}"
+            )
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = 0
+        self._count = 0
+
+    @classmethod
+    def for_capacity(
+        cls, capacity: int, target_fpr: float = 0.01
+    ) -> "BloomFilter":
+        """Size a filter for ``capacity`` elements at ``target_fpr``."""
+        if capacity < 1:
+            raise IndexError_(f"capacity must be >= 1, got {capacity}")
+        bits = max(8, int(capacity * optimal_bits_per_element(target_fpr)))
+        hashes = max(1, round(bits / capacity * math.log(2)))
+        return cls(num_bits=bits, num_hashes=hashes)
+
+    def _positions(self, doc_id: int) -> Iterable[int]:
+        for seed in range(self.num_hashes):
+            digest = hashlib.sha1(
+                f"{seed}:{doc_id}".encode("ascii")
+            ).digest()
+            yield int.from_bytes(digest[:8], "big") % self.num_bits
+
+    def add(self, doc_id: int) -> None:
+        """Insert a document id."""
+        for position in self._positions(doc_id):
+            self._bits |= 1 << position
+        self._count += 1
+
+    def add_all(self, doc_ids: Iterable[int]) -> None:
+        for doc_id in doc_ids:
+            self.add(doc_id)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return all(
+            self._bits >> position & 1
+            for position in self._positions(doc_id)
+        )
+
+    def __len__(self) -> int:
+        """Number of inserted elements (not the bit size)."""
+        return self._count
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the filter in bytes."""
+        return (self.num_bits + 7) // 8
+
+    def posting_equivalents(self, bytes_per_posting: int = 8) -> int:
+        """The filter's wire size expressed in postings, the paper's
+        traffic unit (a posting is roughly a doc id + tf, ~8 bytes)."""
+        if bytes_per_posting < 1:
+            raise IndexError_(
+                f"bytes_per_posting must be >= 1, got {bytes_per_posting}"
+            )
+        return max(1, math.ceil(self.size_bytes / bytes_per_posting))
+
+    def expected_fpr(self) -> float:
+        """The expected false-positive rate at the current load:
+        ``(1 - e^(-kn/m))^k``."""
+        if self._count == 0:
+            return 0.0
+        exponent = -self.num_hashes * self._count / self.num_bits
+        return (1.0 - math.exp(exponent)) ** self.num_hashes

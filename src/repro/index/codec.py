@@ -1,0 +1,117 @@
+"""Wire encoding of posting lists: delta + varint.
+
+The paper counts traffic in postings; real deployments count bytes.  This
+codec provides the conventional compressed representation — document-id
+deltas and term frequencies as LEB128 varints — so experiments can also
+report byte-level traffic, and tests can assert round-trip fidelity.
+"""
+
+from __future__ import annotations
+
+from ..errors import IndexError_
+from .postings import Posting, PostingList
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "encode_posting_list",
+    "decode_posting_list",
+    "posting_list_wire_size",
+]
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """Append the LEB128 encoding of a non-negative integer to ``out``."""
+    if value < 0:
+        raise IndexError_(f"varint requires value >= 0, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode one LEB128 varint at ``offset``; returns (value, new offset).
+
+    Raises:
+        IndexError_: on truncated input.
+    """
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise IndexError_("truncated varint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 63:
+            raise IndexError_("varint too long (corrupt stream?)")
+
+
+def encode_posting_list(postings: PostingList) -> bytes:
+    """Encode a posting list: count, then per posting the doc-id delta,
+    tf, doc_len, term-tf count and term tfs."""
+    out = bytearray()
+    encode_varint(len(postings), out)
+    previous_doc_id = 0
+    for posting in postings:
+        encode_varint(posting.doc_id - previous_doc_id, out)
+        previous_doc_id = posting.doc_id
+        encode_varint(posting.tf, out)
+        encode_varint(posting.doc_len, out)
+        encode_varint(len(posting.term_tfs), out)
+        for tf in posting.term_tfs:
+            encode_varint(tf, out)
+    return bytes(out)
+
+
+def posting_list_wire_size(postings: PostingList) -> int:
+    """Wire size of a posting list in bytes under this codec.
+
+    The paper accounts traffic in postings; deployments account bytes.
+    This helper converts stored lists into the byte-level view without
+    keeping the encoded form around.
+    """
+    return len(encode_posting_list(postings))
+
+
+def decode_posting_list(data: bytes) -> PostingList:
+    """Decode the output of :func:`encode_posting_list`.
+
+    Raises:
+        IndexError_: on truncated or trailing data.
+    """
+    count, offset = decode_varint(data, 0)
+    postings = []
+    doc_id = 0
+    for _ in range(count):
+        delta, offset = decode_varint(data, offset)
+        doc_id += delta
+        tf, offset = decode_varint(data, offset)
+        doc_len, offset = decode_varint(data, offset)
+        n_terms, offset = decode_varint(data, offset)
+        term_tfs = []
+        for _ in range(n_terms):
+            term_tf, offset = decode_varint(data, offset)
+            term_tfs.append(term_tf)
+        postings.append(
+            Posting(
+                doc_id=doc_id,
+                tf=tf,
+                term_tfs=tuple(term_tfs),
+                doc_len=doc_len,
+            )
+        )
+    if offset != len(data):
+        raise IndexError_(
+            f"trailing bytes after posting list: {len(data) - offset}"
+        )
+    return PostingList(postings)

@@ -1,0 +1,359 @@
+"""The distributed global key-to-documents index.
+
+This is the paper's global P2P index (Section 3): peers insert
+(key, local posting list) pairs; the peer responsible for a key under the
+DHT merges the fragments, maintains the key's *global* document frequency,
+and classifies the key as discriminative (DK) or non-discriminative (NDK)
+against ``DF_max``:
+
+- DK entries keep their **full** merged posting list;
+- NDK entries keep only the **top-DF_max** postings (by the configured
+  truncation policy) while the true global ``df`` continues to be tracked;
+- the moment an inserted key crosses the threshold, every peer that
+  contributed it is **notified** so it expands the key with additional
+  terms in the next indexing round (the NDK notification mechanism).
+
+Term-level statistics (global df/cf per single term, document count,
+average document length) are aggregated alongside, standing in for the
+prototype's distributed statistics directory used by ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..config import HDKParameters
+from ..errors import IndexError_
+from ..net.accounting import Phase
+from ..net.network import P2PNetwork
+from .bm25 import TermStats
+from .postings import PostingList
+
+__all__ = ["KeyStatus", "GlobalEntry", "GlobalKeyIndex"]
+
+#: Logical keys are canonical term sets.
+Key = frozenset
+
+
+def key_repr(key: frozenset[str]) -> str:
+    """Human-readable canonical form of a key, e.g. ``{apple+pie}``."""
+    return "{" + "+".join(sorted(key)) + "}"
+
+
+class KeyStatus(Enum):
+    """Global classification of a key against ``DF_max``."""
+
+    DISCRIMINATIVE = "dk"
+    NON_DISCRIMINATIVE = "ndk"
+
+
+@dataclass
+class GlobalEntry:
+    """The stored state of one key at its responsible peer.
+
+    Attributes:
+        key: the term set.
+        postings: stored posting list — full for DKs, truncated top-DF_max
+            for NDKs.
+        global_df: the true global document frequency (keeps counting even
+            after truncation).
+        status: current DK/NDK classification.
+        contributors: overlay ids of peers that inserted this key (the
+            notification fan-out set).
+    """
+
+    key: frozenset[str]
+    postings: PostingList
+    global_df: int
+    status: KeyStatus
+    contributors: set[int] = field(default_factory=set)
+
+    @property
+    def is_truncated(self) -> bool:
+        """True when stored postings are fewer than the global df."""
+        return len(self.postings) < self.global_df
+
+    def posting_count(self) -> int:
+        """Stored posting count (drives handoff payload accounting)."""
+        return len(self.postings)
+
+
+class GlobalKeyIndex:
+    """Facade over the network for the global index protocol.
+
+    Args:
+        network: the simulated P2P network storing the entries.
+        params: the HDK model parameters (``df_max``, truncation policy).
+    """
+
+    def __init__(self, network: P2PNetwork, params: HDKParameters) -> None:
+        self.network = network
+        self.params = params
+        # Term statistics directory (stand-in for the distributed stats
+        # service; aggregation traffic is logged via publish_stats).
+        self._term_stats: dict[str, TermStats] = {}
+        self._num_documents = 0
+        self._total_doc_length = 0
+        # Keys that transitioned to NDK since the last drain, with the
+        # contributor set at transition time.  Drives the incremental
+        # join protocol's expansion cascade.
+        self._transition_log: list[tuple[frozenset[str], frozenset[int]]] = []
+
+    # -- indexing-side API ---------------------------------------------------------
+
+    def insert(
+        self,
+        source_peer_name: str,
+        key: frozenset[str],
+        local_postings: PostingList,
+        local_df: int | None = None,
+    ) -> KeyStatus:
+        """Insert a peer's local posting list for ``key``.
+
+        Merges into the global entry at the responsible peer, updates the
+        global df, truncates NDK lists, and sends NDK notifications to all
+        contributors when the key *transitions* from DK to NDK.
+
+        Args:
+            source_peer_name: the inserting peer.
+            local_postings: the published postings — a peer whose local
+                list exceeds ``DF_max`` publishes only its local top
+                ``DF_max`` (the paper's NDK policy), so the payload may be
+                smaller than the peer's true local df.
+            local_df: the peer's true local document frequency for the
+                key; defaults to ``len(local_postings)``.  Global df is
+                the sum of the contributors' local dfs, exact because
+                peers hold disjoint document sets and each peer inserts a
+                given key at most once per indexing run.
+
+        Returns the key's status after the insert (what the inserting peer
+        learns from the acknowledgement).
+        """
+        if not key:
+            raise IndexError_("cannot insert the empty key")
+        if len(local_postings) == 0:
+            raise IndexError_(
+                f"refusing to insert empty posting list for {key_repr(key)}"
+            )
+        if local_df is None:
+            local_df = len(local_postings)
+        if local_df < len(local_postings):
+            raise IndexError_(
+                f"local_df ({local_df}) below published postings "
+                f"({len(local_postings)}) for {key_repr(key)}"
+            )
+        source_id = self.network.id_of(source_peer_name)
+        params = self.params
+        transition: list[GlobalEntry] = []
+
+        def merge(current: GlobalEntry | None) -> GlobalEntry:
+            if current is None:
+                merged = local_postings
+                contributors = {source_id}
+                global_df = local_df
+            else:
+                merged = current.postings.union(local_postings)
+                contributors = current.contributors | {source_id}
+                global_df = current.global_df + local_df
+            if global_df > params.df_max:
+                status = KeyStatus.NON_DISCRIMINATIVE
+                stored = merged.truncate_top(
+                    params.df_max, params.ndk_truncation
+                )
+            else:
+                status = KeyStatus.DISCRIMINATIVE
+                stored = merged
+            entry = GlobalEntry(
+                key=key,
+                postings=stored,
+                global_df=global_df,
+                status=status,
+                contributors=contributors,
+            )
+            if (
+                current is not None
+                and current.status is KeyStatus.DISCRIMINATIVE
+                and status is KeyStatus.NON_DISCRIMINATIVE
+            ):
+                transition.append(entry)
+            elif current is None and status is KeyStatus.NON_DISCRIMINATIVE:
+                transition.append(entry)
+            return entry
+
+        entry = self.network.insert(
+            source_peer_name,
+            key,
+            merge,
+            payload_postings=len(local_postings),
+            key_repr=key_repr(key),
+        )
+        if transition:
+            self._notify_contributors(entry)
+            self._transition_log.append(
+                (entry.key, frozenset(entry.contributors))
+            )
+        return entry.status
+
+    def drain_transitions(
+        self,
+    ) -> list[tuple[frozenset[str], frozenset[int]]]:
+        """Return and clear the DK->NDK transitions recorded since the
+        last drain: (key, contributor overlay ids at transition time).
+
+        The incremental join protocol consumes these to drive key
+        expansion at the contributing peers — the synchronous-simulation
+        counterpart of the asynchronous NDK notifications (whose messages
+        are already logged by :meth:`insert`).
+        """
+        drained = self._transition_log
+        self._transition_log = []
+        return drained
+
+    def _notify_contributors(self, entry: GlobalEntry) -> None:
+        """Send an NDK notification to every contributor of ``entry``."""
+        responsible = self.network.responsible_peer_for(entry.key)
+        for contributor in sorted(entry.contributors):
+            self.network.notify(
+                responsible, contributor, key_repr=key_repr(entry.key)
+            )
+
+    # -- retrieval-side API -----------------------------------------------------------
+
+    def lookup(
+        self, source_peer_name: str, key: frozenset[str]
+    ) -> GlobalEntry | None:
+        """Fetch the global entry for ``key`` (retrieval-phase traffic).
+
+        The response payload counts the stored postings, which is exactly
+        the per-key transfer of Figure 6.
+        """
+        def response_size(value: GlobalEntry | None) -> int:
+            return len(value.postings) if value is not None else 0
+
+        return self.network.lookup(
+            source_peer_name, key, response_size, key_repr=key_repr(key)
+        )
+
+    def status_of(
+        self, source_peer_name: str, key: frozenset[str]
+    ) -> KeyStatus | None:
+        """Fetch only the DK/NDK status (a metadata-sized message).
+
+        Used by peers during key generation to check sub-key statuses they
+        did not learn through notifications.
+        """
+        entry = self.network.lookup(
+            source_peer_name,
+            key,
+            lambda value: 0,  # status responses carry no postings
+            key_repr=key_repr(key),
+        )
+        return entry.status if entry is not None else None
+
+    # -- term statistics directory ------------------------------------------------------
+
+    def publish_term_stats(
+        self,
+        source_peer_name: str,
+        term_frequencies: dict[str, tuple[int, int]],
+        num_documents: int,
+        total_doc_length: int,
+    ) -> None:
+        """Publish a peer's local term statistics: term -> (df, cf).
+
+        Aggregated into the global directory; one STATS_PUBLISH message per
+        term batch is logged (metadata, zero postings).
+        """
+        for term, (df, cf) in term_frequencies.items():
+            existing = self._term_stats.get(term)
+            if existing is None:
+                self._term_stats[term] = TermStats(
+                    term=term, document_frequency=df, collection_frequency=cf
+                )
+            else:
+                self._term_stats[term] = TermStats(
+                    term=term,
+                    document_frequency=existing.document_frequency + df,
+                    collection_frequency=(
+                        existing.collection_frequency + cf
+                    ),
+                )
+        self._num_documents += num_documents
+        self._total_doc_length += total_doc_length
+        if term_frequencies:
+            self.network.publish_stats(
+                source_peer_name, next(iter(term_frequencies)), postings=0
+            )
+
+    def term_stats(self, term: str) -> TermStats | None:
+        """Global statistics of ``term`` (None when never published)."""
+        return self._term_stats.get(term)
+
+    def term_document_frequency(self, term: str) -> int:
+        stats = self._term_stats.get(term)
+        return stats.document_frequency if stats is not None else 0
+
+    def term_collection_frequency(self, term: str) -> int:
+        stats = self._term_stats.get(term)
+        return stats.collection_frequency if stats is not None else 0
+
+    def very_frequent_terms(self) -> set[str]:
+        """Terms whose global collection frequency exceeds ``F_f`` — the
+        collection-dependent stop words excluded from the key vocabulary."""
+        ff = self.params.ff
+        return {
+            term
+            for term, stats in self._term_stats.items()
+            if stats.collection_frequency > ff
+        }
+
+    @property
+    def num_documents(self) -> int:
+        """Global document count (from published statistics)."""
+        return self._num_documents
+
+    @property
+    def average_document_length(self) -> float:
+        if self._num_documents == 0:
+            return 0.0
+        return self._total_doc_length / self._num_documents
+
+    # -- inspection (figures) --------------------------------------------------------------
+
+    def stored_postings_total(self) -> int:
+        """Total postings stored across all peers (Figure 3 numerator)."""
+        return self.network.stored_value_total(
+            lambda value: len(value.postings)
+            if isinstance(value, GlobalEntry)
+            else 0
+        )
+
+    def stored_postings_per_peer(self) -> dict[str, int]:
+        """Postings stored at each named peer."""
+        result: dict[str, int] = {}
+        for name in self.network.peer_names():
+            storage = self.network.storage_of(name)
+            result[name] = storage.total_value_size(
+                lambda value: len(value.postings)
+                if isinstance(value, GlobalEntry)
+                else 0
+            )
+        return result
+
+    def key_count(self) -> int:
+        """Number of distinct keys stored in the global index."""
+        return self.network.stored_entry_count()
+
+    def entries(self) -> list[GlobalEntry]:
+        """All stored entries (inspection/tests; order unspecified)."""
+        found: list[GlobalEntry] = []
+        for storage in self.network.storages():
+            for stored in storage:
+                if isinstance(stored.value, GlobalEntry):
+                    found.append(stored.value)
+        return found
+
+    def set_phase(self, phase: Phase) -> None:
+        """Convenience passthrough to the network's accounting phase."""
+        self.network.accounting.set_phase(phase)

@@ -1,0 +1,93 @@
+"""A local single-term inverted index.
+
+Used in three places: (1) the centralized BM25 baseline indexes the whole
+collection, (2) each peer indexes its local fraction for the distributed
+single-term baseline, and (3) HDK generation reads local term statistics
+from it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..corpus.collection import DocumentCollection
+from ..errors import IndexError_
+from .postings import Posting, PostingList
+
+__all__ = ["LocalInvertedIndex"]
+
+
+class LocalInvertedIndex:
+    """term -> posting list over one document collection."""
+
+    def __init__(self, collection: DocumentCollection) -> None:
+        self._collection = collection
+        self._lists: dict[str, PostingList] = {}
+        self._collection_frequency: dict[str, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        accumulator: dict[str, list[Posting]] = {}
+        cf: dict[str, int] = {}
+        for doc in self._collection:
+            doc_len = len(doc)
+            for term, tf in doc.term_frequencies().items():
+                accumulator.setdefault(term, []).append(
+                    Posting(doc_id=doc.doc_id, tf=tf, doc_len=doc_len)
+                )
+                cf[term] = cf.get(term, 0) + tf
+        self._lists = {
+            term: PostingList(postings)
+            for term, postings in accumulator.items()
+        }
+        self._collection_frequency = cf
+
+    # -- access -------------------------------------------------------------------
+
+    @property
+    def collection(self) -> DocumentCollection:
+        return self._collection
+
+    def __len__(self) -> int:
+        """Number of distinct indexed terms."""
+        return len(self._lists)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._lists
+
+    def terms(self) -> Iterator[str]:
+        """Iterate over the indexed terms."""
+        return iter(self._lists)
+
+    def posting_list(self, term: str) -> PostingList:
+        """The posting list of ``term``.
+
+        Raises:
+            IndexError_: for unknown terms (use ``in`` to probe).
+        """
+        try:
+            return self._lists[term]
+        except KeyError:
+            raise IndexError_(f"term {term!r} not in index") from None
+
+    def document_frequency(self, term: str) -> int:
+        """``df(term)`` — 0 for unknown terms."""
+        posting_list = self._lists.get(term)
+        return len(posting_list) if posting_list is not None else 0
+
+    def collection_frequency(self, term: str) -> int:
+        """``cf(term)`` — total occurrences, 0 for unknown terms."""
+        return self._collection_frequency.get(term, 0)
+
+    def total_postings(self) -> int:
+        """Size of the index in postings (the single-term baseline's
+        storage cost, Figure 3's "ST" line)."""
+        return sum(len(pl) for pl in self._lists.values())
+
+    def average_document_length(self) -> float:
+        """BM25's ``avgdl`` over the indexed collection."""
+        return self._collection.average_document_length
+
+    def num_documents(self) -> int:
+        """Number of indexed documents (BM25's ``N``)."""
+        return len(self._collection)

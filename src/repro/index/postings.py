@@ -1,0 +1,225 @@
+"""Postings and posting lists.
+
+A posting associates a key (term or term set) with one document.  Beyond
+the document id, each posting carries the per-term frequencies of the
+key's terms in that document plus the document length — the payload the
+prototype's distributed ranking ships so the query peer can compute
+BM25-style scores without touching the documents (paper Section 5,
+"integrates a solution for distributed content-based ranking").
+
+Posting lists are kept sorted by document id, enabling linear-time merge
+operations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..errors import IndexError_
+
+__all__ = ["Posting", "PostingList"]
+
+
+@dataclass(frozen=True, slots=True)
+class Posting:
+    """One (key, document) index entry.
+
+    Attributes:
+        doc_id: the document's global id.
+        tf: key-level frequency — for single-term keys the term frequency;
+            for multi-term keys the minimum of the member terms'
+            frequencies (a conjunctive frequency proxy used for NDK
+            truncation ordering).
+        term_tfs: per-term frequencies aligned with the key's terms in
+            sorted order; empty tuple means "same as tf" (single-term).
+        doc_len: document length in processed tokens (BM25 normalization).
+    """
+
+    doc_id: int
+    tf: int
+    term_tfs: tuple[int, ...] = ()
+    doc_len: int = 0
+
+    def __post_init__(self) -> None:
+        if self.doc_id < 0:
+            raise IndexError_(f"doc_id must be >= 0, got {self.doc_id}")
+        if self.tf < 1:
+            raise IndexError_(f"tf must be >= 1, got {self.tf}")
+        if self.doc_len < 0:
+            raise IndexError_(f"doc_len must be >= 0, got {self.doc_len}")
+        if any(t < 1 for t in self.term_tfs):
+            raise IndexError_(
+                f"term_tfs must all be >= 1, got {self.term_tfs}"
+            )
+
+    def term_frequency(self, index: int) -> int:
+        """Frequency of the key's ``index``-th term (sorted order)."""
+        if not self.term_tfs:
+            return self.tf
+        return self.term_tfs[index]
+
+
+class PostingList:
+    """A posting list sorted by document id, one posting per document."""
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, postings: Iterable[Posting] = ()) -> None:
+        items = sorted(postings, key=lambda p: p.doc_id)
+        for left, right in zip(items, items[1:]):
+            if left.doc_id == right.doc_id:
+                raise IndexError_(
+                    f"duplicate doc_id {left.doc_id} in posting list"
+                )
+        self._postings: list[Posting] = items
+
+    # -- container protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self._postings)
+
+    def __contains__(self, doc_id: int) -> bool:
+        index = bisect.bisect_left(self.doc_ids(), doc_id)
+        return (
+            index < len(self._postings)
+            and self._postings[index].doc_id == doc_id
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PostingList):
+            return NotImplemented
+        return self._postings == other._postings
+
+    def __repr__(self) -> str:
+        return f"PostingList(len={len(self._postings)})"
+
+    # -- accessors ----------------------------------------------------------------
+
+    def doc_ids(self) -> list[int]:
+        """Document ids in ascending order."""
+        return [p.doc_id for p in self._postings]
+
+    def get(self, doc_id: int) -> Posting | None:
+        """The posting for ``doc_id``, or None."""
+        ids = self.doc_ids()
+        index = bisect.bisect_left(ids, doc_id)
+        if index < len(ids) and ids[index] == doc_id:
+            return self._postings[index]
+        return None
+
+    def document_frequency(self) -> int:
+        """``df`` — number of documents in the list (alias of ``len``)."""
+        return len(self._postings)
+
+    # -- construction --------------------------------------------------------------
+
+    def add(self, posting: Posting) -> None:
+        """Insert a posting, keeping the list sorted.
+
+        Raises:
+            IndexError_: when the document already has a posting.
+        """
+        ids = self.doc_ids()
+        index = bisect.bisect_left(ids, posting.doc_id)
+        if index < len(ids) and ids[index] == posting.doc_id:
+            raise IndexError_(
+                f"doc_id {posting.doc_id} already in posting list"
+            )
+        self._postings.insert(index, posting)
+
+    # -- set operations (linear merges over sorted lists) ----------------------------
+
+    def union(self, other: "PostingList") -> "PostingList":
+        """Document-level union; on conflict keeps the posting with more
+        ranking information (more term_tfs, then higher tf)."""
+        merged: list[Posting] = []
+        left, right = self._postings, other._postings
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i].doc_id < right[j].doc_id:
+                merged.append(left[i])
+                i += 1
+            elif left[i].doc_id > right[j].doc_id:
+                merged.append(right[j])
+                j += 1
+            else:
+                merged.append(_richer_posting(left[i], right[j]))
+                i += 1
+                j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        result = PostingList.__new__(PostingList)
+        result._postings = merged
+        return result
+
+    def intersect(self, other: "PostingList") -> "PostingList":
+        """Documents present in both lists (postings from ``self``)."""
+        result_postings: list[Posting] = []
+        left, right = self._postings, other._postings
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i].doc_id < right[j].doc_id:
+                i += 1
+            elif left[i].doc_id > right[j].doc_id:
+                j += 1
+            else:
+                result_postings.append(left[i])
+                i += 1
+                j += 1
+        result = PostingList.__new__(PostingList)
+        result._postings = result_postings
+        return result
+
+    def filter_docs(self, keep: Callable[[int], bool]) -> "PostingList":
+        """Postings whose document satisfies ``keep`` (local
+        post-processing of a subsumed key's answer set)."""
+        result = PostingList.__new__(PostingList)
+        result._postings = [p for p in self._postings if keep(p.doc_id)]
+        return result
+
+    # -- truncation (NDK top-DF_max) ---------------------------------------------------
+
+    def truncate_top(
+        self, limit: int, policy: str = "tf"
+    ) -> "PostingList":
+        """Return the top-``limit`` postings under the given policy.
+
+        Policies:
+            ``"tf"`` — highest key-level term frequency first (ties broken
+            by ascending doc_id for determinism);
+            ``"norm"`` — highest length-normalized frequency ``tf/doc_len``
+            first (documents with doc_len 0 rank last).
+
+        The result is re-sorted by document id, as stored lists are.
+        """
+        if limit < 0:
+            raise IndexError_(f"limit must be >= 0, got {limit}")
+        if len(self._postings) <= limit:
+            return PostingList(self._postings)
+        if policy == "tf":
+            ranked = sorted(
+                self._postings, key=lambda p: (-p.tf, p.doc_id)
+            )
+        elif policy == "norm":
+            ranked = sorted(
+                self._postings,
+                key=lambda p: (
+                    -(p.tf / p.doc_len if p.doc_len else 0.0),
+                    p.doc_id,
+                ),
+            )
+        else:
+            raise IndexError_(f"unknown truncation policy {policy!r}")
+        return PostingList(ranked[:limit])
+
+
+def _richer_posting(a: Posting, b: Posting) -> Posting:
+    """Pick the posting carrying more ranking information."""
+    if len(a.term_tfs) != len(b.term_tfs):
+        return a if len(a.term_tfs) > len(b.term_tfs) else b
+    return a if a.tf >= b.tf else b

@@ -1,0 +1,143 @@
+"""Traffic accounting.
+
+Mirrors the paper's cost model: the dominant cost is the number of
+*postings* transmitted through the network, tracked separately for the
+indexing and retrieval phases (Figures 4 and 6).  Message and hop counts
+are also kept for overlay diagnostics, and maintenance traffic (key
+handoffs on churn) is tracked but reported separately, exactly as the paper
+excludes it from its analysis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+
+from .messages import Message, MessageKind
+
+__all__ = ["Phase", "TrafficAccounting", "TrafficSnapshot"]
+
+
+class Phase(Enum):
+    """The protocol phase a message belongs to."""
+
+    INDEXING = "indexing"
+    RETRIEVAL = "retrieval"
+    MAINTENANCE = "maintenance"
+
+
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """Immutable view of the counters at one instant."""
+
+    postings_by_phase: dict[Phase, int]
+    messages_by_phase: dict[Phase, int]
+    hops_by_phase: dict[Phase, int]
+    messages_by_kind: dict[MessageKind, int]
+
+    @property
+    def indexing_postings(self) -> int:
+        return self.postings_by_phase.get(Phase.INDEXING, 0)
+
+    @property
+    def retrieval_postings(self) -> int:
+        return self.postings_by_phase.get(Phase.RETRIEVAL, 0)
+
+    @property
+    def maintenance_postings(self) -> int:
+        return self.postings_by_phase.get(Phase.MAINTENANCE, 0)
+
+    @property
+    def total_postings(self) -> int:
+        """All postings including maintenance (the paper's headline numbers
+        exclude maintenance; reports show both)."""
+        return sum(self.postings_by_phase.values())
+
+
+class TrafficAccounting:
+    """Mutable counters fed by the network simulator.
+
+    The accounting object is shared: the network logs every message into
+    it, and experiments snapshot/diff it around the operations they
+    measure.
+    """
+
+    def __init__(self) -> None:
+        self._postings: Counter[Phase] = Counter()
+        self._messages: Counter[Phase] = Counter()
+        self._hops: Counter[Phase] = Counter()
+        self._by_kind: Counter[MessageKind] = Counter()
+        self._current_phase = Phase.INDEXING
+
+    # -- phase control ---------------------------------------------------------
+
+    @property
+    def phase(self) -> Phase:
+        """The phase newly logged messages are attributed to."""
+        return self._current_phase
+
+    def set_phase(self, phase: Phase) -> None:
+        """Switch the accounting phase (indexing/retrieval/maintenance)."""
+        if not isinstance(phase, Phase):
+            raise TypeError(f"expected Phase, got {type(phase).__name__}")
+        self._current_phase = phase
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, message: Message) -> None:
+        """Attribute ``message`` to the current phase."""
+        phase = self._current_phase
+        self._postings[phase] += message.postings
+        self._messages[phase] += 1
+        self._hops[phase] += message.hops
+        self._by_kind[message.kind] += 1
+
+    # -- reading ----------------------------------------------------------------
+
+    def snapshot(self) -> TrafficSnapshot:
+        """Return an immutable copy of all counters."""
+        return TrafficSnapshot(
+            postings_by_phase=dict(self._postings),
+            messages_by_phase=dict(self._messages),
+            hops_by_phase=dict(self._hops),
+            messages_by_kind=dict(self._by_kind),
+        )
+
+    def postings(self, phase: Phase) -> int:
+        """Postings transmitted so far in ``phase``."""
+        return self._postings[phase]
+
+    def messages(self, phase: Phase) -> int:
+        """Messages sent so far in ``phase``."""
+        return self._messages[phase]
+
+    def hops(self, phase: Phase) -> int:
+        """Total overlay hops traversed so far in ``phase``."""
+        return self._hops[phase]
+
+    def reset(self) -> None:
+        """Zero every counter (the phase is preserved)."""
+        self._postings.clear()
+        self._messages.clear()
+        self._hops.clear()
+        self._by_kind.clear()
+
+
+def diff_snapshots(
+    before: TrafficSnapshot, after: TrafficSnapshot
+) -> TrafficSnapshot:
+    """Return ``after - before`` for every counter (measurement windows)."""
+    def sub(a: dict, b: dict) -> dict:
+        return {k: a.get(k, 0) - b.get(k, 0) for k in set(a) | set(b)}
+
+    return TrafficSnapshot(
+        postings_by_phase=sub(
+            after.postings_by_phase, before.postings_by_phase
+        ),
+        messages_by_phase=sub(
+            after.messages_by_phase, before.messages_by_phase
+        ),
+        hops_by_phase=sub(after.hops_by_phase, before.hops_by_phase),
+        messages_by_kind=sub(after.messages_by_kind, before.messages_by_kind),
+    )

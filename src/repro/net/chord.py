@@ -1,0 +1,190 @@
+"""A Chord-style ring overlay with finger-table routing.
+
+Responsibility follows consistent hashing: the peer responsible for a key
+id is its *successor* on the ring.  Routing uses classic Chord fingers
+(peer p's i-th finger is the successor of ``p + 2^i``), giving O(log N)
+hops, which the simulator counts per lookup.
+
+Both this overlay and :class:`repro.net.pgrid.PGridOverlay` satisfy the
+:class:`Overlay` protocol, so higher layers are overlay-agnostic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Protocol
+
+from ..errors import NetworkError, PeerNotFoundError
+from .node_id import KEY_SPACE_BITS, KEY_SPACE_SIZE
+
+__all__ = ["Overlay", "ChordOverlay"]
+
+
+class Overlay(Protocol):
+    """Minimal overlay interface required by :class:`P2PNetwork`."""
+
+    def peer_ids(self) -> list[int]:
+        """All peer ids currently in the overlay."""
+        ...
+
+    def responsible_peer(self, key_id: int) -> int:
+        """The peer id responsible for ``key_id``."""
+        ...
+
+    def route_hops(self, source_peer: int, key_id: int) -> int:
+        """Overlay hops from ``source_peer`` to the responsible peer."""
+        ...
+
+    def add_peer(self, peer_id: int) -> int:
+        """Add a peer; returns the id of the peer that previously covered
+        the new peer's range (the handoff source)."""
+        ...
+
+    def remove_peer(self, peer_id: int) -> int:
+        """Remove a peer; returns the id of the peer that inherits its
+        range (the handoff target)."""
+        ...
+
+
+class ChordOverlay:
+    """Chord ring over the shared 2**64 id space."""
+
+    def __init__(self, peer_ids: Iterable[int] = ()) -> None:
+        self._ring: list[int] = []
+        for peer_id in peer_ids:
+            self.add_peer(peer_id)
+
+    # -- membership --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def peer_ids(self) -> list[int]:
+        """Peers in ring order (ascending id)."""
+        return list(self._ring)
+
+    def __contains__(self, peer_id: int) -> bool:
+        index = bisect.bisect_left(self._ring, peer_id)
+        return index < len(self._ring) and self._ring[index] == peer_id
+
+    def add_peer(self, peer_id: int) -> int:
+        """Insert ``peer_id``; returns the previous owner of its range.
+
+        The previous owner is the new peer's successor — in Chord, a
+        joining node takes over part of its successor's key range.  For
+        the first peer, the peer itself is returned.
+        """
+        self._validate_id(peer_id)
+        if peer_id in self:
+            raise NetworkError(f"peer id {peer_id} already in overlay")
+        if not self._ring:
+            self._ring.append(peer_id)
+            return peer_id
+        successor = self._successor_of(peer_id)
+        bisect.insort(self._ring, peer_id)
+        return successor
+
+    def remove_peer(self, peer_id: int) -> int:
+        """Remove ``peer_id``; returns the peer inheriting its range.
+
+        Raises:
+            PeerNotFoundError: if the peer is not in the overlay.
+            NetworkError: when removing the last peer (no inheritor).
+        """
+        index = bisect.bisect_left(self._ring, peer_id)
+        if index >= len(self._ring) or self._ring[index] != peer_id:
+            raise PeerNotFoundError(f"peer id {peer_id} not in overlay")
+        if len(self._ring) == 1:
+            raise NetworkError("cannot remove the last peer of the overlay")
+        del self._ring[index]
+        # The departed peer's keys go to its successor (wrapping).
+        return self._ring[index % len(self._ring)]
+
+    # -- responsibility and routing -------------------------------------------------
+
+    def responsible_peer(self, key_id: int) -> int:
+        """Successor of ``key_id`` on the ring."""
+        self._validate_id(key_id)
+        if not self._ring:
+            raise NetworkError("overlay has no peers")
+        return self._successor_of(key_id)
+
+    def route_hops(self, source_peer: int, key_id: int) -> int:
+        """Count greedy finger-table hops from ``source_peer`` to the peer
+        responsible for ``key_id``.
+
+        Each hop jumps to the finger that most closely precedes the key,
+        exactly Chord's ``closest_preceding_node`` walk; the hop count is
+        O(log N) with high probability.
+        """
+        if source_peer not in self:
+            raise PeerNotFoundError(
+                f"source peer {source_peer} not in overlay"
+            )
+        target = self.responsible_peer(key_id)
+        current = source_peer
+        hops = 0
+        # Guard: in a ring of N peers the greedy walk must terminate in
+        # fewer than N hops; a violation indicates a routing bug.
+        for _ in range(len(self._ring) + 1):
+            if current == target:
+                return hops
+            current = self._closest_preceding_finger(current, key_id)
+            hops += 1
+        raise NetworkError(
+            f"routing loop from {source_peer} to key {key_id}"
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    @staticmethod
+    def _validate_id(value: int) -> None:
+        if not 0 <= value < KEY_SPACE_SIZE:
+            raise NetworkError(
+                f"id {value} outside the {KEY_SPACE_BITS}-bit space"
+            )
+
+    def _successor_of(self, value: int) -> int:
+        """First peer id >= value, wrapping around the ring."""
+        index = bisect.bisect_left(self._ring, value)
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index]
+
+    def _fingers(self, peer_id: int) -> list[int]:
+        """Finger table of ``peer_id``: successor of ``peer + 2^i``."""
+        fingers = []
+        for i in range(KEY_SPACE_BITS):
+            fingers.append(
+                self._successor_of((peer_id + (1 << i)) % KEY_SPACE_SIZE)
+            )
+        return fingers
+
+    def _closest_preceding_finger(self, current: int, key_id: int) -> int:
+        """The finger of ``current`` that most closely precedes ``key_id``
+        (falling back to the immediate successor)."""
+        best = None
+        for i in reversed(range(KEY_SPACE_BITS)):
+            finger = self._successor_of(
+                (current + (1 << i)) % KEY_SPACE_SIZE
+            )
+            if finger != current and _in_open_interval(
+                finger, current, key_id
+            ):
+                best = finger
+                break
+        if best is None:
+            # No finger strictly precedes the key: the successor is
+            # responsible; one final hop reaches it.
+            best = self._successor_of((current + 1) % KEY_SPACE_SIZE)
+        return best
+
+
+def _in_open_interval(value: int, low: int, high: int) -> bool:
+    """True iff ``value`` lies in the circular open interval (low, high)."""
+    if low == high:
+        # Full circle (single-peer degenerate case).
+        return value != low
+    if low < high:
+        return low < value < high
+    return value > low or value < high

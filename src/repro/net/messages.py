@@ -1,0 +1,67 @@
+"""Message kinds and the message record used for traffic accounting.
+
+The scalability analysis counts *postings* carried by messages; the
+simulator additionally records message and hop counts so experiments can
+report routing behaviour.  A :class:`Message` is a passive record — the
+simulator executes operations synchronously and logs the messages the real
+system would have sent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Message", "MessageKind"]
+
+
+class MessageKind(Enum):
+    """The message vocabulary of the indexing/retrieval protocols."""
+
+    #: Insert a (key, local posting list) pair into the global index.
+    INSERT = "insert"
+    #: Look up a key in the global index.
+    LOOKUP = "lookup"
+    #: Response carrying a posting list back to the requester.
+    RESPONSE = "response"
+    #: Notification that a submitted key became globally non-discriminative
+    #: (triggers key expansion at the submitting peers).
+    NDK_NOTIFY = "ndk_notify"
+    #: Publication of per-term statistics (df/cf) used for ranking.
+    STATS_PUBLISH = "stats_publish"
+    #: Key-range handoff when a peer joins or leaves the overlay
+    #: (maintenance; excluded from the paper's posting counts).
+    HANDOFF = "handoff"
+
+
+_message_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """A logged protocol message.
+
+    Attributes:
+        kind: protocol message kind.
+        source: overlay id of the sender.
+        destination: overlay id of the (final) receiver.
+        postings: number of postings carried in the payload.
+        hops: overlay hops the message traversed.
+        key_repr: human-readable key the message concerns (diagnostics).
+        message_id: monotonically increasing id (log ordering).
+    """
+
+    kind: MessageKind
+    source: int
+    destination: int
+    postings: int = 0
+    hops: int = 1
+    key_repr: str = ""
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if self.postings < 0:
+            raise ValueError(f"postings must be >= 0, got {self.postings}")
+        if self.hops < 0:
+            raise ValueError(f"hops must be >= 0, got {self.hops}")

@@ -1,0 +1,326 @@
+"""The network facade: overlay + per-peer storage + traffic accounting.
+
+:class:`P2PNetwork` is the substrate the global index runs on.  It exposes
+DHT-style primitives — merge-insert, lookup, notify — and logs every
+simulated message with its posting payload into the shared
+:class:`TrafficAccounting`, so higher layers never touch counters directly.
+
+Peer churn (join/leave) triggers key handoff between the affected peers;
+handoff traffic is attributed to the MAINTENANCE phase, which the paper's
+analysis deliberately reports separately from indexing/retrieval postings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..errors import NetworkError, PeerNotFoundError
+from .accounting import Phase, TrafficAccounting
+from .chord import ChordOverlay, Overlay
+from .messages import Message, MessageKind
+from .node_id import hash_to_id, peer_id_for
+from .storage import PeerStorage
+
+__all__ = ["P2PNetwork"]
+
+
+class P2PNetwork:
+    """A simulated structured P2P network.
+
+    Args:
+        overlay: an :class:`Overlay` implementation (Chord by default;
+            pass a :class:`repro.net.pgrid.PGridOverlay` for the paper's
+            P-Grid substrate).
+        accounting: shared traffic counters; created when omitted.
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay | None = None,
+        accounting: TrafficAccounting | None = None,
+    ) -> None:
+        self.overlay: Overlay = overlay if overlay is not None else ChordOverlay()
+        self.accounting = accounting or TrafficAccounting()
+        self._storage: dict[int, PeerStorage] = {}
+        self._names: dict[str, int] = {}
+
+    # -- membership ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def peer_ids(self) -> list[int]:
+        """Overlay ids of all current peers."""
+        return self.overlay.peer_ids()
+
+    def peer_names(self) -> list[str]:
+        """Registered peer names, in registration order."""
+        return list(self._names)
+
+    def id_of(self, peer_name: str) -> int:
+        """Overlay id of a registered peer name."""
+        try:
+            return self._names[peer_name]
+        except KeyError:
+            raise PeerNotFoundError(
+                f"peer name {peer_name!r} not registered"
+            ) from None
+
+    def add_peer(self, peer_name: str) -> int:
+        """Add a named peer; performs key handoff from the peer that
+        previously covered the joiner's region.
+
+        Returns the new peer's overlay id.
+        """
+        if peer_name in self._names:
+            raise NetworkError(f"peer name {peer_name!r} already registered")
+        peer_id = peer_id_for(peer_name)
+        if peer_id in self._storage:
+            raise NetworkError(
+                f"peer id collision for {peer_name!r}; rename the peer"
+            )
+        handoff_source = self.overlay.add_peer(peer_id)
+        self._storage[peer_id] = PeerStorage(peer_id)
+        self._names[peer_name] = peer_id
+        if handoff_source != peer_id:
+            self._handoff_on_join(handoff_source, peer_id)
+        return peer_id
+
+    def remove_peer(self, peer_name: str) -> None:
+        """Remove a named peer, handing its keys to the inheriting peer."""
+        peer_id = self.id_of(peer_name)
+        inheritor = self.overlay.remove_peer(peer_id)
+        storage = self._storage.pop(peer_id)
+        del self._names[peer_name]
+        moved = list(storage)
+        target_storage = self._storage[inheritor]
+        postings = 0
+        for entry in moved:
+            target_storage.put(entry.key, entry.key_id, entry.value)
+            postings += self._payload_size(entry.value)
+        self._record_maintenance(peer_id, inheritor, postings)
+
+    def _handoff_on_join(self, source_peer: int, new_peer: int) -> None:
+        """Move entries now owned by ``new_peer`` out of ``source_peer``."""
+        source_storage = self._storage[source_peer]
+        moved = source_storage.pop_range(
+            lambda key_id: self.overlay.responsible_peer(key_id) == new_peer
+        )
+        new_storage = self._storage[new_peer]
+        postings = 0
+        for entry in moved:
+            new_storage.put(entry.key, entry.key_id, entry.value)
+            postings += self._payload_size(entry.value)
+        self._record_maintenance(source_peer, new_peer, postings)
+
+    def _record_maintenance(
+        self, source: int, destination: int, postings: int
+    ) -> None:
+        previous_phase = self.accounting.phase
+        self.accounting.set_phase(Phase.MAINTENANCE)
+        self.accounting.record(
+            Message(
+                kind=MessageKind.HANDOFF,
+                source=source,
+                destination=destination,
+                postings=postings,
+                hops=1,
+            )
+        )
+        self.accounting.set_phase(previous_phase)
+
+    # -- DHT primitives ---------------------------------------------------------------
+
+    def responsible_peer_for(self, key: Any) -> int:
+        """Overlay id of the peer responsible for logical key ``key``."""
+        return self.overlay.responsible_peer(self._key_id(key))
+
+    def insert(
+        self,
+        source_peer_name: str,
+        key: Any,
+        merge: Callable[[Any | None], Any],
+        payload_postings: int,
+        key_repr: str = "",
+    ) -> Any:
+        """Route a merge-insert for ``key`` from the source peer.
+
+        ``merge`` receives the currently stored value (or None) and returns
+        the value to store.  ``payload_postings`` is the number of postings
+        the insert message carries (local posting list size), which is what
+        the paper's indexing-cost figures count.
+
+        Returns the merged stored value.
+        """
+        source_id = self.id_of(source_peer_name)
+        key_id = self._key_id(key)
+        target_id = self.overlay.responsible_peer(key_id)
+        hops = self.overlay.route_hops(source_id, key_id)
+        self.accounting.record(
+            Message(
+                kind=MessageKind.INSERT,
+                source=source_id,
+                destination=target_id,
+                postings=payload_postings,
+                hops=max(1, hops),
+                key_repr=key_repr or repr(key),
+            )
+        )
+        return self._storage[target_id].update(key, key_id, merge)
+
+    def lookup(
+        self,
+        source_peer_name: str,
+        key: Any,
+        response_size: Callable[[Any | None], int],
+        key_repr: str = "",
+    ) -> Any | None:
+        """Route a lookup for ``key``; returns the stored value or None.
+
+        Two messages are logged: the request (no postings) and the
+        response carrying ``response_size(value)`` postings back to the
+        requester — the quantity Figure 6 plots per query.
+        """
+        source_id = self.id_of(source_peer_name)
+        key_id = self._key_id(key)
+        target_id = self.overlay.responsible_peer(key_id)
+        hops = self.overlay.route_hops(source_id, key_id)
+        self.accounting.record(
+            Message(
+                kind=MessageKind.LOOKUP,
+                source=source_id,
+                destination=target_id,
+                postings=0,
+                hops=max(1, hops),
+                key_repr=key_repr or repr(key),
+            )
+        )
+        value = self._storage[target_id].get(key)
+        self.accounting.record(
+            Message(
+                kind=MessageKind.RESPONSE,
+                source=target_id,
+                destination=source_id,
+                postings=response_size(value),
+                hops=1,
+                key_repr=key_repr or repr(key),
+            )
+        )
+        return value
+
+    def notify(
+        self,
+        source_peer_id: int,
+        target_peer_name_id: int,
+        key_repr: str = "",
+    ) -> None:
+        """Log an NDK notification message (no posting payload)."""
+        self.accounting.record(
+            Message(
+                kind=MessageKind.NDK_NOTIFY,
+                source=source_peer_id,
+                destination=target_peer_name_id,
+                postings=0,
+                hops=1,
+                key_repr=key_repr,
+            )
+        )
+
+    def transfer(
+        self,
+        source_peer_name: str,
+        destination_peer_name: str,
+        postings: int,
+        kind: MessageKind = MessageKind.RESPONSE,
+        key_repr: str = "",
+    ) -> None:
+        """Log a direct peer-to-peer payload transfer.
+
+        Used by protocols that exchange data outside the insert/lookup
+        primitives — e.g. the Bloom-filter baseline shipping a filter
+        (expressed in posting equivalents) between the peers responsible
+        for two query terms.
+        """
+        source_id = self.id_of(source_peer_name)
+        destination_id = self.id_of(destination_peer_name)
+        # Direct transfer: the peers already know each other's addresses
+        # from the preceding lookup, so no overlay routing is involved.
+        self.accounting.record(
+            Message(
+                kind=kind,
+                source=source_id,
+                destination=destination_id,
+                postings=postings,
+                hops=0 if source_id == destination_id else 1,
+                key_repr=key_repr,
+            )
+        )
+
+    def publish_stats(
+        self, source_peer_name: str, key: Any, postings: int = 0
+    ) -> None:
+        """Log a statistics-publication message (ranking metadata)."""
+        source_id = self.id_of(source_peer_name)
+        key_id = self._key_id(key)
+        target_id = self.overlay.responsible_peer(key_id)
+        hops = self.overlay.route_hops(source_id, key_id)
+        self.accounting.record(
+            Message(
+                kind=MessageKind.STATS_PUBLISH,
+                source=source_id,
+                destination=target_id,
+                postings=postings,
+                hops=max(1, hops),
+            )
+        )
+
+    # -- storage inspection -------------------------------------------------------------
+
+    def storage_of(self, peer_name: str) -> PeerStorage:
+        """The storage of a named peer (for inspection and figures)."""
+        return self._storage[self.id_of(peer_name)]
+
+    def storages(self) -> Iterator[PeerStorage]:
+        """Iterate over every peer's storage."""
+        return iter(self._storage.values())
+
+    def stored_entry_count(self) -> int:
+        """Total entries stored network-wide."""
+        return sum(len(storage) for storage in self._storage.values())
+
+    def stored_value_total(self, size_of: Callable[[Any], int]) -> int:
+        """Sum ``size_of`` over every stored value network-wide (e.g.
+        total postings stored, for Figure 3)."""
+        return sum(
+            storage.total_value_size(size_of)
+            for storage in self._storage.values()
+        )
+
+    # -- internals -----------------------------------------------------------------------
+
+    @staticmethod
+    def _key_id(key: Any) -> int:
+        """Hash a logical key into the overlay id space.
+
+        Logical keys are either strings or frozensets of strings (term
+        sets); the canonical form sorts the terms so the id is
+        order-independent.
+        """
+        if isinstance(key, str):
+            canonical = key
+        elif isinstance(key, frozenset):
+            canonical = "\x1f".join(sorted(key))
+        else:
+            canonical = repr(key)
+        return hash_to_id(canonical)
+
+    @staticmethod
+    def _payload_size(value: Any) -> int:
+        """Posting count of a stored value, best effort (handoffs)."""
+        size = getattr(value, "posting_count", None)
+        if size is not None:
+            return int(size() if callable(size) else size)
+        try:
+            return len(value)
+        except TypeError:
+            return 1

@@ -1,0 +1,103 @@
+"""Per-peer key/value storage.
+
+Each peer stores the fraction of the global index allocated to it by the
+overlay.  The store is a plain mapping from the *logical* key (whatever
+object the layer above uses — the global index stores term-set keys) to a
+value, plus the hashed id so handoffs can move exactly the entries a new
+responsibility boundary requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..errors import StorageError
+
+__all__ = ["PeerStorage", "StoredEntry"]
+
+
+@dataclass
+class StoredEntry:
+    """One stored (key, value) pair with its hashed overlay id."""
+
+    key: Any
+    key_id: int
+    value: Any
+
+
+class PeerStorage:
+    """The key/value store of a single peer.
+
+    Keys must be hashable; the caller supplies the hashed overlay id at
+    insertion time (hashing lives in :mod:`repro.net.node_id` and the
+    network facade, keeping storage oblivious to the id scheme).
+    """
+
+    def __init__(self, peer_id: int) -> None:
+        self.peer_id = peer_id
+        self._entries: dict[Any, StoredEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[StoredEntry]:
+        return iter(self._entries.values())
+
+    def get(self, key: Any) -> Any | None:
+        """Return the stored value for ``key``, or None."""
+        entry = self._entries.get(key)
+        return entry.value if entry is not None else None
+
+    def put(self, key: Any, key_id: int, value: Any) -> None:
+        """Store ``value`` under ``key`` (overwrites)."""
+        self._entries[key] = StoredEntry(key=key, key_id=key_id, value=value)
+
+    def update(
+        self, key: Any, key_id: int, merge: Callable[[Any | None], Any]
+    ) -> Any:
+        """Merge-update: ``merge`` receives the current value (or None) and
+        returns the new value, which is stored and returned."""
+        current = self.get(key)
+        new_value = merge(current)
+        if new_value is None:
+            raise StorageError(
+                f"merge function returned None for key {key!r}"
+            )
+        self.put(key, key_id, new_value)
+        return new_value
+
+    def remove(self, key: Any) -> Any:
+        """Remove and return the value stored under ``key``.
+
+        Raises:
+            StorageError: when the key is absent.
+        """
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            raise StorageError(
+                f"key {key!r} not stored on peer {self.peer_id}"
+            )
+        return entry.value
+
+    def pop_range(
+        self, belongs_elsewhere: Callable[[int], bool]
+    ) -> list[StoredEntry]:
+        """Remove and return every entry whose ``key_id`` satisfies the
+        predicate (used for handoffs on membership change)."""
+        moved = [
+            entry
+            for entry in self._entries.values()
+            if belongs_elsewhere(entry.key_id)
+        ]
+        for entry in moved:
+            del self._entries[entry.key]
+        return moved
+
+    def total_value_size(self, size_of: Callable[[Any], int]) -> int:
+        """Sum ``size_of(value)`` over all entries (e.g. postings stored
+        per peer, the y-axis of Figure 3)."""
+        return sum(size_of(entry.value) for entry in self._entries.values())

@@ -1,0 +1,102 @@
+"""Query-result caching.
+
+Both [15] and [17] in the paper's related work propose caching (alongside
+top-k joins and Bloom filters) to reduce search cost for repeated
+queries.  This module provides an LRU result cache keyed by the query's
+canonical term set, wrapping any engine with a ``search(query, k)``-style
+interface: repeated queries are served locally at zero network cost.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..corpus.querylog import Query
+from ..errors import RetrievalError
+from .hdk_engine import HDKSearchResult
+
+__all__ = ["CacheStats", "CachingSearchEngine"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters plus the traffic the cache avoided."""
+
+    hits: int = 0
+    misses: int = 0
+    postings_saved: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _CachedEntry:
+    result: HDKSearchResult
+    k: int
+
+
+class CachingSearchEngine:
+    """LRU cache in front of a :class:`P2PSearchEngine`-like object.
+
+    Args:
+        engine: any object exposing ``search(query, k=...) ->
+            HDKSearchResult`` (both engine modes qualify).
+        capacity: maximum number of cached query results.
+    """
+
+    def __init__(self, engine, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise RetrievalError(f"capacity must be >= 1, got {capacity}")
+        self._engine = engine
+        self._capacity = capacity
+        self._entries: OrderedDict[frozenset[str], _CachedEntry] = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    def search(self, query: Query, k: int = 20) -> HDKSearchResult:
+        """Serve from cache when possible; delegate otherwise.
+
+        A cached result is reused when it was computed with a depth of at
+        least ``k`` (a deeper cached ranking prefixes-matches a shallower
+        request); shallower entries are treated as misses and replaced.
+        """
+        if k < 1:
+            raise RetrievalError(f"k must be >= 1, got {k}")
+        cache_key = query.term_set
+        cached = self._entries.get(cache_key)
+        if cached is not None and cached.k >= k:
+            self._entries.move_to_end(cache_key)
+            self.stats.hits += 1
+            self.stats.postings_saved += (
+                cached.result.postings_transferred
+            )
+            clipped = HDKSearchResult(query=query)
+            clipped.results = cached.result.results[:k]
+            clipped.keys_looked_up = cached.result.keys_looked_up
+            clipped.keys_found = cached.result.keys_found
+            clipped.dk_keys = cached.result.dk_keys
+            clipped.ndk_keys = cached.result.ndk_keys
+            clipped.postings_transferred = 0  # served locally
+            return clipped
+        self.stats.misses += 1
+        result = self._engine.search(query, k=k)
+        self._entries[cache_key] = _CachedEntry(result=result, k=k)
+        self._entries.move_to_end(cache_key)
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return result
+
+    def invalidate(self) -> None:
+        """Drop every cached entry (call after the index changes, e.g.
+        an incremental join)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

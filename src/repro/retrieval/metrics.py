@@ -1,0 +1,66 @@
+"""Retrieval-quality metrics.
+
+Figure 7 of the paper reports the *overlap on top-20 documents* between
+the HDK engine and the centralized BM25 engine, in percent.  This module
+implements that metric plus standard precision against a reference
+ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import RetrievalError
+from .ranking import RankedResult
+
+__all__ = ["top_k_overlap", "precision_at_k", "mean_overlap"]
+
+
+def _doc_ids(results: Sequence[RankedResult] | Sequence[int]) -> list[int]:
+    ids: list[int] = []
+    for item in results:
+        if isinstance(item, RankedResult):
+            ids.append(item.doc_id)
+        else:
+            ids.append(int(item))
+    return ids
+
+
+def top_k_overlap(
+    results_a: Sequence[RankedResult] | Sequence[int],
+    results_b: Sequence[RankedResult] | Sequence[int],
+    k: int = 20,
+) -> float:
+    """Percentage overlap between the top-``k`` of two result lists.
+
+    ``|top_k(A) ∩ top_k(B)| / k * 100`` — the paper's Figure 7 metric.
+    Two empty lists overlap fully (100.0).
+    """
+    if k < 1:
+        raise RetrievalError(f"k must be >= 1, got {k}")
+    top_a = set(_doc_ids(results_a)[:k])
+    top_b = set(_doc_ids(results_b)[:k])
+    if not top_a and not top_b:
+        return 100.0
+    return 100.0 * len(top_a & top_b) / k
+
+
+def precision_at_k(
+    results: Sequence[RankedResult] | Sequence[int],
+    relevant: set[int],
+    k: int,
+) -> float:
+    """Fraction of the top-``k`` results that are in ``relevant``."""
+    if k < 1:
+        raise RetrievalError(f"k must be >= 1, got {k}")
+    top = _doc_ids(results)[:k]
+    if not top:
+        return 0.0
+    return sum(1 for doc_id in top if doc_id in relevant) / k
+
+
+def mean_overlap(overlaps: Sequence[float]) -> float:
+    """Mean of per-query overlap percentages (one Figure 7 data point)."""
+    if not overlaps:
+        raise RetrievalError("cannot average an empty overlap sequence")
+    return sum(overlaps) / len(overlaps)

@@ -1,0 +1,51 @@
+"""Query processing.
+
+Queries must pass through the *same* pre-processing as documents (stop
+words, stemming) so query terms live in the index vocabulary; Section 3.2
+then treats the processed query as a one-document collection over which
+the key lattice is explored.
+"""
+
+from __future__ import annotations
+
+from ..corpus.querylog import Query
+from ..errors import RetrievalError
+from ..text.pipeline import TextPipeline
+
+__all__ = ["QueryProcessor"]
+
+
+class QueryProcessor:
+    """Turns raw query strings into canonical term sets.
+
+    Args:
+        pipeline: the text pipeline; must be configured identically to the
+            one used at indexing time.
+    """
+
+    def __init__(self, pipeline: TextPipeline | None = None) -> None:
+        self._pipeline = pipeline or TextPipeline()
+
+    def process(self, raw_query: str, query_id: int = 0) -> Query:
+        """Process ``raw_query`` into a :class:`Query`.
+
+        Duplicate terms collapse (keys are term *sets*).
+
+        Raises:
+            RetrievalError: when no term survives pre-processing.
+        """
+        terms = tuple(sorted(set(self._pipeline.process(raw_query))))
+        if not terms:
+            raise RetrievalError(
+                f"query {raw_query!r} is empty after pre-processing"
+            )
+        return Query(query_id=query_id, terms=terms)
+
+    def process_terms(
+        self, terms: tuple[str, ...], query_id: int = 0
+    ) -> Query:
+        """Wrap already-processed terms (query-log replay) as a Query."""
+        canonical = tuple(sorted(set(terms)))
+        if not canonical:
+            raise RetrievalError("empty term tuple")
+        return Query(query_id=query_id, terms=canonical)

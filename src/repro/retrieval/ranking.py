@@ -1,0 +1,85 @@
+"""Distributed result ranking.
+
+The prototype "integrates a solution for distributed content-based
+ranking": posting payloads carry per-term frequencies and document
+lengths, and the query peer combines them with globally published term
+statistics to compute BM25-style scores without fetching documents.  The
+:class:`DistributedRanker` reproduces that final aggregation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RetrievalError
+from ..index.bm25 import BM25Scorer
+from ..index.postings import Posting
+
+__all__ = ["RankedResult", "DistributedRanker"]
+
+
+@dataclass(frozen=True)
+class RankedResult:
+    """One ranked document."""
+
+    doc_id: int
+    score: float
+
+
+class DistributedRanker:
+    """Aggregates fetched postings into a BM25-ranked result list.
+
+    Args:
+        scorer: a BM25 scorer configured with the *global* collection
+            statistics (document count, average length) published during
+            indexing.
+        term_dfs: global document frequency of each query term.
+    """
+
+    def __init__(self, scorer: BM25Scorer, term_dfs: dict[str, int]) -> None:
+        self.scorer = scorer
+        self.term_dfs = dict(term_dfs)
+
+    def rank(
+        self,
+        fetched: list[tuple[tuple[str, ...], Posting]],
+        k: int,
+    ) -> list[RankedResult]:
+        """Rank the union of fetched postings.
+
+        Args:
+            fetched: (key terms in sorted order, posting) pairs as returned
+                by the lattice walk; a document may appear under several
+                keys, in which case its per-term evidence is merged.
+            k: result list depth.
+
+        Returns:
+            Top-``k`` :class:`RankedResult`, ties broken by ascending
+            document id.
+        """
+        if k < 1:
+            raise RetrievalError(f"k must be >= 1, got {k}")
+        # doc -> term -> tf, merged across keys.
+        evidence: dict[int, dict[str, int]] = {}
+        doc_lens: dict[int, int] = {}
+        for key_terms, posting in fetched:
+            term_map = evidence.setdefault(posting.doc_id, {})
+            doc_lens[posting.doc_id] = max(
+                doc_lens.get(posting.doc_id, 0), posting.doc_len
+            )
+            if posting.term_tfs:
+                for index, term in enumerate(key_terms):
+                    tf = posting.term_tfs[index]
+                    term_map[term] = max(term_map.get(term, 0), tf)
+            elif len(key_terms) == 1:
+                term_map[key_terms[0]] = max(
+                    term_map.get(key_terms[0], 0), posting.tf
+                )
+        scored: list[RankedResult] = []
+        for doc_id, term_map in evidence.items():
+            score = self.scorer.score_document(
+                term_map, doc_lens.get(doc_id, 0), self.term_dfs
+            )
+            scored.append(RankedResult(doc_id=doc_id, score=score))
+        scored.sort(key=lambda r: (-r.score, r.doc_id))
+        return scored[:k]

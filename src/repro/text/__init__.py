@@ -1,0 +1,35 @@
+"""Text-processing substrate: tokenization, stop words, stemming, windows.
+
+The paper pre-processes every document by removing 250 common English stop
+words, applying the Porter stemmer, and then removing additional very
+frequent terms (Section 5, "Experimental setup").  This package implements
+that pipeline from scratch:
+
+- :mod:`repro.text.tokenizer` — a deterministic word tokenizer,
+- :mod:`repro.text.stopwords` — the embedded 250-word stop list,
+- :mod:`repro.text.porter` — the Porter (1980) stemming algorithm,
+- :mod:`repro.text.windows` — sliding proximity windows (Definition 2),
+- :mod:`repro.text.pipeline` — the composed :class:`TextPipeline`,
+- :mod:`repro.text.vocabulary` — term <-> id interning.
+"""
+
+from .pipeline import PipelineConfig, TextPipeline
+from .porter import PorterStemmer, stem
+from .stopwords import STOPWORDS, is_stopword
+from .tokenizer import Tokenizer, tokenize
+from .vocabulary import Vocabulary
+from .windows import iter_window_sets, iter_windows
+
+__all__ = [
+    "PipelineConfig",
+    "TextPipeline",
+    "PorterStemmer",
+    "stem",
+    "STOPWORDS",
+    "is_stopword",
+    "Tokenizer",
+    "tokenize",
+    "Vocabulary",
+    "iter_window_sets",
+    "iter_windows",
+]

@@ -1,0 +1,96 @@
+"""The composed text-processing pipeline.
+
+Reproduces the paper's pre-processing (Section 5): tokenize, remove the 250
+common English stop words, apply the Porter stemmer.  Removal of additional
+*very frequent* terms (the ``F_f`` cut-off) is collection-dependent and
+happens later, during HDK generation, because it requires global collection
+frequencies; the pipeline is purely local to one document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .porter import PorterStemmer
+from .stopwords import STOPWORDS
+from .tokenizer import Tokenizer
+
+__all__ = ["PipelineConfig", "TextPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of a :class:`TextPipeline`.
+
+    Attributes:
+        remove_stopwords: drop the embedded 250-word stop list.
+        apply_stemming: apply the Porter stemmer to surviving tokens.
+        extra_stopwords: additional words dropped *before* stemming (lets an
+            experiment emulate collection-specific stop lists).
+        tokenizer: the tokenizer to use.
+    """
+
+    remove_stopwords: bool = True
+    apply_stemming: bool = True
+    extra_stopwords: frozenset[str] = frozenset()
+    tokenizer: Tokenizer = field(default_factory=Tokenizer)
+
+
+class TextPipeline:
+    """Tokenize -> stop-word removal -> Porter stemming.
+
+    The pipeline memoizes stems (the stemmer is deterministic and the
+    vocabulary is Zipf-distributed, so caching saves most of the work on
+    realistic corpora).
+    """
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+        self._stemmer = PorterStemmer()
+        self._stem_cache: dict[str, str] = {}
+
+    def process(self, text: str) -> list[str]:
+        """Return the processed token sequence of ``text``, in order.
+
+        Token order is preserved because proximity filtering (windowing)
+        operates on the processed sequence.
+        """
+        config = self.config
+        tokens = config.tokenizer.iter_tokens(text)
+        output: list[str] = []
+        cache = self._stem_cache
+        for token in tokens:
+            if config.remove_stopwords and token in STOPWORDS:
+                continue
+            if token in config.extra_stopwords:
+                continue
+            if config.apply_stemming:
+                stemmed = cache.get(token)
+                if stemmed is None:
+                    stemmed = self._stemmer.stem(token)
+                    cache[token] = stemmed
+                token = stemmed
+            output.append(token)
+        return output
+
+    def process_pretokenized(self, tokens: list[str]) -> list[str]:
+        """Apply stop-word removal and stemming to an existing token list.
+
+        Used by the synthetic corpus, whose generator emits tokens directly.
+        """
+        config = self.config
+        cache = self._stem_cache
+        output: list[str] = []
+        for token in tokens:
+            if config.remove_stopwords and token in STOPWORDS:
+                continue
+            if token in config.extra_stopwords:
+                continue
+            if config.apply_stemming:
+                stemmed = cache.get(token)
+                if stemmed is None:
+                    stemmed = self._stemmer.stem(token)
+                    cache[token] = stemmed
+                token = stemmed
+            output.append(token)
+        return output

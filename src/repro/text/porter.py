@@ -1,0 +1,308 @@
+"""The Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+The paper's pre-processing applies the Porter stemmer after stop-word
+removal.  This is a faithful implementation of the five-step algorithm as
+published in "An algorithm for suffix stripping", *Program* 14(3):130-137,
+including the m-measure, the *v*/*d*/*o* conditions, and the full rule
+tables of steps 1a through 5b.
+
+Usage::
+
+    >>> from repro.text.porter import stem
+    >>> stem("relational")
+    'relat'
+    >>> stem("conditional")
+    'condit'
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer", "stem"]
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter (1980) stemmer.
+
+    The class form exists so callers can share one instance (there is no
+    per-call state; ``stem`` is reentrant) and so alternative stemmers can
+    be swapped in behind the same interface.
+    """
+
+    # ------------------------------------------------------------------
+    # Conditions on stems, written in terms of the word's letters.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        """Return True iff ``word[i]`` is a consonant in Porter's sense.
+
+        'y' is a consonant when it is the first letter or follows a vowel
+        position that is itself a consonant.
+        """
+        ch = word[i]
+        if ch in _VOWELS:
+            return False
+        if ch == "y":
+            if i == 0:
+                return True
+            return not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem_: str) -> int:
+        """Return m, the number of VC (vowel-consonant) sequences in
+        ``stem_`` when written as [C](VC)^m[V]."""
+        m = 0
+        previous_was_vowel = False
+        for i in range(len(stem_)):
+            consonant = cls._is_consonant(stem_, i)
+            if consonant and previous_was_vowel:
+                m += 1
+            previous_was_vowel = not consonant
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem_: str) -> bool:
+        """Condition *v*: the stem contains a vowel."""
+        return any(not cls._is_consonant(stem_, i) for i in range(len(stem_)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        """Condition *d*: the word ends with a double consonant."""
+        if len(word) < 2 or word[-1] != word[-2]:
+            return False
+        return cls._is_consonant(word, len(word) - 1)
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """Condition *o*: the word ends consonant-vowel-consonant where the
+        final consonant is not w, x, or y."""
+        if len(word) < 3:
+            return False
+        if not cls._is_consonant(word, len(word) - 3):
+            return False
+        if cls._is_consonant(word, len(word) - 2):
+            return False
+        if not cls._is_consonant(word, len(word) - 1):
+            return False
+        return word[-1] not in "wxy"
+
+    # ------------------------------------------------------------------
+    # Rule application helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _replace_if_m(
+        cls, word: str, suffix: str, replacement: str, min_m: int
+    ) -> str | None:
+        """If ``word`` ends with ``suffix`` and the remaining stem has
+        measure > ``min_m``, return the stem + ``replacement``; else None."""
+        if not word.endswith(suffix):
+            return None
+        stem_ = word[: len(word) - len(suffix)]
+        if cls._measure(stem_) > min_m:
+            return stem_ + replacement
+        return word  # suffix matched but condition failed: rule consumed
+
+    # ------------------------------------------------------------------
+    # The five steps.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _step1a(cls, word: str) -> str:
+        """SSES -> SS, IES -> I, SS -> SS, S -> (empty)."""
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    @classmethod
+    def _step1b(cls, word: str) -> str:
+        """(m>0) EED -> EE; (*v*) ED/ING -> (empty), with cleanup."""
+        if word.endswith("eed"):
+            stem_ = word[:-3]
+            if cls._measure(stem_) > 0:
+                return word[:-1]
+            return word
+        cleanup = False
+        if word.endswith("ed") and cls._contains_vowel(word[:-2]):
+            word = word[:-2]
+            cleanup = True
+        elif word.endswith("ing") and cls._contains_vowel(word[:-3]):
+            word = word[:-3]
+            cleanup = True
+        if cleanup:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if cls._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if cls._measure(word) == 1 and cls._ends_cvc(word):
+                return word + "e"
+        return word
+
+    @classmethod
+    def _step1c(cls, word: str) -> str:
+        """(*v*) Y -> I."""
+        if word.endswith("y") and cls._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    # Rule tables: (suffix, replacement) applied when stem measure > 0
+    # (step 2/3) and > 1 (step 4, with replacement always "").
+    _STEP2_RULES: tuple[tuple[str, str], ...] = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    _STEP3_RULES: tuple[tuple[str, str], ...] = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    _STEP4_SUFFIXES: tuple[str, ...] = (
+        "al",
+        "ance",
+        "ence",
+        "er",
+        "ic",
+        "able",
+        "ible",
+        "ant",
+        "ement",
+        "ment",
+        "ent",
+        "ou",
+        "ism",
+        "ate",
+        "iti",
+        "ous",
+        "ive",
+        "ize",
+    )
+
+    @classmethod
+    def _apply_rule_table(
+        cls, word: str, rules: tuple[tuple[str, str], ...], min_m: int
+    ) -> str:
+        """Apply the first matching (suffix, replacement) rule of ``rules``.
+
+        Porter's algorithm takes the longest-match rule within a step; the
+        tables above are consulted in order and only the first suffix that
+        matches the word is considered, so the tables are ordered with
+        longer/more specific suffixes ahead of their substrings where it
+        matters (e.g. ``ational`` before ``ation`` is not needed because
+        they belong to the same table entry ordering used by Porter).
+        """
+        for suffix, replacement in rules:
+            if word.endswith(suffix):
+                result = cls._replace_if_m(word, suffix, replacement, min_m)
+                assert result is not None
+                return result
+        return word
+
+    @classmethod
+    def _step2(cls, word: str) -> str:
+        return cls._apply_rule_table(word, cls._STEP2_RULES, 0)
+
+    @classmethod
+    def _step3(cls, word: str) -> str:
+        return cls._apply_rule_table(word, cls._STEP3_RULES, 0)
+
+    @classmethod
+    def _step4(cls, word: str) -> str:
+        """(m>1) strip the residual suffix; ION only after S or T."""
+        for suffix in cls._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem_ = word[: len(word) - len(suffix)]
+                if cls._measure(stem_) > 1:
+                    return stem_
+                return word
+        if word.endswith("ion"):
+            stem_ = word[:-3]
+            if stem_ and stem_[-1] in "st" and cls._measure(stem_) > 1:
+                return stem_
+        return word
+
+    @classmethod
+    def _step5a(cls, word: str) -> str:
+        """(m>1) E -> (empty); (m=1 and not *o*) E -> (empty)."""
+        if word.endswith("e"):
+            stem_ = word[:-1]
+            m = cls._measure(stem_)
+            if m > 1:
+                return stem_
+            if m == 1 and not cls._ends_cvc(stem_):
+                return stem_
+        return word
+
+    @classmethod
+    def _step5b(cls, word: str) -> str:
+        """(m>1 and *d* and *L*) single letter: controll -> control."""
+        if (
+            word.endswith("l")
+            and cls._ends_double_consonant(word)
+            and cls._measure(word) > 1
+        ):
+            return word[:-1]
+        return word
+
+    # ------------------------------------------------------------------
+    # Public interface.
+    # ------------------------------------------------------------------
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (expected lower-case).
+
+        Words of one or two letters are returned unchanged, as in Porter's
+        reference implementation.
+        """
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+#: Shared stemmer instance backing the module-level :func:`stem`.
+_STEMMER = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem ``word`` with the shared :class:`PorterStemmer` instance."""
+    return _STEMMER.stem(word)

@@ -1,0 +1,53 @@
+"""The embedded stop-word list.
+
+The paper's experimental setup removes "250 common English stop words"
+before stemming.  This module embeds exactly 250 high-frequency English
+words (articles, pronouns, prepositions, auxiliaries, and other very
+common words), frequency-curated so that the essential function words
+("the", "of", "and", ...) are all present, with no external data file.
+"""
+
+from __future__ import annotations
+
+__all__ = ["STOPWORDS", "is_stopword"]
+
+#: Exactly 250 common English stop words.
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about after again against all almost also always an and
+    another any are around as asked at away back be because been
+    before being better between both business but by called came can
+    case city come could course day did didn do does don down during
+    each early end enough even every eyes face fact far felt few
+    find first for form found four from general get give given go
+    going good got government great group had half hand has have
+    having he head her here high him himself his home house how
+    however i if in into is it its just keep kind knew know large
+    last later left less life light like line little long look
+    looked made make man many may me men might mind moment money
+    more most mr mrs much must my name need never new next night no
+    not nothing now number of off often old on once one only open or
+    order other others our out over own part people per perhaps
+    place point public put right said same say school see set she
+    should since small so some something state states still such
+    system take than the their them then there these they think this
+    those though thought three through time to told too took two
+    under united until up upon us use used very war was water way we
+    well went were what when where which while who why will with
+    without work world would year years yet you your
+    """.split()
+)
+
+# The paper's setup promises exactly 250 distinct stop words; assert that
+# contract at import time so an accidental edit cannot silently change the
+# pipeline behaviour.
+if len(STOPWORDS) != 250:  # pragma: no cover - import-time guard
+    raise AssertionError(
+        f"stop-word list must contain exactly 250 words, "
+        f"got {len(STOPWORDS)}"
+    )
+
+
+def is_stopword(token: str) -> bool:
+    """Return True iff ``token`` (already lower-cased) is a stop word."""
+    return token in STOPWORDS

@@ -1,0 +1,62 @@
+"""Word tokenization.
+
+The prototype described in the paper indexes plain-text documents; this
+module provides a small deterministic tokenizer adequate for both the
+synthetic corpus and real text files: lower-casing, splitting on
+non-alphanumeric characters, and dropping pure numbers or over-long tokens
+(both behaviours configurable).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Tokenizer", "tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+@dataclass(frozen=True)
+class Tokenizer:
+    """A configurable word tokenizer.
+
+    Attributes:
+        lowercase: lower-case the input before splitting (default True).
+        keep_numbers: keep tokens made only of digits (default False; the
+            paper's Wikipedia pre-processing drops them as noise).
+        min_length: drop tokens shorter than this many characters.
+        max_length: drop tokens longer than this many characters (guards the
+            vocabulary against markup artifacts).
+    """
+
+    lowercase: bool = True
+    keep_numbers: bool = False
+    min_length: int = 2
+    max_length: int = 40
+
+    def iter_tokens(self, text: str) -> Iterator[str]:
+        """Yield tokens of ``text`` in document order."""
+        if self.lowercase:
+            text = text.lower()
+        for match in _TOKEN_RE.finditer(text):
+            token = match.group()
+            if len(token) < self.min_length or len(token) > self.max_length:
+                continue
+            if not self.keep_numbers and token.isdigit():
+                continue
+            yield token
+
+    def tokenize(self, text: str) -> list[str]:
+        """Return the tokens of ``text`` as a list, in document order."""
+        return list(self.iter_tokens(text))
+
+
+#: Module-level default tokenizer used by :func:`tokenize`.
+_DEFAULT = Tokenizer()
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenize ``text`` with the default :class:`Tokenizer` settings."""
+    return _DEFAULT.tokenize(text)

@@ -1,0 +1,69 @@
+"""Term interning: a bidirectional term <-> integer-id mapping.
+
+Indexing structures throughout the library store term ids instead of
+strings; one shared :class:`Vocabulary` per collection keeps memory bounded
+and makes term-set (key) hashing cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """A grow-only mapping between terms and dense integer ids."""
+
+    def __init__(self, terms: Iterable[str] = ()) -> None:
+        self._term_to_id: dict[str, int] = {}
+        self._id_to_term: list[str] = []
+        for term in terms:
+            self.add(term)
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)
+
+    def add(self, term: str) -> int:
+        """Intern ``term`` and return its id (existing id if present)."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        term_id = len(self._id_to_term)
+        self._term_to_id[term] = term_id
+        self._id_to_term.append(term)
+        return term_id
+
+    def add_all(self, terms: Iterable[str]) -> list[int]:
+        """Intern every term of ``terms``, returning their ids in order."""
+        return [self.add(term) for term in terms]
+
+    def id_of(self, term: str) -> int:
+        """Return the id of ``term``.
+
+        Raises:
+            KeyError: if the term has never been interned.
+        """
+        return self._term_to_id[term]
+
+    def get_id(self, term: str) -> int | None:
+        """Return the id of ``term``, or None when absent."""
+        return self._term_to_id.get(term)
+
+    def term_of(self, term_id: int) -> str:
+        """Return the term with id ``term_id``.
+
+        Raises:
+            IndexError: if no such id has been assigned.
+        """
+        return self._id_to_term[term_id]
+
+    def terms(self) -> list[str]:
+        """Return all interned terms in id order (a copy)."""
+        return list(self._id_to_term)

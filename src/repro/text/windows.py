@@ -1,0 +1,74 @@
+"""Sliding proximity windows (the paper's Definition 2).
+
+Proximity filtering keeps only keys whose terms all occur inside at least
+one document window of ``w`` consecutive token positions.  These helpers
+enumerate the windows of a token sequence and the distinct term sets they
+give rise to.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from ..utils import sliding_windows
+
+__all__ = ["iter_windows", "iter_window_sets", "cooccurring_term_sets"]
+
+
+def iter_windows(tokens: Sequence[str], size: int) -> Iterator[Sequence[str]]:
+    """Yield every window of ``size`` consecutive tokens.
+
+    Documents shorter than ``size`` yield themselves once, matching the
+    model's treatment of short documents as a single textual context.
+    """
+    return sliding_windows(tokens, size)
+
+
+def iter_window_sets(
+    tokens: Sequence[str], size: int
+) -> Iterator[frozenset[str]]:
+    """Yield the *distinct-term* set of each window, in document order.
+
+    Consecutive windows usually share most terms; callers that need unique
+    sets should deduplicate (see :func:`cooccurring_term_sets`).
+    """
+    for window in iter_windows(tokens, size):
+        yield frozenset(window)
+
+
+def cooccurring_term_sets(
+    tokens: Sequence[str],
+    window_size: int,
+    set_size: int,
+    allowed_terms: frozenset[str] | None = None,
+) -> set[frozenset[str]]:
+    """Return every distinct term set of exactly ``set_size`` terms whose
+    members co-occur in at least one window of ``window_size`` tokens.
+
+    Args:
+        tokens: the pre-processed document tokens, in order.
+        window_size: the proximity window ``w``.
+        set_size: the key size ``s`` to enumerate.
+        allowed_terms: if given, only terms in this set participate
+            (used to restrict enumeration to non-discriminative terms
+            during HDK generation).
+
+    This is the reference (exhaustive) enumeration used by tests and by the
+    generator at small ``s``; it deduplicates across overlapping windows.
+    """
+    if set_size < 1:
+        raise ValueError(f"set_size must be >= 1, got {set_size}")
+    result: set[frozenset[str]] = set()
+    seen_windows: set[frozenset[str]] = set()
+    for window in iter_windows(tokens, window_size):
+        if allowed_terms is None:
+            distinct = frozenset(window)
+        else:
+            distinct = frozenset(t for t in window if t in allowed_terms)
+        if len(distinct) < set_size or distinct in seen_windows:
+            continue
+        seen_windows.add(distinct)
+        for combo in itertools.combinations(sorted(distinct), set_size):
+            result.add(frozenset(combo))
+    return result

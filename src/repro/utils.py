@@ -1,0 +1,122 @@
+"""Small shared helpers used across the repro library."""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+__all__ = [
+    "binomial",
+    "sliding_windows",
+    "chunked",
+    "pairwise_overlap",
+    "harmonic_number",
+    "generalized_harmonic",
+    "format_count",
+    "format_table",
+]
+
+T = TypeVar("T")
+
+
+def binomial(n: int, k: int) -> int:
+    """Return ``n choose k``, defined as 0 when ``k > n`` or ``k < 0``.
+
+    The paper's Theorem 3 uses binomial coefficients of window positions;
+    treating out-of-range arguments as 0 keeps those formulas total.
+    """
+    if k < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def sliding_windows(tokens: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield every window of ``size`` consecutive items of ``tokens``.
+
+    A sequence shorter than ``size`` yields itself once (the paper's
+    proximity filter treats a short document as a single window).
+    """
+    if size < 1:
+        raise ValueError(f"window size must be >= 1, got {size}")
+    n = len(tokens)
+    if n <= size:
+        if n:
+            yield tokens
+        return
+    for start in range(n - size + 1):
+        yield tokens[start : start + size]
+
+
+def chunked(items: Iterable[T], size: int) -> Iterator[list[T]]:
+    """Yield lists of at most ``size`` consecutive items of ``items``."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    batch: list[T] = []
+    for item in items:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def pairwise_overlap(left: Sequence[T], right: Sequence[T]) -> float:
+    """Return ``|set(left) & set(right)| / max(|left|, |right|, 1)``.
+
+    Used for the top-k overlap metric of Figure 7; both arguments are ranked
+    result lists and the denominator is the longer list so the value stays
+    in [0, 1] even when one engine returns fewer than k results.
+    """
+    if not left and not right:
+        return 1.0
+    shared = len(set(left) & set(right))
+    return shared / max(len(left), len(right), 1)
+
+
+def harmonic_number(n: int) -> float:
+    """Return the n-th harmonic number ``H_n``."""
+    return generalized_harmonic(n, 1.0)
+
+
+def generalized_harmonic(n: int, exponent: float) -> float:
+    """Return ``sum_{r=1..n} r**-exponent`` (normalizer of a Zipf pmf)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return sum(r ** -exponent for r in range(1, n + 1))
+
+
+def format_count(value: float) -> str:
+    """Format a posting/message count compactly, e.g. ``1.40e+07``."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 100_000:
+        return f"{value:.2e}"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.2f}"
+    return f"{int(value):,}"
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table (used by benches and reports)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def take(iterable: Iterable[T], n: int) -> list[T]:
+    """Return the first ``n`` items of ``iterable`` as a list."""
+    return list(itertools.islice(iterable, n))

@@ -1,0 +1,132 @@
+"""Tests for the Theorem 1-3 estimators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.estimators import (
+    frequent_term_probability,
+    index_size_estimate,
+    index_size_ratio,
+    very_frequent_term_probability,
+)
+from repro.errors import AnalysisError
+from repro.utils import binomial
+
+
+class TestTheorem1:
+    def test_probability_in_unit_interval(self):
+        p = very_frequent_term_probability(skew=1.5, scale=1e6, ff=1e5)
+        assert 0.0 <= p <= 1.0
+
+    def test_grows_with_scale(self):
+        # P_vf depends on l through C(l): larger collections concentrate
+        # more occurrence mass in the very frequent band (fixed F_f).
+        p_small = very_frequent_term_probability(1.5, 1e6, 1e5)
+        p_large = very_frequent_term_probability(1.5, 1e9, 1e5)
+        assert p_large > p_small
+
+    def test_zero_when_ff_exceeds_scale(self):
+        # No term reaches frequency F_f when C(l) < F_f.
+        assert very_frequent_term_probability(1.5, 100.0, 1e5) == 0.0
+
+    def test_requires_skew_above_one(self):
+        with pytest.raises(AnalysisError):
+            very_frequent_term_probability(0.9, 1e6, 1e3)
+
+    def test_matches_closed_form(self):
+        skew, scale, ff = 1.5, 1e7, 1e4
+        exponent = (skew - 1) / skew
+        expected = (1 - (ff / scale) ** exponent) / (
+            1 - (1 / scale) ** exponent
+        )
+        assert very_frequent_term_probability(
+            skew, scale, ff
+        ) == pytest.approx(expected)
+
+
+class TestTheorem2:
+    def test_probability_in_unit_interval(self):
+        p = frequent_term_probability(skew=1.5, fr=100, ff=100_000)
+        assert 0.0 <= p <= 1.0
+
+    def test_independent_of_scale(self):
+        # The defining property: P_f has no C(l) argument at all; verify
+        # the formula only involves F_r, F_f, a.
+        p = frequent_term_probability(1.5, 100, 100_000)
+        assert p == pytest.approx(
+            frequent_term_probability(1.5, 100, 100_000)
+        )
+
+    def test_monotone_in_fr(self):
+        # Raising F_r shrinks the frequent band from below.
+        p_low = frequent_term_probability(1.5, 10, 100_000)
+        p_high = frequent_term_probability(1.5, 1_000, 100_000)
+        assert p_high < p_low
+
+    def test_matches_closed_form(self):
+        skew, fr, ff = 1.5, 100, 100_000
+        exponent = (skew - 1) / skew
+        expected = (1 - (fr / ff) ** exponent) / (1 - (1 / ff) ** exponent)
+        assert frequent_term_probability(skew, fr, ff) == pytest.approx(
+            expected
+        )
+
+    def test_paper_ballpark(self):
+        # The paper reports P_f,1 = 0.8 for a=1.5 on Wikipedia; verify the
+        # formula lands in a plausible band at the paper's thresholds.
+        p = frequent_term_probability(1.5, 2, 100_000)
+        assert 0.1 < p < 1.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(AnalysisError):
+            frequent_term_probability(1.5, 1_000, 100)  # fr > ff
+        with pytest.raises(AnalysisError):
+            frequent_term_probability(1.0, 10, 100)  # skew <= 1
+
+
+class TestTheorem3:
+    def test_size_one_is_sample_size(self):
+        assert index_size_estimate(12345, 0.8, 20, 1) == 12345.0
+
+    def test_formula_for_size_two(self):
+        # IS_2 = D * P_f^2 * (w - 1)
+        d, p, w = 1000, 0.8, 20
+        assert index_size_estimate(d, p, w, 2) == pytest.approx(
+            d * p * p * (w - 1)
+        )
+
+    def test_formula_for_size_three(self):
+        # IS_3 = D * P_f,2^2 * C(w-1, 2)
+        d, p, w = 1000, 0.257, 20
+        assert index_size_estimate(d, p, w, 3) == pytest.approx(
+            d * p * p * binomial(w - 1, 2)
+        )
+
+    def test_paper_values(self):
+        # Paper Section 5: with a1=1.5 fitted, P_f,1=0.8 gives
+        # IS2/D = 12.16; P_f,2=0.257 gives IS3/D = 11.35 (w=20).
+        assert index_size_ratio(0.8, 20, 2) == pytest.approx(12.16)
+        assert index_size_ratio(0.257, 20, 3) == pytest.approx(
+            11.35, abs=0.07
+        )
+
+    def test_ratio_is_linear_constant(self):
+        # IS_s(D)/D must not depend on D (the scalability claim).
+        p, w, s = 0.5, 10, 2
+        r1 = index_size_estimate(100, p, w, s) / 100
+        r2 = index_size_estimate(1_000_000, p, w, s) / 1_000_000
+        assert r1 == pytest.approx(r2)
+
+    def test_ratio_size_one_is_one(self):
+        assert index_size_ratio(0.8, 20, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            index_size_estimate(-1, 0.5, 10, 2)
+        with pytest.raises(AnalysisError):
+            index_size_estimate(10, 1.5, 10, 2)
+        with pytest.raises(AnalysisError):
+            index_size_estimate(10, 0.5, 1, 2)
+        with pytest.raises(AnalysisError):
+            index_size_estimate(10, 0.5, 10, 0)

@@ -1,0 +1,71 @@
+"""Tests for the adaptive parameter planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.planner import ParameterPlan, plan_df_max, plan_parameters
+from repro.analysis.retrieval_cost import expected_keys_per_query
+from repro.errors import AnalysisError
+
+
+QUERY_PROFILE = {2: 0.7, 3: 0.3}  # expected n_k = 0.7*3 + 0.3*7 = 4.2
+
+
+class TestPlanDfMax:
+    def test_budget_divided_by_expected_nk(self):
+        assert plan_df_max(4200, QUERY_PROFILE, s_max=3) == 1000
+
+    def test_larger_budget_larger_df_max(self):
+        small = plan_df_max(1000, QUERY_PROFILE, s_max=3)
+        large = plan_df_max(10_000, QUERY_PROFILE, s_max=3)
+        assert large > small
+
+    def test_smaller_smax_allows_larger_df_max(self):
+        # Lower s_max means fewer lattice lookups per query, so the same
+        # budget buys a larger DF_max.
+        deep = plan_df_max(5_000, {4: 1.0}, s_max=3)
+        shallow = plan_df_max(5_000, {4: 1.0}, s_max=2)
+        assert shallow > deep
+
+    def test_budget_too_small(self):
+        with pytest.raises(AnalysisError):
+            plan_df_max(1, QUERY_PROFILE, s_max=3)
+
+    def test_invalid_budget(self):
+        with pytest.raises(AnalysisError):
+            plan_df_max(0, QUERY_PROFILE, s_max=3)
+
+
+class TestPlanParameters:
+    def test_plan_is_consistent(self):
+        plan = plan_parameters(4_200, QUERY_PROFILE)
+        assert isinstance(plan, ParameterPlan)
+        assert plan.params.df_max == 1000
+        assert plan.expected_keys_per_query == pytest.approx(
+            expected_keys_per_query(QUERY_PROFILE, 3)
+        )
+        assert plan.retrieval_bound_per_query == pytest.approx(
+            plan.expected_keys_per_query * plan.params.df_max
+        )
+
+    def test_budget_respected(self):
+        for budget in (500, 2_000, 50_000):
+            plan = plan_parameters(budget, QUERY_PROFILE)
+            assert plan.retrieval_bound_per_query <= budget
+
+    def test_index_multiplier_reflects_window(self):
+        narrow = plan_parameters(4_200, QUERY_PROFILE, window_size=10)
+        wide = plan_parameters(4_200, QUERY_PROFILE, window_size=20)
+        assert wide.index_size_multiplier > narrow.index_size_multiplier
+
+    def test_index_multiplier_includes_all_sizes(self):
+        plan = plan_parameters(4_200, QUERY_PROFILE, s_max=1)
+        # Only IS1/D = 1 for s_max = 1.
+        assert plan.index_size_multiplier == pytest.approx(1.0)
+
+    def test_paper_like_profile(self):
+        # At the paper's calibration (budget chosen to yield DF_max=400).
+        nk = expected_keys_per_query(QUERY_PROFILE, 3)
+        plan = plan_parameters(400 * nk + 1, QUERY_PROFILE)
+        assert plan.params.df_max == 400

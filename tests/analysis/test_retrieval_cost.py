@@ -1,0 +1,79 @@
+"""Tests for the retrieval-cost model (paper Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.retrieval_cost import (
+    expected_keys_per_query,
+    keys_per_query,
+    retrieval_traffic_bound,
+)
+from repro.errors import AnalysisError
+from repro.utils import binomial
+
+
+class TestKeysPerQuery:
+    def test_small_queries_full_lattice(self):
+        # |q| <= s_max: n_k = 2^|q| - 1.
+        assert keys_per_query(1, 3) == 1
+        assert keys_per_query(2, 3) == 3
+        assert keys_per_query(3, 3) == 7
+
+    def test_large_queries_truncated_lattice(self):
+        # |q| > s_max: sum of binomials up to s_max.
+        assert keys_per_query(5, 3) == (
+            binomial(5, 1) + binomial(5, 2) + binomial(5, 3)
+        )
+        assert keys_per_query(8, 2) == binomial(8, 1) + binomial(8, 2)
+
+    def test_boundary_equality(self):
+        # At |q| == s_max the two formulas agree.
+        assert keys_per_query(3, 3) == sum(
+            binomial(3, i) for i in range(1, 4)
+        )
+
+    def test_zero_query(self):
+        assert keys_per_query(0, 3) == 0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            keys_per_query(-1, 3)
+        with pytest.raises(AnalysisError):
+            keys_per_query(2, 0)
+
+
+class TestTrafficBound:
+    def test_bound_formula(self):
+        assert retrieval_traffic_bound(2, 3, 400) == 3 * 400
+
+    def test_bound_independent_of_collection_size(self):
+        # There is no collection-size argument at all: the crux of the
+        # scalability claim.
+        assert retrieval_traffic_bound(3, 3, 500) == 7 * 500
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            retrieval_traffic_bound(2, 3, 0)
+
+
+class TestExpectedKeys:
+    def test_paper_average(self):
+        # Paper: average 2.3 terms -> n_k ~ 3.92.  With a 70/30 mix of
+        # 2- and 3-term queries the expectation is 0.7*3 + 0.3*7 = 4.2;
+        # the paper's interpolated value 3.92 is close.
+        value = expected_keys_per_query({2: 0.7, 3: 0.3}, 3)
+        assert value == pytest.approx(4.2)
+
+    def test_normalization(self):
+        assert expected_keys_per_query({2: 2.0, 3: 2.0}, 3) == pytest.approx(
+            (3 + 7) / 2
+        )
+
+    def test_empty_distribution(self):
+        with pytest.raises(AnalysisError):
+            expected_keys_per_query({}, 3)
+
+    def test_zero_mass(self):
+        with pytest.raises(AnalysisError):
+            expected_keys_per_query({2: 0.0}, 3)

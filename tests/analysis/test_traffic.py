@@ -1,0 +1,138 @@
+"""Tests for the Figure-8 total-traffic model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.traffic import TrafficModel, TrafficPoint
+from repro.errors import AnalysisError
+
+WIKIPEDIA_DOCS = 653_546
+
+
+class TestComponents:
+    def test_st_indexing_linear(self):
+        model = TrafficModel()
+        assert model.st_indexing_traffic(2_000) == pytest.approx(
+            2 * model.st_indexing_traffic(1_000)
+        )
+
+    def test_hdk_indexing_is_heavier_than_st(self):
+        # The paper: HDK indexing transmits ~40x more postings.
+        model = TrafficModel()
+        ratio = model.hdk_indexing_traffic(1000) / model.st_indexing_traffic(
+            1000
+        )
+        assert 30 < ratio < 50
+
+    def test_st_retrieval_grows_with_collection(self):
+        model = TrafficModel()
+        assert model.st_retrieval_traffic(2_000_000) > model.st_retrieval_traffic(
+            1_000_000
+        )
+
+    def test_hdk_retrieval_constant_in_collection_size(self):
+        model = TrafficModel()
+        assert model.hdk_retrieval_traffic(1_000) == pytest.approx(
+            model.hdk_retrieval_traffic(1_000_000_000)
+        )
+
+    def test_keys_per_query_near_paper_value(self):
+        # Interpolated n_k at |q| = 2.3 with s_max = 3: between 3 and 7.
+        model = TrafficModel()
+        assert 3.0 < model.keys_per_query < 7.0
+        assert model.keys_per_query == pytest.approx(4.2, abs=0.5)
+
+
+class TestPaperRatios:
+    def test_wikipedia_scale_ratio(self):
+        # Paper: ~20x less traffic at the full Wikipedia collection.
+        point = TrafficModel().point(WIKIPEDIA_DOCS)
+        assert 10 < point.st_over_hdk < 35
+
+    def test_billion_document_ratio(self):
+        # Paper: ~42x at one billion documents.
+        point = TrafficModel().point(1_000_000_000)
+        assert 30 < point.st_over_hdk < 55
+
+    def test_ratio_grows_with_collection(self):
+        # The larger the collection, the more HDK wins (Fig. 8 divergence).
+        model = TrafficModel()
+        small = model.point(WIKIPEDIA_DOCS).st_over_hdk
+        large = model.point(1_000_000_000).st_over_hdk
+        assert large > small
+
+    def test_hdk_wins_beyond_small_collections(self):
+        # HDK pays a constant n_k*DF_max retrieval cost per query, so the
+        # single-term approach wins for very small collections; the
+        # crossover sits far below Wikipedia size, after which HDK wins.
+        model = TrafficModel()
+        assert model.point(1_000).st_over_hdk < 1.0
+        for docs in (50_000, WIKIPEDIA_DOCS, 10**8, 10**9):
+            assert model.point(docs).st_over_hdk > 1.0
+
+    def test_crossover_exists_at_tiny_query_load(self):
+        # With almost no queries, indexing dominates and single-term wins:
+        # the trade-off the paper's usage-model discussion describes.
+        model = TrafficModel(queries_per_month=1.0)
+        assert model.point(1_000_000).st_over_hdk < 1.0
+
+
+class TestSeriesAndCalibration:
+    def test_series_matches_points(self):
+        model = TrafficModel()
+        series = model.series([1_000, 2_000])
+        assert [p.num_documents for p in series] == [1_000, 2_000]
+        assert series[0].st_total == pytest.approx(
+            model.point(1_000).st_total
+        )
+
+    def test_point_totals_sum_components(self):
+        point = TrafficPoint(
+            num_documents=10,
+            st_indexing=1.0,
+            st_retrieval=2.0,
+            hdk_indexing=3.0,
+            hdk_retrieval=4.0,
+        )
+        assert point.st_total == 3.0
+        assert point.hdk_total == 7.0
+        assert point.st_over_hdk == pytest.approx(3.0 / 7.0)
+
+    def test_calibrated_from_measurements(self):
+        model = TrafficModel.calibrated(
+            st_postings_per_doc=100.0,
+            hdk_postings_per_doc=4_000.0,
+            st_retrieval_slope=0.1,
+        )
+        assert model.st_postings_per_doc == 100.0
+        assert model.hdk_postings_per_doc == 4_000.0
+        assert model.st_retrieval_postings_per_doc == 0.1
+
+    def test_calibrated_with_measured_nk(self):
+        model = TrafficModel.calibrated(
+            st_postings_per_doc=100.0,
+            hdk_postings_per_doc=4_000.0,
+            st_retrieval_slope=0.1,
+            measured_keys_per_query=3.92,
+        )
+        assert model.keys_per_query == pytest.approx(3.92, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            TrafficModel(st_postings_per_doc=0)
+        with pytest.raises(AnalysisError):
+            TrafficModel(df_max=0)
+        with pytest.raises(AnalysisError):
+            TrafficModel().point(-1)
+
+    def test_zero_hdk_total_ratio_error(self):
+        point = TrafficPoint(
+            num_documents=0,
+            st_indexing=0,
+            st_retrieval=0,
+            hdk_indexing=0,
+            hdk_retrieval=0,
+        )
+        with pytest.raises(AnalysisError):
+            _ = point.st_over_hdk

@@ -1,0 +1,104 @@
+"""Tests for the Zipf model and fitting (paper Figure 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.zipf import ZipfModel, fit_zipf
+from repro.errors import AnalysisError
+
+
+class TestZipfModel:
+    def test_frequency_formula(self):
+        model = ZipfModel(skew=1.5, scale=1000.0)
+        assert model.frequency(1) == pytest.approx(1000.0)
+        assert model.frequency(4) == pytest.approx(1000.0 / 8.0)
+
+    def test_rank_is_inverse_of_frequency(self):
+        model = ZipfModel(skew=1.5, scale=1000.0)
+        for rank in (1, 5, 17, 100):
+            assert model.rank(model.frequency(rank)) == pytest.approx(rank)
+
+    def test_hapax_rank(self):
+        model = ZipfModel(skew=1.0, scale=500.0)
+        assert model.hapax_rank() == pytest.approx(500.0)
+
+    def test_series_length_and_monotonicity(self):
+        model = ZipfModel(skew=1.5, scale=100.0)
+        series = model.series(10)
+        assert len(series) == 10
+        assert all(a >= b for a, b in zip(series, series[1:]))
+
+    def test_rank_cutoffs_ordering(self):
+        # Figure 2: r_f <= r_r because F_f >= F_r.
+        model = ZipfModel(skew=1.5, scale=10_000.0)
+        rf, rr = model.rank_cutoffs(ff=1000, fr=10)
+        assert rf < rr
+
+    def test_rank_cutoffs_bad_thresholds(self):
+        model = ZipfModel(skew=1.5, scale=10_000.0)
+        with pytest.raises(AnalysisError):
+            model.rank_cutoffs(ff=10, fr=1000)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(AnalysisError):
+            ZipfModel(skew=0, scale=10)
+        with pytest.raises(AnalysisError):
+            ZipfModel(skew=1, scale=0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(AnalysisError):
+            ZipfModel(skew=1.0, scale=10.0).frequency(0)
+
+    def test_scale_grows_with_sample_size_property(self):
+        # The paper's C(l) grows with l: two models sharing a skew keep
+        # frequency ratios constant across ranks.
+        small = ZipfModel(skew=1.5, scale=100.0)
+        large = ZipfModel(skew=1.5, scale=1000.0)
+        ratio_at_1 = large.frequency(1) / small.frequency(1)
+        ratio_at_9 = large.frequency(9) / small.frequency(9)
+        assert ratio_at_1 == pytest.approx(ratio_at_9)
+
+
+class TestFitZipf:
+    def test_recovers_exact_parameters(self):
+        truth = ZipfModel(skew=1.5, scale=5000.0)
+        data = [truth.frequency(r) for r in range(1, 200)]
+        fitted = fit_zipf(data, min_frequency=0.1)
+        assert fitted.skew == pytest.approx(1.5, rel=1e-6)
+        assert fitted.scale == pytest.approx(5000.0, rel=1e-6)
+
+    def test_recovers_noisy_parameters(self):
+        import random
+
+        rng = random.Random(3)
+        truth = ZipfModel(skew=1.2, scale=8000.0)
+        data = [
+            truth.frequency(r) * math.exp(rng.gauss(0, 0.05))
+            for r in range(1, 300)
+        ]
+        fitted = fit_zipf(data, min_frequency=0.1)
+        assert fitted.skew == pytest.approx(1.2, abs=0.1)
+
+    def test_min_frequency_cuts_hapax_tail(self):
+        truth = ZipfModel(skew=1.5, scale=100.0)
+        data = [truth.frequency(r) for r in range(1, 50)] + [1.0] * 100
+        fitted = fit_zipf(data, min_frequency=2.0)
+        assert fitted.skew == pytest.approx(1.5, abs=0.2)
+
+    def test_max_points(self):
+        truth = ZipfModel(skew=1.5, scale=100.0)
+        data = [truth.frequency(r) for r in range(1, 100)]
+        fitted = fit_zipf(data, min_frequency=0.0001, max_points=10)
+        assert fitted.skew == pytest.approx(1.5, rel=1e-6)
+
+    def test_too_few_points(self):
+        with pytest.raises(AnalysisError):
+            fit_zipf([100.0], min_frequency=1.0)
+
+    def test_non_zipf_data_rejected(self):
+        # Increasing frequencies -> positive slope -> negative skew.
+        with pytest.raises(AnalysisError):
+            fit_zipf([1.0, 10.0, 100.0], min_frequency=0.1)

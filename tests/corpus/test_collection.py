@@ -1,0 +1,106 @@
+"""Tests for repro.corpus.collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import (
+    DocumentCollection,
+    build_collection_from_texts,
+)
+from repro.corpus.document import Document
+from repro.errors import CorpusError
+
+
+def make_collection(token_lists):
+    return DocumentCollection(
+        Document(doc_id=i, tokens=tuple(tokens))
+        for i, tokens in enumerate(token_lists)
+    )
+
+
+class TestContainer:
+    def test_len_and_iter(self):
+        collection = make_collection([["a"], ["b"]])
+        assert len(collection) == 2
+        assert [doc.doc_id for doc in collection] == [0, 1]
+
+    def test_duplicate_id_rejected(self):
+        collection = make_collection([["a"]])
+        with pytest.raises(CorpusError):
+            collection.add(Document(doc_id=0, tokens=("x",)))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(CorpusError):
+            make_collection([]).get(42)
+
+    def test_contains(self):
+        collection = make_collection([["a"]])
+        assert 0 in collection
+        assert 1 not in collection
+
+
+class TestAggregates:
+    def test_size_and_sample_size(self):
+        collection = make_collection([["a", "b"], ["c"]])
+        assert collection.size == 2  # M
+        assert collection.sample_size == 3  # D
+
+    def test_average_document_length(self):
+        collection = make_collection([["a", "b"], ["c", "d", "e", "f"]])
+        assert collection.average_document_length == 3.0
+
+    def test_empty_average(self):
+        assert DocumentCollection().average_document_length == 0.0
+
+    def test_vocabulary(self):
+        collection = make_collection([["a", "b"], ["b", "c"]])
+        assert collection.vocabulary() == {"a", "b", "c"}
+
+    def test_doc_length(self):
+        collection = make_collection([["a", "b", "c"]])
+        assert collection.doc_length(0) == 3
+
+
+class TestSplit:
+    def test_round_robin(self):
+        collection = make_collection([["a"]] * 7)
+        parts = collection.split(3)
+        assert [len(p) for p in parts] == [3, 2, 2]
+        assert parts[0].doc_ids() == [0, 3, 6]
+        assert parts[1].doc_ids() == [1, 4]
+
+    def test_split_covers_everything_disjointly(self):
+        collection = make_collection([["x"]] * 10)
+        parts = collection.split(4)
+        all_ids = [i for part in parts for i in part.doc_ids()]
+        assert sorted(all_ids) == list(range(10))
+
+    def test_split_more_parts_than_docs(self):
+        collection = make_collection([["x"]] * 2)
+        parts = collection.split(5)
+        assert [len(p) for p in parts] == [1, 1, 0, 0, 0]
+
+    def test_invalid_parts(self):
+        with pytest.raises(CorpusError):
+            DocumentCollection().split(0)
+
+    def test_subset(self):
+        collection = make_collection([["a"], ["b"], ["c"]])
+        sub = collection.subset([2, 0])
+        assert sub.doc_ids() == [2, 0]
+
+
+class TestBuildFromTexts:
+    def test_pipeline_applied(self):
+        collection = build_collection_from_texts(
+            ["The running dogs", "quantum computing"]
+        )
+        assert collection.get(0).tokens == ("run", "dog")
+        assert collection.get(1).tokens == ("quantum", "comput")
+
+    def test_title_fn(self):
+        collection = build_collection_from_texts(
+            ["alpha text"], title_fn=lambda i: f"T{i}"
+        )
+        assert collection.get(0).title == "T0"

@@ -1,0 +1,52 @@
+"""Tests for repro.corpus.document."""
+
+from __future__ import annotations
+
+from repro.corpus.document import Document
+
+
+def make(tokens):
+    return Document(doc_id=1, tokens=tuple(tokens))
+
+
+def test_length_is_token_count():
+    assert len(make(["a", "b", "a"])) == 3
+
+
+def test_term_frequency():
+    doc = make(["a", "b", "a"])
+    assert doc.term_frequency("a") == 2
+    assert doc.term_frequency("b") == 1
+    assert doc.term_frequency("absent") == 0
+
+
+def test_distinct_terms():
+    assert make(["a", "b", "a"]).distinct_terms == frozenset({"a", "b"})
+
+
+def test_term_frequencies_copy():
+    doc = make(["a"])
+    counts = doc.term_frequencies()
+    counts["a"] = 99
+    assert doc.term_frequency("a") == 1
+
+
+def test_contains_all():
+    doc = make(["x", "y", "z"])
+    assert doc.contains_all(frozenset({"x", "z"}))
+    assert not doc.contains_all(frozenset({"x", "missing"}))
+
+
+def test_empty_document():
+    doc = make([])
+    assert len(doc) == 0
+    assert doc.distinct_terms == frozenset()
+
+
+def test_title_default():
+    assert make(["a"]).title == ""
+
+
+def test_immutability_of_tokens():
+    doc = make(["a", "b"])
+    assert isinstance(doc.tokens, tuple)

@@ -1,0 +1,103 @@
+"""Tests for the query-log generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.querylog import Query, QueryLogGenerator
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+)
+from repro.errors import CorpusError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    config = SyntheticCorpusConfig(
+        vocabulary_size=400, mean_doc_length=50, num_topics=6
+    )
+    return SyntheticCorpusGenerator(config, seed=5).generate(200)
+
+
+class TestQuery:
+    def test_distinct_terms_enforced(self):
+        with pytest.raises(CorpusError):
+            Query(query_id=0, terms=("a", "a"))
+
+    def test_len_and_term_set(self):
+        q = Query(query_id=0, terms=("a", "b"))
+        assert len(q) == 2
+        assert q.term_set == frozenset({"a", "b"})
+
+
+class TestGenerator:
+    def test_count(self, corpus):
+        log = QueryLogGenerator(corpus, window_size=8, min_hits=5, seed=2)
+        assert len(log.generate(25)) == 25
+
+    def test_deterministic(self, corpus):
+        a = QueryLogGenerator(corpus, window_size=8, min_hits=5, seed=2)
+        b = QueryLogGenerator(corpus, window_size=8, min_hits=5, seed=2)
+        assert [q.terms for q in a.generate(10)] == [
+            q.terms for q in b.generate(10)
+        ]
+
+    def test_queries_are_multi_term(self, corpus):
+        log = QueryLogGenerator(corpus, window_size=8, min_hits=5, seed=2)
+        assert all(len(q) >= 2 for q in log.generate(30))
+
+    def test_sizes_within_paper_range(self, corpus):
+        log = QueryLogGenerator(corpus, window_size=8, min_hits=5, seed=2)
+        assert all(2 <= len(q) <= 8 for q in log.generate(40))
+
+    def test_average_size_near_three(self, corpus):
+        log = QueryLogGenerator(corpus, window_size=8, min_hits=1, seed=2)
+        queries = log.generate(200)
+        avg = log.average_query_size(queries)
+        assert 2.2 < avg < 4.0  # paper reports 3.02
+
+    def test_terms_cooccur_in_source_documents(self, corpus):
+        log = QueryLogGenerator(corpus, window_size=8, min_hits=1, seed=2)
+        for query in log.generate(15):
+            assert any(
+                doc.contains_all(query.term_set) for doc in corpus
+            ), f"query {query.terms} does not co-occur anywhere"
+
+    def test_hit_constraint_respected(self, corpus):
+        min_hits = 5
+        log = QueryLogGenerator(
+            corpus, window_size=8, min_hits=min_hits, seed=2
+        )
+        df: dict[str, int] = {}
+        for doc in corpus:
+            for term in doc.distinct_terms:
+                df[term] = df.get(term, 0) + 1
+        for query in log.generate(20):
+            # The generator guarantees max-df >= min_hits (a lower bound on
+            # the union hit count).
+            assert max(df.get(t, 0) for t in query.terms) >= min_hits
+
+    def test_empty_collection_rejected(self):
+        from repro.corpus.collection import DocumentCollection
+
+        with pytest.raises(CorpusError):
+            QueryLogGenerator(DocumentCollection())
+
+    def test_bad_parameters(self, corpus):
+        with pytest.raises(CorpusError):
+            QueryLogGenerator(corpus, window_size=1)
+        with pytest.raises(CorpusError):
+            QueryLogGenerator(corpus, min_hits=-1)
+        with pytest.raises(CorpusError):
+            QueryLogGenerator(corpus, size_weights={})
+
+    def test_custom_size_weights(self, corpus):
+        log = QueryLogGenerator(
+            corpus,
+            window_size=8,
+            min_hits=1,
+            size_weights={2: 1.0},
+            seed=2,
+        )
+        assert all(len(q) == 2 for q in log.generate(20))

@@ -1,0 +1,84 @@
+"""Tests for collection statistics (paper Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.stats import compute_statistics
+
+
+@pytest.fixture()
+def stats():
+    docs = [
+        Document(doc_id=0, tokens=("a", "b", "a", "c")),
+        Document(doc_id=1, tokens=("a", "d")),
+        Document(doc_id=2, tokens=("b", "b", "e")),
+    ]
+    return compute_statistics(DocumentCollection(docs))
+
+
+def test_num_documents(stats):
+    assert stats.num_documents == 3
+
+
+def test_sample_size(stats):
+    assert stats.sample_size == 9  # total term occurrences D
+
+
+def test_vocabulary_size(stats):
+    assert stats.vocabulary_size == 5
+
+
+def test_average_document_length(stats):
+    assert stats.average_document_length == pytest.approx(3.0)
+
+
+def test_collection_frequency(stats):
+    assert stats.collection_frequency["a"] == 3
+    assert stats.collection_frequency["b"] == 3
+    assert stats.collection_frequency["e"] == 1
+
+
+def test_document_frequency(stats):
+    assert stats.document_frequency["a"] == 2
+    assert stats.document_frequency["b"] == 2
+    assert stats.document_frequency["c"] == 1
+
+
+def test_rank_frequency_sorted_descending(stats):
+    assert list(stats.rank_frequency) == sorted(
+        stats.rank_frequency, reverse=True
+    )
+    assert stats.rank_frequency[0] == 3
+
+
+def test_frequency_of_rank(stats):
+    assert stats.frequency_of_rank(1) == 3
+    with pytest.raises(ValueError):
+        stats.frequency_of_rank(0)
+    with pytest.raises(ValueError):
+        stats.frequency_of_rank(99)
+
+
+def test_hapax_count(stats):
+    assert stats.hapax_count() == 3  # c, d, e
+
+
+def test_very_frequent_terms(stats):
+    assert stats.very_frequent_terms(2) == {"a", "b"}
+    assert stats.very_frequent_terms(3) == set()
+
+
+def test_summary_rows(stats):
+    rows = dict(stats.summary_rows())
+    assert rows["total number of documents M"] == "3"
+    assert rows["size in words D"] == "9"
+
+
+def test_empty_collection():
+    stats = compute_statistics(DocumentCollection())
+    assert stats.num_documents == 0
+    assert stats.sample_size == 0
+    assert stats.average_document_length == 0.0

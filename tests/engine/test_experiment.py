@@ -1,0 +1,108 @@
+"""Tests for the growth-experiment runner (Section 5 protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExperimentParameters, HDKParameters
+from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.engine.experiment import GrowthExperiment
+from repro.engine.reporting import series_by_label
+from repro.errors import ConfigurationError
+
+
+TINY_EXPERIMENT = ExperimentParameters(
+    initial_peers=2,
+    peer_step=2,
+    max_peers=4,
+    docs_per_peer=40,
+    hdk=HDKParameters(df_max=6, window_size=6, s_max=3, ff=2_000, fr=2),
+    seed=3,
+)
+
+TINY_CORPUS = SyntheticCorpusConfig(
+    vocabulary_size=300, mean_doc_length=30, num_topics=6
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    experiment = GrowthExperiment(
+        TINY_EXPERIMENT,
+        corpus_config=TINY_CORPUS,
+        df_max_values=(6,),
+        include_single_term=True,
+        num_queries=8,
+    )
+    return experiment.run()
+
+
+class TestProtocol:
+    def test_one_row_per_step_and_config(self, results):
+        # 2 steps x 2 configs (ST + one HDK) = 4 rows.
+        assert len(results) == 4
+
+    def test_labels(self, results):
+        labels = {r.label for r in results}
+        assert labels == {"ST", "HDK df_max=6"}
+
+    def test_document_counts_follow_growth(self, results):
+        counts = sorted({r.num_documents for r in results})
+        assert counts == [80, 160]
+
+    def test_series_grouping(self, results):
+        series = series_by_label(results)
+        assert set(series) == {"ST", "HDK df_max=6"}
+        assert [s.num_documents for s in series["ST"]] == [80, 160]
+
+
+class TestPaperShapes:
+    def test_hdk_stores_more_postings_fig3(self, results):
+        series = series_by_label(results)
+        for st, hdk in zip(series["ST"], series["HDK df_max=6"]):
+            assert (
+                hdk.stored_postings_per_peer > st.stored_postings_per_peer
+            )
+
+    def test_hdk_retrieval_traffic_lower_fig6(self, results):
+        series = series_by_label(results)
+        for st, hdk in zip(series["ST"], series["HDK df_max=6"]):
+            assert (
+                hdk.retrieval_postings_per_query
+                < st.retrieval_postings_per_query
+            )
+
+    def test_st_retrieval_traffic_grows_fig6(self, results):
+        series = series_by_label(results)
+        st = series["ST"]
+        assert (
+            st[1].retrieval_postings_per_query
+            > st[0].retrieval_postings_per_query * 1.2
+        )
+
+    def test_overlap_reported_fig7(self, results):
+        for row in results:
+            assert 0.0 <= row.top20_overlap <= 100.0
+        # Single-term with full lists must track centralized BM25 closely.
+        series = series_by_label(results)
+        for st in series["ST"]:
+            assert st.top20_overlap > 80.0
+
+    def test_is_ratios_fig5(self, results):
+        series = series_by_label(results)
+        for hdk in series["HDK df_max=6"]:
+            assert hdk.is_ratio_by_size.get(1, 0) <= 1.0 + 1e-9
+            assert hdk.is_ratio_total >= hdk.is_ratio_by_size.get(1, 0)
+
+    def test_keys_per_query_only_for_hdk(self, results):
+        series = series_by_label(results)
+        assert all(s.keys_per_query == 0.0 for s in series["ST"])
+        assert all(
+            s.keys_per_query >= 1.0 for s in series["HDK df_max=6"]
+        )
+
+
+class TestValidation:
+    def test_bad_num_queries(self):
+        with pytest.raises(ConfigurationError):
+            GrowthExperiment(TINY_EXPERIMENT, num_queries=0)

@@ -1,0 +1,96 @@
+"""Tests for the incremental mode of the growth experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ExperimentParameters, HDKParameters
+from repro.corpus.synthetic import SyntheticCorpusConfig
+from repro.engine.experiment import GrowthExperiment
+from repro.engine.reporting import series_by_label
+
+
+EXPERIMENT = ExperimentParameters(
+    initial_peers=2,
+    peer_step=2,
+    max_peers=6,
+    docs_per_peer=40,
+    hdk=HDKParameters(df_max=6, window_size=6, s_max=3, ff=10_000, fr=2),
+    seed=3,
+)
+
+CORPUS = SyntheticCorpusConfig(
+    vocabulary_size=300, mean_doc_length=30, num_topics=6
+)
+
+
+@pytest.fixture(scope="module")
+def incremental_results():
+    return GrowthExperiment(
+        EXPERIMENT,
+        corpus_config=CORPUS,
+        df_max_values=(6,),
+        num_queries=8,
+        incremental=True,
+    ).run()
+
+
+def test_all_steps_measured(incremental_results):
+    series = series_by_label(incremental_results)
+    assert [s.num_peers for s in series["ST"]] == [2, 4, 6]
+    assert [s.num_peers for s in series["HDK df_max=6"]] == [2, 4, 6]
+
+
+def test_figure6_shape_holds_incrementally(incremental_results):
+    series = series_by_label(incremental_results)
+    for st_step, hdk_step in zip(series["ST"], series["HDK df_max=6"]):
+        assert (
+            hdk_step.retrieval_postings_per_query
+            < st_step.retrieval_postings_per_query
+        )
+    st = series["ST"]
+    assert (
+        st[-1].retrieval_postings_per_query
+        > st[0].retrieval_postings_per_query
+    )
+
+
+def test_cumulative_insertion_accounting(incremental_results):
+    # Inserted postings accumulate across joins: the per-peer inserted
+    # figure can only stay flat or grow slower than stored shrinkage, and
+    # inserted >= stored at every step.
+    series = series_by_label(incremental_results)
+    for step in series["HDK df_max=6"]:
+        assert (
+            step.inserted_postings_per_peer
+            >= step.stored_postings_per_peer
+        )
+
+
+def test_first_step_matches_rebuild_mode():
+    # With a single step, incremental and rebuild are the same protocol.
+    single = ExperimentParameters(
+        initial_peers=2,
+        peer_step=2,
+        max_peers=2,
+        docs_per_peer=40,
+        hdk=EXPERIMENT.hdk,
+        seed=3,
+    )
+    rebuilt = GrowthExperiment(
+        single, corpus_config=CORPUS, df_max_values=(6,), num_queries=5
+    ).run()
+    incremental = GrowthExperiment(
+        single,
+        corpus_config=CORPUS,
+        df_max_values=(6,),
+        num_queries=5,
+        incremental=True,
+    ).run()
+    for a, b in zip(rebuilt, incremental):
+        assert a.label == b.label
+        assert a.stored_postings_per_peer == b.stored_postings_per_peer
+        assert a.inserted_postings_per_peer == (
+            b.inserted_postings_per_peer
+        )
+        assert a.top20_overlap == b.top20_overlap

@@ -1,0 +1,32 @@
+"""Tests for the Peer binding."""
+
+from __future__ import annotations
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.engine.peer import Peer
+
+
+def make_peer():
+    docs = DocumentCollection(
+        [
+            Document(doc_id=0, tokens=("a", "b")),
+            Document(doc_id=1, tokens=("c",)),
+        ]
+    )
+    return Peer(name="peer-0", collection=docs)
+
+
+def test_num_documents():
+    assert make_peer().num_documents == 2
+
+
+def test_sample_size():
+    assert make_peer().sample_size == 3
+
+
+def test_repr_mentions_name_and_sizes():
+    text = repr(make_peer())
+    assert "peer-0" in text
+    assert "docs=2" in text
+    assert "tokens=3" in text

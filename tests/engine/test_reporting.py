@@ -1,0 +1,91 @@
+"""Tests for result reporting/rendering."""
+
+from __future__ import annotations
+
+from repro.engine.experiment import GrowthStepResult
+from repro.engine.reporting import (
+    render_figure_series,
+    render_growth_table,
+    series_by_label,
+)
+
+
+def step(label, peers, docs, **kwargs):
+    return GrowthStepResult(
+        label=label, num_peers=peers, num_documents=docs, **kwargs
+    )
+
+
+def sample_results():
+    return [
+        step("ST", 2, 80, stored_postings_per_peer=100.0, top20_overlap=99.0),
+        step("ST", 4, 160, stored_postings_per_peer=110.0, top20_overlap=98.0),
+        step(
+            "HDK df_max=6",
+            2,
+            80,
+            stored_postings_per_peer=900.0,
+            top20_overlap=80.0,
+            keys_per_query=3.5,
+            is_ratio_by_size={1: 0.9, 2: 2.0},
+        ),
+        step(
+            "HDK df_max=6",
+            4,
+            160,
+            stored_postings_per_peer=950.0,
+            top20_overlap=85.0,
+            keys_per_query=3.4,
+        ),
+    ]
+
+
+def test_series_by_label_sorted_by_docs():
+    series = series_by_label(list(reversed(sample_results())))
+    assert [s.num_documents for s in series["ST"]] == [80, 160]
+
+
+def test_is_ratio_total():
+    row = sample_results()[2]
+    assert row.is_ratio_total == 2.9
+
+
+def test_render_growth_table_contains_all_rows():
+    text = render_growth_table(sample_results())
+    assert "ST" in text
+    assert "HDK df_max=6" in text
+    assert "top-20 overlap %" in text
+    # Header + separator + 4 rows.
+    assert len(text.splitlines()) == 6
+
+
+def test_render_growth_table_shows_dash_for_st_nk():
+    text = render_growth_table(sample_results())
+    rows = [line for line in text.splitlines() if line.startswith("ST")]
+    assert all(" - " in row or row.rstrip().endswith("-") or "-" in row for row in rows)
+
+
+def test_render_figure_series_pivots_by_docs():
+    text = render_figure_series(
+        sample_results(),
+        value_of=lambda s: s.stored_postings_per_peer,
+        value_header="Figure 3: stored postings per peer",
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("Figure 3")
+    assert "#docs" in lines[1]
+    assert any(line.startswith("80") for line in lines)
+    assert any(line.startswith("160") for line in lines)
+
+
+def test_render_figure_series_missing_cell_dash():
+    results = sample_results()[:3]  # HDK series misses docs=160
+    text = render_figure_series(
+        results,
+        value_of=lambda s: s.stored_postings_per_peer,
+        value_header="x",
+    )
+    row_160 = next(
+        line for line in text.splitlines() if line.startswith("160")
+    )
+    assert "-" in row_160

@@ -1,0 +1,41 @@
+"""Tests for DK/NDK classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KeyGenerationError
+from repro.hdk.classify import classify_df, is_discriminative
+from repro.index.global_index import KeyStatus
+
+
+def test_below_threshold_is_dk():
+    assert classify_df(3, 5) is KeyStatus.DISCRIMINATIVE
+
+
+def test_at_threshold_is_dk():
+    # Definition 3: df <= DF_max is discriminative (inclusive).
+    assert classify_df(5, 5) is KeyStatus.DISCRIMINATIVE
+
+
+def test_above_threshold_is_ndk():
+    assert classify_df(6, 5) is KeyStatus.NON_DISCRIMINATIVE
+
+
+def test_zero_df_is_dk():
+    assert classify_df(0, 5) is KeyStatus.DISCRIMINATIVE
+
+
+def test_is_discriminative_helper():
+    assert is_discriminative(4, 5)
+    assert not is_discriminative(9, 5)
+
+
+def test_negative_df_rejected():
+    with pytest.raises(KeyGenerationError):
+        classify_df(-1, 5)
+
+
+def test_bad_threshold_rejected():
+    with pytest.raises(KeyGenerationError):
+        classify_df(1, 0)

@@ -1,0 +1,119 @@
+"""Tests for the three key-filtering methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KeyGenerationError
+from repro.hdk.filters import (
+    is_intrinsically_discriminative,
+    passes_size_filter,
+    proximity_candidates,
+)
+from repro.index.global_index import KeyStatus
+
+
+def key(*terms):
+    return frozenset(terms)
+
+
+class TestSizeFilter:
+    def test_within_bound(self):
+        assert passes_size_filter(key("a", "b"), s_max=3)
+
+    def test_at_bound(self):
+        assert passes_size_filter(key("a", "b", "c"), s_max=3)
+
+    def test_above_bound(self):
+        assert not passes_size_filter(key("a", "b", "c", "d"), s_max=3)
+
+    def test_bad_smax(self):
+        with pytest.raises(KeyGenerationError):
+            passes_size_filter(key("a"), s_max=0)
+
+
+class TestProximityFilter:
+    def test_pairs_respect_window(self):
+        tokens = ["a", "b", "x", "x", "x", "c"]
+        pairs = proximity_candidates(tokens, window_size=2, set_size=2)
+        assert key("a", "b") in pairs
+        assert key("a", "c") not in pairs
+
+    def test_allowed_terms(self):
+        tokens = ["a", "b", "c"]
+        pairs = proximity_candidates(
+            tokens, 3, 2, allowed_terms=frozenset({"a", "b"})
+        )
+        assert pairs == {key("a", "b")}
+
+
+class TestRedundancyFilter:
+    def make_status_fn(self, statuses):
+        return lambda k: statuses.get(k)
+
+    def test_intrinsic_when_all_subkeys_ndk(self):
+        statuses = {
+            key("a", "b"): KeyStatus.DISCRIMINATIVE,
+            key("a"): KeyStatus.NON_DISCRIMINATIVE,
+            key("b"): KeyStatus.NON_DISCRIMINATIVE,
+        }
+        assert is_intrinsically_discriminative(
+            key("a", "b"), self.make_status_fn(statuses)
+        )
+
+    def test_not_intrinsic_when_subkey_dk(self):
+        # {a} already discriminative -> {a, b} is redundant.
+        statuses = {
+            key("a", "b"): KeyStatus.DISCRIMINATIVE,
+            key("a"): KeyStatus.DISCRIMINATIVE,
+            key("b"): KeyStatus.NON_DISCRIMINATIVE,
+        }
+        assert not is_intrinsically_discriminative(
+            key("a", "b"), self.make_status_fn(statuses)
+        )
+
+    def test_not_intrinsic_when_self_ndk(self):
+        statuses = {
+            key("a", "b"): KeyStatus.NON_DISCRIMINATIVE,
+            key("a"): KeyStatus.NON_DISCRIMINATIVE,
+            key("b"): KeyStatus.NON_DISCRIMINATIVE,
+        }
+        assert not is_intrinsically_discriminative(
+            key("a", "b"), self.make_status_fn(statuses)
+        )
+
+    def test_unknown_subkey_disqualifies(self):
+        statuses = {
+            key("a", "b"): KeyStatus.DISCRIMINATIVE,
+            key("a"): KeyStatus.NON_DISCRIMINATIVE,
+            # key("b") unknown.
+        }
+        assert not is_intrinsically_discriminative(
+            key("a", "b"), self.make_status_fn(statuses)
+        )
+
+    def test_singleton_dk_is_intrinsic(self):
+        # A size-1 DK has no proper subkeys.
+        statuses = {key("a"): KeyStatus.DISCRIMINATIVE}
+        assert is_intrinsically_discriminative(
+            key("a"), self.make_status_fn(statuses)
+        )
+
+    def test_three_term_key_needs_all_pairs_ndk(self):
+        base = {
+            key("a", "b", "c"): KeyStatus.DISCRIMINATIVE,
+            key("a"): KeyStatus.NON_DISCRIMINATIVE,
+            key("b"): KeyStatus.NON_DISCRIMINATIVE,
+            key("c"): KeyStatus.NON_DISCRIMINATIVE,
+            key("a", "b"): KeyStatus.NON_DISCRIMINATIVE,
+            key("a", "c"): KeyStatus.NON_DISCRIMINATIVE,
+            key("b", "c"): KeyStatus.NON_DISCRIMINATIVE,
+        }
+        assert is_intrinsically_discriminative(
+            key("a", "b", "c"), self.make_status_fn(base)
+        )
+        # Flip one pair to DK -> redundant.
+        base[key("a", "c")] = KeyStatus.DISCRIMINATIVE
+        assert not is_intrinsically_discriminative(
+            key("a", "b", "c"), self.make_status_fn(base)
+        )

@@ -1,0 +1,192 @@
+"""Tests for the per-peer HDK generation rounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HDKParameters
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.errors import KeyGenerationError
+from repro.hdk.generator import LocalHDKGenerator
+
+
+PARAMS = HDKParameters(df_max=2, window_size=3, s_max=3, ff=100, fr=1)
+
+
+def collection(*token_lists):
+    return DocumentCollection(
+        Document(doc_id=i, tokens=tuple(tokens))
+        for i, tokens in enumerate(token_lists)
+    )
+
+
+def key(*terms):
+    return frozenset(terms)
+
+
+class TestRoundOne:
+    def test_all_terms_proposed(self):
+        gen = LocalHDKGenerator(
+            collection(["a", "b"], ["b", "c"]), PARAMS
+        )
+        round_ = gen.round_one(frozenset())
+        assert set(round_.candidates) == {key("a"), key("b"), key("c")}
+
+    def test_very_frequent_excluded(self):
+        gen = LocalHDKGenerator(collection(["a", "b"]), PARAMS)
+        round_ = gen.round_one(frozenset({"a"}))
+        assert set(round_.candidates) == {key("b")}
+
+    def test_posting_lists_correct(self):
+        gen = LocalHDKGenerator(
+            collection(["a", "a", "b"], ["a"]), PARAMS
+        )
+        round_ = gen.round_one(frozenset())
+        postings = round_.candidates[key("a")]
+        assert postings.doc_ids() == [0, 1]
+        assert postings.get(0).tf == 2
+        assert postings.get(0).doc_len == 3
+        assert postings.get(1).tf == 1
+
+    def test_total_postings(self):
+        gen = LocalHDKGenerator(
+            collection(["a", "b"], ["a"]), PARAMS
+        )
+        round_ = gen.round_one(frozenset())
+        assert round_.total_postings == 3
+
+
+class TestNextRound:
+    def test_pairs_from_ndk_terms_in_window(self):
+        # a,b adjacent; c too far from a with window 3 in doc 0.
+        gen = LocalHDKGenerator(
+            collection(["a", "b", "x", "x", "c"]), PARAMS
+        )
+        round_ = gen.next_round(
+            2,
+            ndk_terms=frozenset({"a", "b", "c"}),
+            previous_ndk_keys=frozenset(
+                {key("a"), key("b"), key("c")}
+            ),
+        )
+        assert key("a", "b") in round_.candidates
+        assert key("a", "c") not in round_.candidates
+
+    def test_non_ndk_terms_not_expanded(self):
+        gen = LocalHDKGenerator(collection(["a", "b"]), PARAMS)
+        round_ = gen.next_round(
+            2,
+            ndk_terms=frozenset({"a"}),
+            previous_ndk_keys=frozenset({key("a")}),
+        )
+        assert round_.candidates == {}
+
+    def test_redundancy_check_requires_all_subkeys_ndk(self):
+        # Window covers a,b,c; only {a,b} and {a,c} are NDK pairs — the
+        # triple {a,b,c} must be rejected because {b,c} is not NDK.
+        params = HDKParameters(
+            df_max=2, window_size=3, s_max=3, ff=100, fr=1
+        )
+        gen = LocalHDKGenerator(collection(["a", "b", "c"]), params)
+        round_ = gen.next_round(
+            3,
+            ndk_terms=frozenset({"a", "b", "c"}),
+            previous_ndk_keys=frozenset({key("a", "b"), key("a", "c")}),
+        )
+        assert key("a", "b", "c") not in round_.candidates
+
+    def test_triple_accepted_when_all_pairs_ndk(self):
+        gen = LocalHDKGenerator(collection(["a", "b", "c"]), PARAMS)
+        round_ = gen.next_round(
+            3,
+            ndk_terms=frozenset({"a", "b", "c"}),
+            previous_ndk_keys=frozenset(
+                {key("a", "b"), key("a", "c"), key("b", "c")}
+            ),
+        )
+        assert key("a", "b", "c") in round_.candidates
+
+    def test_redundancy_filter_off_expands_any(self):
+        params = HDKParameters(
+            df_max=2,
+            window_size=3,
+            s_max=3,
+            ff=100,
+            fr=1,
+            redundancy_filtering=False,
+        )
+        gen = LocalHDKGenerator(collection(["a", "b", "c"]), params)
+        round_ = gen.next_round(
+            3,
+            ndk_terms=frozenset({"a", "b", "c"}),
+            previous_ndk_keys=frozenset(),  # ignored when filtering off
+        )
+        assert key("a", "b", "c") in round_.candidates
+
+    def test_multiterm_posting_payloads(self):
+        gen = LocalHDKGenerator(
+            collection(["a", "b", "a"]), PARAMS
+        )
+        round_ = gen.next_round(
+            2,
+            ndk_terms=frozenset({"a", "b"}),
+            previous_ndk_keys=frozenset({key("a"), key("b")}),
+        )
+        posting = round_.candidates[key("a", "b")].get(0)
+        assert posting.term_tfs == (2, 1)  # sorted terms: a=2, b=1
+        assert posting.tf == 1  # min of term tfs
+        assert posting.doc_len == 3
+
+    def test_size_validation(self):
+        gen = LocalHDKGenerator(collection(["a"]), PARAMS)
+        with pytest.raises(KeyGenerationError):
+            gen.next_round(1, frozenset(), frozenset())
+        with pytest.raises(KeyGenerationError):
+            gen.next_round(4, frozenset(), frozenset())  # > s_max
+
+    def test_short_document_single_window(self):
+        # Documents shorter than the window are one window.
+        gen = LocalHDKGenerator(collection(["a", "b"]), PARAMS)
+        round_ = gen.next_round(
+            2,
+            ndk_terms=frozenset({"a", "b"}),
+            previous_ndk_keys=frozenset({key("a"), key("b")}),
+        )
+        assert key("a", "b") in round_.candidates
+
+
+class TestReferenceDf:
+    def test_local_document_frequency(self):
+        gen = LocalHDKGenerator(
+            collection(
+                ["a", "b", "c"],
+                ["a", "x", "b"],
+                ["a", "x", "x", "x", "b"],
+            ),
+            PARAMS,
+        )
+        # window=3: docs 0 and 1 contain {a,b} within a window; doc 2 does
+        # not (a and b are 4 apart).
+        assert gen.local_document_frequency(key("a", "b")) == 2
+        assert gen.local_document_frequency(key("a")) == 3
+
+    def test_empty_key_rejected(self):
+        gen = LocalHDKGenerator(collection(["a"]), PARAMS)
+        with pytest.raises(KeyGenerationError):
+            gen.local_document_frequency(frozenset())
+
+    def test_candidates_match_reference_df(self):
+        # Every generated candidate's posting list length must equal the
+        # reference df computation.
+        docs = [
+            ["a", "b", "c", "a"],
+            ["b", "c", "d"],
+            ["a", "c", "d", "b"],
+        ]
+        gen = LocalHDKGenerator(collection(*docs), PARAMS)
+        terms = frozenset({"a", "b", "c", "d"})
+        singles = frozenset(frozenset({t}) for t in terms)
+        round_ = gen.next_round(2, terms, singles)
+        for candidate, postings in round_.candidates.items():
+            assert len(postings) == gen.local_document_frequency(candidate)

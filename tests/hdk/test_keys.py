@@ -1,0 +1,104 @@
+"""Tests for key lattice helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KeyGenerationError
+from repro.hdk.keys import (
+    key_size,
+    key_sort_form,
+    make_key,
+    proper_subkeys,
+    subkeys_of_size,
+    superkeys_within,
+)
+
+
+def test_make_key_canonical():
+    assert make_key(["b", "a", "b"]) == frozenset({"a", "b"})
+
+
+def test_make_key_empty_rejected():
+    with pytest.raises(KeyGenerationError):
+        make_key([])
+
+
+def test_key_size():
+    assert key_size(make_key(["x", "y", "z"])) == 3
+
+
+def test_key_sort_form():
+    assert key_sort_form(make_key(["c", "a", "b"])) == ("a", "b", "c")
+
+
+class TestSubkeys:
+    def test_size_one_subkeys(self):
+        key = make_key(["a", "b", "c"])
+        subs = set(subkeys_of_size(key, 1))
+        assert subs == {
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"c"}),
+        }
+
+    def test_size_two_subkeys_count(self):
+        key = make_key(["a", "b", "c", "d"])
+        assert len(list(subkeys_of_size(key, 2))) == 6
+
+    def test_full_size_yields_self(self):
+        key = make_key(["a", "b"])
+        assert list(subkeys_of_size(key, 2)) == [key]
+
+    def test_oversized_yields_nothing(self):
+        assert list(subkeys_of_size(make_key(["a"]), 2)) == []
+
+    def test_zero_yields_nothing(self):
+        assert list(subkeys_of_size(make_key(["a"]), 0)) == []
+
+    def test_deterministic_order(self):
+        key = make_key(["c", "a", "b"])
+        assert list(subkeys_of_size(key, 1)) == [
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"c"}),
+        ]
+
+
+class TestProperSubkeys:
+    def test_counts(self):
+        key = make_key(["a", "b", "c"])
+        subs = list(proper_subkeys(key))
+        # 3 singletons + 3 pairs = 6 proper subkeys.
+        assert len(subs) == 6
+
+    def test_excludes_self_and_empty(self):
+        key = make_key(["a", "b"])
+        subs = set(proper_subkeys(key))
+        assert key not in subs
+        assert frozenset() not in subs
+
+    def test_smaller_sizes_first(self):
+        key = make_key(["a", "b", "c"])
+        sizes = [len(s) for s in proper_subkeys(key)]
+        assert sizes == sorted(sizes)
+
+
+class TestSuperkeys:
+    def test_expansion(self):
+        key = make_key(["a"])
+        supers = set(superkeys_within(key, ["b", "c"]))
+        assert supers == {
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+        }
+
+    def test_skips_existing_terms(self):
+        key = make_key(["a", "b"])
+        supers = list(superkeys_within(key, ["a", "b"]))
+        assert supers == []
+
+    def test_deterministic_order(self):
+        key = make_key(["m"])
+        supers = list(superkeys_within(key, ["z", "a"]))
+        assert supers == [frozenset({"a", "m"}), frozenset({"m", "z"})]

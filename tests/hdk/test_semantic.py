@@ -1,0 +1,110 @@
+"""Tests for the PMI-based semantic key filter."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import KeyGenerationError
+from repro.hdk.semantic import filter_candidates_by_pmi, key_pmi
+from repro.index.postings import Posting, PostingList
+
+
+def pl(*doc_ids):
+    return PostingList(Posting(doc_id=d, tf=1) for d in doc_ids)
+
+
+def key(*terms):
+    return frozenset(terms)
+
+
+class TestKeyPmi:
+    def test_independent_cooccurrence_scores_zero(self):
+        # df(a)=df(b)=10 over M=100; independent joint df = 1.
+        pmi = key_pmi(1, {"a": 10, "b": 10}, key("a", "b"), 100)
+        assert pmi == pytest.approx(0.0)
+
+    def test_positive_association(self):
+        # Joint df far above chance.
+        pmi = key_pmi(10, {"a": 10, "b": 10}, key("a", "b"), 100)
+        assert pmi == pytest.approx(math.log2(10 * 100 / (10 * 10)))
+        assert pmi > 0
+
+    def test_negative_association(self):
+        pmi = key_pmi(1, {"a": 50, "b": 50}, key("a", "b"), 100)
+        assert pmi < 0
+
+    def test_three_term_key(self):
+        pmi = key_pmi(5, {"a": 10, "b": 10, "c": 10}, key("a", "b", "c"), 100)
+        expected = math.log2((5 / 100) / ((10 / 100) ** 3))
+        assert pmi == pytest.approx(expected)
+
+    def test_single_term_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            key_pmi(1, {"a": 1}, key("a"), 10)
+
+    def test_zero_df_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            key_pmi(1, {"a": 0, "b": 5}, key("a", "b"), 10)
+        with pytest.raises(KeyGenerationError):
+            key_pmi(0, {"a": 1, "b": 1}, key("a", "b"), 10)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            key_pmi(1, {"a": 1, "b": 1}, key("a", "b"), 0)
+
+
+class TestFilterCandidates:
+    def test_keeps_associated_drops_random(self):
+        candidates = {
+            key("a", "b"): pl(*range(10)),  # strongly associated
+            key("a", "c"): pl(0),  # chance co-occurrence
+        }
+        term_dfs = {"a": 10, "b": 10, "c": 10}
+        kept = filter_candidates_by_pmi(
+            candidates, term_dfs, num_documents=100, threshold=1.0
+        )
+        assert key("a", "b") in kept
+        assert key("a", "c") not in kept
+
+    def test_single_terms_pass_through(self):
+        candidates = {key("a"): pl(1, 2, 3)}
+        kept = filter_candidates_by_pmi(
+            candidates, {"a": 3}, num_documents=100, threshold=5.0
+        )
+        assert key("a") in kept
+
+    def test_threshold_zero_keeps_above_chance(self):
+        candidates = {
+            key("a", "b"): pl(*range(5)),
+        }
+        kept = filter_candidates_by_pmi(
+            candidates, {"a": 10, "b": 10}, num_documents=100, threshold=0.0
+        )
+        assert key("a", "b") in kept
+
+    def test_reduces_index_size(self):
+        # The future-work goal: fewer keys survive a higher threshold.
+        candidates = {
+            key("a", "b"): pl(*range(8)),
+            key("a", "c"): pl(*range(2)),
+            key("b", "c"): pl(0),
+        }
+        term_dfs = {"a": 20, "b": 20, "c": 20}
+        lenient = filter_candidates_by_pmi(
+            candidates, term_dfs, 100, threshold=-10.0
+        )
+        strict = filter_candidates_by_pmi(
+            candidates, term_dfs, 100, threshold=1.0
+        )
+        assert len(strict) < len(lenient)
+
+    def test_invalid_collection_size(self):
+        with pytest.raises(KeyGenerationError):
+            filter_candidates_by_pmi({}, {}, 0, 0.0)
+
+    def test_returns_new_dict(self):
+        candidates = {key("a"): pl(1)}
+        kept = filter_candidates_by_pmi(candidates, {"a": 1}, 10, 0.0)
+        assert kept is not candidates

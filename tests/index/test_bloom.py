@@ -1,0 +1,90 @@
+"""Tests for the Bloom filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.bloom import BloomFilter, optimal_bits_per_element
+
+
+class TestConstruction:
+    def test_for_capacity_sizes_reasonably(self):
+        filter_ = BloomFilter.for_capacity(1000, target_fpr=0.01)
+        # ~9.6 bits per element at 1% fpr.
+        assert 8_000 < filter_.num_bits < 12_000
+        assert filter_.num_hashes >= 1
+
+    def test_optimal_bits_formula(self):
+        assert optimal_bits_per_element(0.01) == pytest.approx(9.585, abs=0.01)
+
+    def test_invalid_fpr(self):
+        with pytest.raises(IndexError_):
+            optimal_bits_per_element(0.0)
+        with pytest.raises(IndexError_):
+            BloomFilter.for_capacity(10, target_fpr=1.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(IndexError_):
+            BloomFilter(num_bits=4, num_hashes=1)
+        with pytest.raises(IndexError_):
+            BloomFilter(num_bits=64, num_hashes=0)
+        with pytest.raises(IndexError_):
+            BloomFilter.for_capacity(0)
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        filter_ = BloomFilter.for_capacity(500, target_fpr=0.01)
+        ids = list(range(0, 5000, 10))
+        filter_.add_all(ids)
+        assert all(doc_id in filter_ for doc_id in ids)
+
+    def test_false_positive_rate_near_target(self):
+        filter_ = BloomFilter.for_capacity(500, target_fpr=0.01)
+        filter_.add_all(range(500))
+        negatives = range(10_000, 30_000)
+        fp = sum(1 for doc_id in negatives if doc_id in filter_)
+        assert fp / 20_000 < 0.05  # generous margin around the 1% target
+
+    def test_empty_filter_rejects_everything(self):
+        filter_ = BloomFilter(num_bits=128, num_hashes=3)
+        assert 42 not in filter_
+
+    def test_len_counts_insertions(self):
+        filter_ = BloomFilter(num_bits=128, num_hashes=3)
+        filter_.add_all([1, 2, 3])
+        assert len(filter_) == 3
+
+
+class TestWireSize:
+    def test_size_bytes(self):
+        assert BloomFilter(num_bits=64, num_hashes=1).size_bytes == 8
+        assert BloomFilter(num_bits=65, num_hashes=1).size_bytes == 9
+
+    def test_posting_equivalents(self):
+        filter_ = BloomFilter(num_bits=640, num_hashes=1)
+        assert filter_.posting_equivalents(bytes_per_posting=8) == 10
+
+    def test_posting_equivalents_minimum_one(self):
+        filter_ = BloomFilter(num_bits=8, num_hashes=1)
+        assert filter_.posting_equivalents() == 1
+
+    def test_filter_smaller_than_list(self):
+        # The whole point: a filter of n elements is far smaller than the
+        # n postings themselves.
+        n = 10_000
+        filter_ = BloomFilter.for_capacity(n, target_fpr=0.01)
+        assert filter_.posting_equivalents() < n / 5
+
+
+class TestExpectedFpr:
+    def test_zero_when_empty(self):
+        assert BloomFilter(num_bits=64, num_hashes=2).expected_fpr() == 0.0
+
+    def test_grows_with_load(self):
+        filter_ = BloomFilter(num_bits=256, num_hashes=3)
+        filter_.add_all(range(10))
+        low = filter_.expected_fpr()
+        filter_.add_all(range(10, 100))
+        assert filter_.expected_fpr() > low

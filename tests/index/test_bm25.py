@@ -1,0 +1,109 @@
+"""Tests for the BM25 scorer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import RetrievalError
+from repro.index.bm25 import BM25Scorer, TermStats
+
+
+@pytest.fixture()
+def scorer():
+    return BM25Scorer(num_documents=1000, average_doc_length=100.0)
+
+
+class TestIdf:
+    def test_rare_term_high_idf(self, scorer):
+        assert scorer.idf(1) > scorer.idf(100)
+
+    def test_formula(self, scorer):
+        df = 10
+        expected = math.log((1000 - df + 0.5) / (df + 0.5))
+        assert scorer.idf(df) == pytest.approx(expected)
+
+    def test_floor_at_zero(self, scorer):
+        # Terms in more than half the collection would go negative; the
+        # practical variant floors at 0.
+        assert scorer.idf(999) == 0.0
+
+    def test_negative_df_rejected(self, scorer):
+        with pytest.raises(RetrievalError):
+            scorer.idf(-1)
+
+
+class TestTermScore:
+    def test_zero_tf_scores_zero(self, scorer):
+        assert scorer.term_score(0, 100, 10) == 0.0
+
+    def test_monotone_in_tf(self, scorer):
+        scores = [scorer.term_score(tf, 100, 10) for tf in (1, 2, 5, 20)]
+        assert scores == sorted(scores)
+
+    def test_tf_saturation(self, scorer):
+        # Doubling tf at high tf adds less than at low tf.
+        low_gain = scorer.term_score(2, 100, 10) - scorer.term_score(
+            1, 100, 10
+        )
+        high_gain = scorer.term_score(40, 100, 10) - scorer.term_score(
+            20, 100, 10
+        )
+        assert high_gain < low_gain
+
+    def test_length_normalization(self, scorer):
+        # Same tf in a longer document scores lower.
+        short = scorer.term_score(3, 50, 10)
+        long_ = scorer.term_score(3, 400, 10)
+        assert short > long_
+
+    def test_b_zero_disables_length_normalization(self):
+        scorer = BM25Scorer(
+            num_documents=1000, average_doc_length=100.0, b=0.0
+        )
+        assert scorer.term_score(3, 50, 10) == pytest.approx(
+            scorer.term_score(3, 400, 10)
+        )
+
+
+class TestScoreDocument:
+    def test_sums_term_contributions(self, scorer):
+        tfs = {"x": 2, "y": 3}
+        dfs = {"x": 10, "y": 40}
+        expected = scorer.term_score(2, 100, 10) + scorer.term_score(
+            3, 100, 40
+        )
+        assert scorer.score_document(tfs, 100, dfs) == pytest.approx(
+            expected
+        )
+
+    def test_missing_df_treated_as_zero(self, scorer):
+        score = scorer.score_document({"x": 1}, 100, {})
+        assert score > 0  # df=0 gives maximal idf
+
+    def test_empty_terms(self, scorer):
+        assert scorer.score_document({}, 100, {}) == 0.0
+
+
+class TestValidation:
+    def test_bad_num_documents(self):
+        with pytest.raises(RetrievalError):
+            BM25Scorer(num_documents=0, average_doc_length=10.0)
+
+    def test_bad_avgdl(self):
+        with pytest.raises(RetrievalError):
+            BM25Scorer(num_documents=10, average_doc_length=0.0)
+
+    def test_bad_b(self):
+        with pytest.raises(RetrievalError):
+            BM25Scorer(num_documents=10, average_doc_length=10.0, b=1.5)
+
+
+def test_term_stats_container():
+    stats = TermStats(
+        term="x", document_frequency=5, collection_frequency=9
+    )
+    assert stats.term == "x"
+    assert stats.document_frequency == 5
+    assert stats.collection_frequency == 9

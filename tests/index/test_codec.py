@@ -1,0 +1,97 @@
+"""Tests for the varint posting-list codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.codec import (
+    decode_posting_list,
+    decode_varint,
+    encode_posting_list,
+    encode_varint,
+)
+from repro.index.postings import Posting, PostingList
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 255, 300, 2**14, 2**21 - 1, 2**32, 2**63 - 1]
+    )
+    def test_roundtrip(self, value):
+        out = bytearray()
+        encode_varint(value, out)
+        decoded, offset = decode_varint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_small_values_one_byte(self):
+        out = bytearray()
+        encode_varint(127, out)
+        assert len(out) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(IndexError_):
+            encode_varint(-1, bytearray())
+
+    def test_truncated_input(self):
+        out = bytearray()
+        encode_varint(300, out)
+        with pytest.raises(IndexError_):
+            decode_varint(bytes(out[:-1]), 0)
+
+    def test_sequence_decoding(self):
+        out = bytearray()
+        for value in (5, 1000, 0):
+            encode_varint(value, out)
+        data = bytes(out)
+        offset = 0
+        decoded = []
+        for _ in range(3):
+            value, offset = decode_varint(data, offset)
+            decoded.append(value)
+        assert decoded == [5, 1000, 0]
+
+
+class TestPostingListCodec:
+    def test_roundtrip_simple(self):
+        original = PostingList(
+            [Posting(doc_id=d, tf=d + 1, doc_len=10 * d) for d in range(5)]
+        )
+        assert decode_posting_list(encode_posting_list(original)) == original
+
+    def test_roundtrip_with_term_tfs(self):
+        original = PostingList(
+            [
+                Posting(doc_id=3, tf=1, term_tfs=(1, 4, 2), doc_len=77),
+                Posting(doc_id=90, tf=2, term_tfs=(2, 2, 9), doc_len=10),
+            ]
+        )
+        assert decode_posting_list(encode_posting_list(original)) == original
+
+    def test_empty_list(self):
+        original = PostingList()
+        assert len(decode_posting_list(encode_posting_list(original))) == 0
+
+    def test_delta_encoding_compresses_dense_ids(self):
+        dense = PostingList(
+            [Posting(doc_id=10_000 + i, tf=1) for i in range(100)]
+        )
+        sparse = PostingList(
+            [Posting(doc_id=10_000 * (i + 1), tf=1) for i in range(100)]
+        )
+        assert len(encode_posting_list(dense)) < len(
+            encode_posting_list(sparse)
+        )
+
+    def test_trailing_bytes_rejected(self):
+        data = encode_posting_list(PostingList([Posting(doc_id=1, tf=1)]))
+        with pytest.raises(IndexError_):
+            decode_posting_list(data + b"\x00")
+
+    def test_truncated_payload_rejected(self):
+        data = encode_posting_list(
+            PostingList([Posting(doc_id=1, tf=1, doc_len=5)])
+        )
+        with pytest.raises(IndexError_):
+            decode_posting_list(data[:-1])

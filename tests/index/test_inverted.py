@@ -1,0 +1,73 @@
+"""Tests for the local inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.errors import IndexError_
+from repro.index.inverted import LocalInvertedIndex
+
+
+@pytest.fixture()
+def index():
+    docs = [
+        Document(doc_id=0, tokens=("a", "b", "a")),
+        Document(doc_id=1, tokens=("b", "c")),
+        Document(doc_id=2, tokens=("a",)),
+    ]
+    return LocalInvertedIndex(DocumentCollection(docs))
+
+
+def test_terms(index):
+    assert set(index.terms()) == {"a", "b", "c"}
+    assert len(index) == 3
+
+
+def test_posting_list_contents(index):
+    postings = index.posting_list("a")
+    assert postings.doc_ids() == [0, 2]
+    assert postings.get(0).tf == 2
+    assert postings.get(0).doc_len == 3
+
+
+def test_document_frequency(index):
+    assert index.document_frequency("a") == 2
+    assert index.document_frequency("c") == 1
+    assert index.document_frequency("zzz") == 0
+
+
+def test_collection_frequency(index):
+    assert index.collection_frequency("a") == 3
+    assert index.collection_frequency("b") == 2
+    assert index.collection_frequency("zzz") == 0
+
+
+def test_unknown_term_raises(index):
+    with pytest.raises(IndexError_):
+        index.posting_list("zzz")
+
+
+def test_contains(index):
+    assert "a" in index
+    assert "zzz" not in index
+
+
+def test_total_postings(index):
+    # (a: 2 docs) + (b: 2 docs) + (c: 1 doc) = 5 postings.
+    assert index.total_postings() == 5
+
+
+def test_average_document_length(index):
+    assert index.average_document_length() == pytest.approx(6 / 3)
+
+
+def test_num_documents(index):
+    assert index.num_documents() == 3
+
+
+def test_empty_collection():
+    index = LocalInvertedIndex(DocumentCollection())
+    assert len(index) == 0
+    assert index.total_postings() == 0

@@ -1,0 +1,93 @@
+"""Tests for traffic accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.accounting import (
+    Phase,
+    TrafficAccounting,
+    diff_snapshots,
+)
+from repro.net.messages import Message, MessageKind
+
+
+def make_message(postings=5, hops=2, kind=MessageKind.INSERT):
+    return Message(kind=kind, source=1, destination=2, postings=postings, hops=hops)
+
+
+class TestPhases:
+    def test_default_phase_is_indexing(self):
+        assert TrafficAccounting().phase is Phase.INDEXING
+
+    def test_set_phase(self):
+        acc = TrafficAccounting()
+        acc.set_phase(Phase.RETRIEVAL)
+        assert acc.phase is Phase.RETRIEVAL
+
+    def test_set_phase_type_checked(self):
+        with pytest.raises(TypeError):
+            TrafficAccounting().set_phase("retrieval")
+
+    def test_messages_attributed_to_current_phase(self):
+        acc = TrafficAccounting()
+        acc.record(make_message(postings=3))
+        acc.set_phase(Phase.RETRIEVAL)
+        acc.record(make_message(postings=7))
+        assert acc.postings(Phase.INDEXING) == 3
+        assert acc.postings(Phase.RETRIEVAL) == 7
+
+
+class TestCounters:
+    def test_postings_messages_hops(self):
+        acc = TrafficAccounting()
+        acc.record(make_message(postings=5, hops=2))
+        acc.record(make_message(postings=1, hops=4))
+        assert acc.postings(Phase.INDEXING) == 6
+        assert acc.messages(Phase.INDEXING) == 2
+        assert acc.hops(Phase.INDEXING) == 6
+
+    def test_by_kind(self):
+        acc = TrafficAccounting()
+        acc.record(make_message(kind=MessageKind.INSERT))
+        acc.record(make_message(kind=MessageKind.LOOKUP))
+        acc.record(make_message(kind=MessageKind.LOOKUP))
+        snap = acc.snapshot()
+        assert snap.messages_by_kind[MessageKind.LOOKUP] == 2
+        assert snap.messages_by_kind[MessageKind.INSERT] == 1
+
+    def test_reset(self):
+        acc = TrafficAccounting()
+        acc.set_phase(Phase.RETRIEVAL)
+        acc.record(make_message())
+        acc.reset()
+        assert acc.postings(Phase.RETRIEVAL) == 0
+        assert acc.phase is Phase.RETRIEVAL  # phase preserved
+
+
+class TestSnapshots:
+    def test_snapshot_is_immutable_copy(self):
+        acc = TrafficAccounting()
+        acc.record(make_message(postings=5))
+        snap = acc.snapshot()
+        acc.record(make_message(postings=5))
+        assert snap.indexing_postings == 5
+        assert acc.snapshot().indexing_postings == 10
+
+    def test_total_postings_includes_maintenance(self):
+        acc = TrafficAccounting()
+        acc.record(make_message(postings=2))
+        acc.set_phase(Phase.MAINTENANCE)
+        acc.record(make_message(postings=9, kind=MessageKind.HANDOFF))
+        snap = acc.snapshot()
+        assert snap.maintenance_postings == 9
+        assert snap.total_postings == 11
+
+    def test_diff_snapshots(self):
+        acc = TrafficAccounting()
+        acc.record(make_message(postings=4))
+        before = acc.snapshot()
+        acc.record(make_message(postings=6))
+        delta = diff_snapshots(before, acc.snapshot())
+        assert delta.indexing_postings == 6
+        assert delta.messages_by_phase[Phase.INDEXING] == 1

@@ -1,0 +1,155 @@
+"""Tests for the Chord-style overlay."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import NetworkError, PeerNotFoundError
+from repro.net.chord import ChordOverlay, _in_open_interval
+from repro.net.node_id import KEY_SPACE_SIZE, hash_to_id, peer_id_for
+
+
+def make_overlay(n: int) -> ChordOverlay:
+    return ChordOverlay(peer_id_for(f"peer-{i}") for i in range(n))
+
+
+class TestMembership:
+    def test_add_and_contains(self):
+        overlay = ChordOverlay()
+        overlay.add_peer(100)
+        assert 100 in overlay
+        assert 200 not in overlay
+        assert len(overlay) == 1
+
+    def test_duplicate_rejected(self):
+        overlay = ChordOverlay([100])
+        with pytest.raises(NetworkError):
+            overlay.add_peer(100)
+
+    def test_peer_ids_sorted(self):
+        overlay = ChordOverlay([300, 100, 200])
+        assert overlay.peer_ids() == [100, 200, 300]
+
+    def test_first_join_returns_self(self):
+        overlay = ChordOverlay()
+        assert overlay.add_peer(42) == 42
+
+    def test_join_returns_successor(self):
+        overlay = ChordOverlay([100, 300])
+        # 200 joins; its keys come from its successor 300.
+        assert overlay.add_peer(200) == 300
+
+    def test_remove_returns_inheritor(self):
+        overlay = ChordOverlay([100, 200, 300])
+        assert overlay.remove_peer(200) == 300
+        assert 200 not in overlay
+
+    def test_remove_wraps(self):
+        overlay = ChordOverlay([100, 300])
+        # Removing the highest peer: its range goes to the lowest (wrap).
+        assert overlay.remove_peer(300) == 100
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(PeerNotFoundError):
+            ChordOverlay([1]).remove_peer(2)
+
+    def test_remove_last_raises(self):
+        with pytest.raises(NetworkError):
+            ChordOverlay([1]).remove_peer(1)
+
+    def test_out_of_space_id_rejected(self):
+        with pytest.raises(NetworkError):
+            ChordOverlay().add_peer(KEY_SPACE_SIZE)
+
+
+class TestResponsibility:
+    def test_successor_rule(self):
+        overlay = ChordOverlay([100, 200, 300])
+        assert overlay.responsible_peer(150) == 200
+        assert overlay.responsible_peer(200) == 200
+        assert overlay.responsible_peer(250) == 300
+
+    def test_wraparound(self):
+        overlay = ChordOverlay([100, 200, 300])
+        assert overlay.responsible_peer(301) == 100
+        assert overlay.responsible_peer(50) == 100
+
+    def test_empty_overlay_raises(self):
+        with pytest.raises(NetworkError):
+            ChordOverlay().responsible_peer(5)
+
+    def test_every_key_has_exactly_one_owner(self):
+        overlay = make_overlay(12)
+        rng = random.Random(5)
+        for _ in range(200):
+            key = rng.randrange(KEY_SPACE_SIZE)
+            owner = overlay.responsible_peer(key)
+            assert owner in overlay.peer_ids()
+
+    def test_consistency_under_join(self):
+        # After a join, every key either keeps its owner or moves to the
+        # new peer — never to a third peer (consistent hashing).
+        overlay = make_overlay(8)
+        keys = [hash_to_id(f"key-{i}") for i in range(300)]
+        before = {k: overlay.responsible_peer(k) for k in keys}
+        new_peer = peer_id_for("joiner")
+        overlay.add_peer(new_peer)
+        for key, old_owner in before.items():
+            new_owner = overlay.responsible_peer(key)
+            assert new_owner in (old_owner, new_peer)
+
+
+class TestRouting:
+    def test_zero_hops_to_self(self):
+        overlay = ChordOverlay([100, 200])
+        assert overlay.route_hops(200, 150) == 0
+
+    def test_single_peer_zero_hops(self):
+        overlay = ChordOverlay([100])
+        assert overlay.route_hops(100, 5) == 0
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(PeerNotFoundError):
+            ChordOverlay([100]).route_hops(999, 5)
+
+    def test_routing_terminates_everywhere(self):
+        overlay = make_overlay(20)
+        peers = overlay.peer_ids()
+        rng = random.Random(2)
+        for _ in range(100):
+            source = rng.choice(peers)
+            key = rng.randrange(KEY_SPACE_SIZE)
+            hops = overlay.route_hops(source, key)
+            assert 0 <= hops < len(peers)
+
+    def test_logarithmic_hop_bound(self):
+        # Chord guarantees O(log N) hops w.h.p.; assert a generous bound.
+        n = 64
+        overlay = make_overlay(n)
+        peers = overlay.peer_ids()
+        rng = random.Random(7)
+        worst = 0
+        for _ in range(300):
+            source = rng.choice(peers)
+            key = rng.randrange(KEY_SPACE_SIZE)
+            worst = max(worst, overlay.route_hops(source, key))
+        assert worst <= 3 * math.ceil(math.log2(n))
+
+
+class TestIntervalHelper:
+    def test_simple_interval(self):
+        assert _in_open_interval(5, 1, 10)
+        assert not _in_open_interval(1, 1, 10)
+        assert not _in_open_interval(10, 1, 10)
+
+    def test_wrapping_interval(self):
+        assert _in_open_interval(1, 10, 5)
+        assert _in_open_interval(11, 10, 5)
+        assert not _in_open_interval(7, 10, 5)
+
+    def test_full_circle(self):
+        assert _in_open_interval(3, 5, 5)
+        assert not _in_open_interval(5, 5, 5)

@@ -1,0 +1,42 @@
+"""Tests for the hashed identifier space."""
+
+from __future__ import annotations
+
+from repro.net.node_id import (
+    KEY_SPACE_BITS,
+    KEY_SPACE_SIZE,
+    hash_to_id,
+    peer_id_for,
+)
+
+
+def test_space_size():
+    assert KEY_SPACE_SIZE == 1 << KEY_SPACE_BITS
+
+
+def test_ids_within_space():
+    for value in ("", "a", "hello world", "t00042"):
+        assert 0 <= hash_to_id(value) < KEY_SPACE_SIZE
+
+
+def test_deterministic():
+    assert hash_to_id("apple") == hash_to_id("apple")
+
+
+def test_distinct_inputs_distinct_ids():
+    # Not guaranteed in general, but SHA-1 over a handful of strings must
+    # not collide — a collision here means the truncation is broken.
+    values = {hash_to_id(f"key-{i}") for i in range(10_000)}
+    assert len(values) == 10_000
+
+
+def test_peer_ids_separate_namespace():
+    # A peer named "x" must not collide with a key "x" (the peer prefix).
+    assert peer_id_for("x") != hash_to_id("x")
+
+
+def test_spread_across_space():
+    # Hashing should spread ids roughly uniformly: both halves populated.
+    ids = [hash_to_id(f"key-{i}") for i in range(1_000)]
+    low = sum(1 for i in ids if i < KEY_SPACE_SIZE // 2)
+    assert 300 < low < 700

@@ -1,0 +1,85 @@
+"""Tests for per-peer storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.net.storage import PeerStorage
+
+
+def test_put_get():
+    storage = PeerStorage(peer_id=1)
+    storage.put("k", 42, "value")
+    assert storage.get("k") == "value"
+    assert len(storage) == 1
+
+
+def test_get_absent_returns_none():
+    assert PeerStorage(1).get("missing") is None
+
+
+def test_put_overwrites():
+    storage = PeerStorage(1)
+    storage.put("k", 42, "first")
+    storage.put("k", 42, "second")
+    assert storage.get("k") == "second"
+    assert len(storage) == 1
+
+
+def test_contains():
+    storage = PeerStorage(1)
+    storage.put("k", 42, "v")
+    assert "k" in storage
+    assert "other" not in storage
+
+
+def test_update_merge():
+    storage = PeerStorage(1)
+    storage.update("counter", 7, lambda cur: (cur or 0) + 5)
+    storage.update("counter", 7, lambda cur: (cur or 0) + 5)
+    assert storage.get("counter") == 10
+
+
+def test_update_rejects_none_merge():
+    storage = PeerStorage(1)
+    with pytest.raises(StorageError):
+        storage.update("k", 1, lambda cur: None)
+
+
+def test_remove():
+    storage = PeerStorage(1)
+    storage.put("k", 42, "v")
+    assert storage.remove("k") == "v"
+    assert "k" not in storage
+
+
+def test_remove_absent_raises():
+    with pytest.raises(StorageError):
+        PeerStorage(1).remove("missing")
+
+
+def test_pop_range():
+    storage = PeerStorage(1)
+    storage.put("low", 10, "a")
+    storage.put("high", 90, "b")
+    moved = storage.pop_range(lambda key_id: key_id > 50)
+    assert [e.key for e in moved] == ["high"]
+    assert "high" not in storage
+    assert "low" in storage
+
+
+def test_total_value_size():
+    storage = PeerStorage(1)
+    storage.put("a", 1, [1, 2, 3])
+    storage.put("b", 2, [4])
+    assert storage.total_value_size(len) == 4
+
+
+def test_iteration_yields_entries():
+    storage = PeerStorage(1)
+    storage.put("a", 1, "x")
+    entries = list(storage)
+    assert entries[0].key == "a"
+    assert entries[0].key_id == 1
+    assert entries[0].value == "x"

@@ -1,0 +1,78 @@
+"""Property-based tests for the varint posting-list codec."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.codec import (
+    decode_posting_list,
+    decode_varint,
+    encode_posting_list,
+    encode_varint,
+)
+from repro.index.postings import Posting, PostingList
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+def test_varint_roundtrip(value):
+    out = bytearray()
+    encode_varint(value, out)
+    decoded, offset = decode_varint(bytes(out), 0)
+    assert decoded == value
+    assert offset == len(out)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=30))
+def test_varint_stream_roundtrip(values):
+    out = bytearray()
+    for value in values:
+        encode_varint(value, out)
+    data = bytes(out)
+    offset = 0
+    decoded = []
+    for _ in values:
+        value, offset = decode_varint(data, offset)
+        decoded.append(value)
+    assert decoded == values
+    assert offset == len(data)
+
+
+@st.composite
+def rich_posting_lists(draw):
+    doc_ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10**7),
+            unique=True,
+            max_size=25,
+        )
+    )
+    postings = []
+    for doc_id in doc_ids:
+        n_terms = draw(st.integers(min_value=0, max_value=4))
+        term_tfs = tuple(
+            draw(st.integers(min_value=1, max_value=99))
+            for _ in range(n_terms)
+        )
+        tf = min(term_tfs) if term_tfs else draw(
+            st.integers(min_value=1, max_value=99)
+        )
+        postings.append(
+            Posting(
+                doc_id=doc_id,
+                tf=tf,
+                term_tfs=term_tfs,
+                doc_len=draw(st.integers(min_value=0, max_value=5000)),
+            )
+        )
+    return PostingList(postings)
+
+
+@given(rich_posting_lists())
+def test_posting_list_roundtrip(pl):
+    assert decode_posting_list(encode_posting_list(pl)) == pl
+
+
+@given(rich_posting_lists())
+def test_encoding_deterministic(pl):
+    assert encode_posting_list(pl) == encode_posting_list(pl)

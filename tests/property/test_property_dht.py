@@ -1,0 +1,80 @@
+"""Property-based tests for the DHT overlays."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.chord import ChordOverlay
+from repro.net.node_id import KEY_SPACE_SIZE, hash_to_id
+from repro.net.pgrid import PGridOverlay
+
+peer_sets = st.lists(
+    st.integers(min_value=0, max_value=KEY_SPACE_SIZE - 1),
+    min_size=1,
+    max_size=20,
+    unique=True,
+)
+key_ids = st.integers(min_value=0, max_value=KEY_SPACE_SIZE - 1)
+
+
+@given(peer_sets, key_ids)
+def test_chord_owner_is_member(peers, key):
+    overlay = ChordOverlay(peers)
+    assert overlay.responsible_peer(key) in peers
+
+
+@given(peer_sets, key_ids)
+def test_pgrid_owner_is_member(peers, key):
+    overlay = PGridOverlay(peers)
+    assert overlay.responsible_peer(key) in peers
+
+
+@given(peer_sets, key_ids)
+def test_chord_routing_reaches_owner(peers, key):
+    overlay = ChordOverlay(peers)
+    for source in peers:
+        hops = overlay.route_hops(source, key)
+        assert 0 <= hops < max(2, len(peers))
+
+
+@given(peer_sets, key_ids, st.integers(min_value=0, max_value=2**63))
+def test_chord_join_moves_keys_only_to_joiner(peers, key, joiner_seed):
+    overlay = ChordOverlay(peers)
+    joiner = hash_to_id(f"joiner-{joiner_seed}")
+    if joiner in overlay:
+        return
+    owner_before = overlay.responsible_peer(key)
+    overlay.add_peer(joiner)
+    owner_after = overlay.responsible_peer(key)
+    assert owner_after in (owner_before, joiner)
+
+
+@settings(max_examples=50)
+@given(peer_sets)
+def test_pgrid_cover_is_prefix_free_and_complete(peers):
+    overlay = PGridOverlay(peers)
+    paths = list(overlay.paths())
+    for a in paths:
+        for b in paths:
+            if a != b:
+                assert not b.startswith(a)
+    assert sum(2.0 ** -len(p) for p in paths) == 1.0
+
+
+@settings(max_examples=30)
+@given(peer_sets, key_ids)
+def test_pgrid_removal_preserves_coverage(peers, key):
+    if len(peers) < 2:
+        return
+    overlay = PGridOverlay(peers)
+    overlay.remove_peer(peers[0])
+    remaining = set(peers[1:])
+    assert overlay.responsible_peer(key) in remaining
+
+
+@given(peer_sets)
+def test_overlays_agree_on_membership(peers):
+    chord = ChordOverlay(peers)
+    pgrid = PGridOverlay(peers)
+    assert set(chord.peer_ids()) == set(pgrid.peer_ids()) == set(peers)

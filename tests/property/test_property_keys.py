@@ -1,0 +1,62 @@
+"""Property-based tests for the key lattice and classification."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdk.classify import classify_df
+from repro.hdk.keys import proper_subkeys, subkeys_of_size
+from repro.index.global_index import KeyStatus
+from repro.utils import binomial
+
+terms = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4)
+keys = st.frozensets(terms, min_size=1, max_size=6)
+
+
+@given(keys, st.integers(min_value=1, max_value=6))
+def test_subkey_counts_are_binomial(key, size):
+    subs = list(subkeys_of_size(key, size))
+    assert len(subs) == binomial(len(key), size)
+    assert len(set(subs)) == len(subs)  # no duplicates
+
+
+@given(keys)
+def test_proper_subkeys_are_strict_subsets(key):
+    for sub in proper_subkeys(key):
+        assert sub < key
+        assert len(sub) >= 1
+
+
+@given(keys)
+def test_proper_subkey_count(key):
+    expected = 2 ** len(key) - 2  # all subsets minus empty and self
+    assert len(list(proper_subkeys(key))) == expected
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=10_000),
+)
+def test_classification_total(df, df_max):
+    status = classify_df(df, df_max)
+    if df <= df_max:
+        assert status is KeyStatus.DISCRIMINATIVE
+    else:
+        assert status is KeyStatus.NON_DISCRIMINATIVE
+
+
+@given(
+    st.integers(min_value=0, max_value=1_000),
+    st.integers(min_value=0, max_value=1_000),
+    st.integers(min_value=1, max_value=1_000),
+)
+def test_classification_monotone_in_df(df_low, delta, df_max):
+    """Subsumption skeleton: if df classifies NDK, any larger df does."""
+    df_high = df_low + delta
+    if classify_df(df_low, df_max) is KeyStatus.NON_DISCRIMINATIVE:
+        assert (
+            classify_df(df_high, df_max) is KeyStatus.NON_DISCRIMINATIVE
+        )

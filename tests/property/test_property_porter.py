@@ -1,0 +1,53 @@
+"""Property-based tests for the Porter stemmer."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.porter import stem
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=20)
+
+
+@given(words)
+def test_never_crashes_and_returns_lowercase(word):
+    result = stem(word)
+    assert isinstance(result, str)
+    assert result == result.lower()
+
+
+@given(words)
+def test_stem_never_longer_than_word(word):
+    # Porter only strips or replaces suffixes with shorter/equal ones,
+    # except step 1b's +e cleanup which never exceeds the original length.
+    assert len(stem(word)) <= len(word) + 1
+
+
+@given(words)
+def test_stem_nonempty_for_nonempty_input(word):
+    assert stem(word)
+
+
+@given(words)
+def test_short_words_untouched(word):
+    if len(word) <= 2:
+        assert stem(word) == word
+
+
+@given(words)
+def test_deterministic(word):
+    assert stem(word) == stem(word)
+
+
+@given(words)
+def test_prefix_preserved(word):
+    # The stem is always a prefix of the word up to the last few chars,
+    # i.e. the first two characters never change (no rule touches them
+    # for words of length > 2 because every rule requires a measurable
+    # stem remainder).
+    result = stem(word)
+    if len(word) > 4:
+        assert result[:2] == word[:2]

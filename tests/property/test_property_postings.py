@@ -1,0 +1,92 @@
+"""Property-based tests for posting-list operations."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.postings import Posting, PostingList
+
+
+@st.composite
+def posting_lists(draw, max_docs=40):
+    doc_ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=500),
+            unique=True,
+            max_size=max_docs,
+        )
+    )
+    postings = []
+    for doc_id in doc_ids:
+        tf = draw(st.integers(min_value=1, max_value=50))
+        doc_len = draw(st.integers(min_value=0, max_value=300))
+        postings.append(Posting(doc_id=doc_id, tf=tf, doc_len=doc_len))
+    return PostingList(postings)
+
+
+@given(posting_lists())
+def test_sorted_invariant(pl):
+    ids = pl.doc_ids()
+    assert ids == sorted(ids)
+
+
+@given(posting_lists(), posting_lists())
+def test_union_is_set_union(a, b):
+    merged = a.union(b)
+    assert set(merged.doc_ids()) == set(a.doc_ids()) | set(b.doc_ids())
+
+
+@given(posting_lists(), posting_lists())
+def test_union_commutative_on_docs(a, b):
+    assert a.union(b).doc_ids() == b.union(a).doc_ids()
+
+
+@given(posting_lists())
+def test_union_idempotent(a):
+    assert a.union(a).doc_ids() == a.doc_ids()
+
+
+@given(posting_lists(), posting_lists())
+def test_intersect_is_set_intersection(a, b):
+    assert set(a.intersect(b).doc_ids()) == set(a.doc_ids()) & set(
+        b.doc_ids()
+    )
+
+
+@given(posting_lists(), posting_lists(), posting_lists())
+def test_union_associative_on_docs(a, b, c):
+    left = a.union(b).union(c)
+    right = a.union(b.union(c))
+    assert left.doc_ids() == right.doc_ids()
+
+
+@given(posting_lists(), st.integers(min_value=0, max_value=50))
+def test_truncation_bounds_length(pl, limit):
+    truncated = pl.truncate_top(limit, "tf")
+    assert len(truncated) == min(limit, len(pl))
+
+
+@given(posting_lists(), st.integers(min_value=1, max_value=50))
+def test_truncation_keeps_highest_tf(pl, limit):
+    truncated = pl.truncate_top(limit, "tf")
+    if len(pl) <= limit:
+        return
+    kept_min = min(p.tf for p in truncated)
+    dropped = [p for p in pl if p.doc_id not in set(truncated.doc_ids())]
+    assert all(p.tf <= kept_min for p in dropped)
+
+
+@given(posting_lists(), st.integers(min_value=0, max_value=50))
+def test_truncation_result_is_subset(pl, limit):
+    truncated = pl.truncate_top(limit, "tf")
+    assert set(truncated.doc_ids()) <= set(pl.doc_ids())
+
+
+@settings(max_examples=30)
+@given(posting_lists())
+def test_filter_docs_partition(pl):
+    even = pl.filter_docs(lambda d: d % 2 == 0)
+    odd = pl.filter_docs(lambda d: d % 2 == 1)
+    assert len(even) + len(odd) == len(pl)
+    assert set(even.doc_ids()) | set(odd.doc_ids()) == set(pl.doc_ids())

@@ -1,0 +1,83 @@
+"""Property-based tests for the Zipf model and Theorem estimators."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.analysis.estimators import (
+    frequent_term_probability,
+    index_size_estimate,
+    very_frequent_term_probability,
+)
+from repro.analysis.zipf import ZipfModel, fit_zipf
+
+skews = st.floats(min_value=1.05, max_value=3.0, allow_nan=False)
+scales = st.floats(min_value=10.0, max_value=1e9, allow_nan=False)
+
+
+@given(skews, scales, st.integers(min_value=1, max_value=500))
+def test_zipf_rank_frequency_inverse(skew, scale, rank):
+    model = ZipfModel(skew=skew, scale=scale)
+    freq = model.frequency(rank)
+    assume(freq > 1e-12)
+    assert abs(model.rank(freq) - rank) / rank < 1e-6
+
+
+@given(skews, scales)
+def test_zipf_monotone_decreasing(skew, scale):
+    model = ZipfModel(skew=skew, scale=scale)
+    series = model.series(50)
+    assert all(a >= b for a, b in zip(series, series[1:]))
+
+
+@given(skews, scales)
+def test_fit_recovers_parameters(skew, scale):
+    model = ZipfModel(skew=skew, scale=scale)
+    data = [model.frequency(r) for r in range(1, 120)]
+    fitted = fit_zipf(data, min_frequency=0.0)
+    assert abs(fitted.skew - skew) < 1e-4
+    assert abs(fitted.scale - scale) / scale < 1e-3
+
+
+@given(skews, st.floats(min_value=2.0, max_value=1e6))
+def test_pvf_is_probability(skew, ff):
+    p = very_frequent_term_probability(skew, 1e9, ff)
+    assert 0.0 <= p <= 1.0
+
+
+@given(
+    skews,
+    st.integers(min_value=1, max_value=1_000),
+    st.integers(min_value=0, max_value=100_000),
+)
+def test_pf_is_probability(skew, fr, extra):
+    ff = fr + extra + 1
+    p = frequent_term_probability(skew, fr, ff)
+    assert 0.0 <= p <= 1.0
+
+
+@given(
+    skews,
+    st.integers(min_value=2, max_value=1_000),
+)
+def test_pf_decreases_as_band_narrows(skew, ff):
+    # Frequent band [fr, ff]: raising fr strictly within it cannot
+    # increase the occupied probability mass.
+    wide = frequent_term_probability(skew, 1, ff)
+    narrow = frequent_term_probability(skew, max(1, ff // 2), ff)
+    assert narrow <= wide + 1e-12
+
+
+@given(
+    st.integers(min_value=0, max_value=10**9),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=2, max_value=50),
+    st.integers(min_value=1, max_value=5),
+)
+def test_index_size_nonnegative_and_linear(sample, p, w, s):
+    assume(s <= w)
+    estimate = index_size_estimate(sample, p, w, s)
+    assert estimate >= 0
+    doubled = index_size_estimate(2 * sample, p, w, s)
+    assert abs(doubled - 2 * estimate) < 1e-6 * max(1.0, estimate)

@@ -1,0 +1,135 @@
+"""Tests for the LRU query-result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.querylog import Query
+from repro.errors import RetrievalError
+from repro.retrieval.cache import CachingSearchEngine
+from repro.retrieval.hdk_engine import HDKSearchResult
+from repro.retrieval.ranking import RankedResult
+
+
+class FakeEngine:
+    """Counts searches and returns deterministic results."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def search(self, query: Query, k: int = 20) -> HDKSearchResult:
+        self.calls += 1
+        result = HDKSearchResult(query=query)
+        result.results = [
+            RankedResult(doc_id=i, score=float(100 - i)) for i in range(k)
+        ]
+        result.postings_transferred = 40
+        result.keys_looked_up = 3
+        return result
+
+
+def q(*terms, query_id=0):
+    return Query(query_id=query_id, terms=tuple(sorted(terms)))
+
+
+class TestCaching:
+    def test_first_query_misses(self):
+        cache = CachingSearchEngine(FakeEngine())
+        cache.search(q("a", "b"))
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_repeat_query_hits(self):
+        engine = FakeEngine()
+        cache = CachingSearchEngine(engine)
+        cache.search(q("a", "b"))
+        cache.search(q("a", "b"))
+        assert engine.calls == 1
+        assert cache.stats.hits == 1
+
+    def test_hit_has_zero_traffic_and_saves_counted(self):
+        cache = CachingSearchEngine(FakeEngine())
+        cache.search(q("a", "b"))
+        hit = cache.search(q("a", "b"))
+        assert hit.postings_transferred == 0
+        assert cache.stats.postings_saved == 40
+
+    def test_term_order_irrelevant(self):
+        engine = FakeEngine()
+        cache = CachingSearchEngine(engine)
+        cache.search(q("a", "b"))
+        cache.search(q("b", "a", query_id=9))
+        assert engine.calls == 1
+
+    def test_shallower_k_served_from_deeper_cache(self):
+        engine = FakeEngine()
+        cache = CachingSearchEngine(engine)
+        cache.search(q("a"), k=20)
+        clipped = cache.search(q("a"), k=5)
+        assert engine.calls == 1
+        assert len(clipped.results) == 5
+
+    def test_deeper_k_misses(self):
+        engine = FakeEngine()
+        cache = CachingSearchEngine(engine)
+        cache.search(q("a"), k=5)
+        cache.search(q("a"), k=20)
+        assert engine.calls == 2
+
+    def test_lru_eviction(self):
+        engine = FakeEngine()
+        cache = CachingSearchEngine(engine, capacity=2)
+        cache.search(q("a"))
+        cache.search(q("b"))
+        cache.search(q("c"))  # evicts 'a'
+        assert cache.stats.evictions == 1
+        cache.search(q("a"))  # miss again
+        assert engine.calls == 4
+
+    def test_lru_order_refreshed_on_hit(self):
+        engine = FakeEngine()
+        cache = CachingSearchEngine(engine, capacity=2)
+        cache.search(q("a"))
+        cache.search(q("b"))
+        cache.search(q("a"))  # refresh 'a'
+        cache.search(q("c"))  # evicts 'b', not 'a'
+        cache.search(q("a"))
+        assert cache.stats.hits == 2
+
+    def test_invalidate(self):
+        engine = FakeEngine()
+        cache = CachingSearchEngine(engine)
+        cache.search(q("a"))
+        cache.invalidate()
+        assert len(cache) == 0
+        cache.search(q("a"))
+        assert engine.calls == 2
+
+    def test_hit_rate(self):
+        cache = CachingSearchEngine(FakeEngine())
+        assert cache.stats.hit_rate == 0.0
+        cache.search(q("a"))
+        cache.search(q("a"))
+        assert cache.stats.hit_rate == 0.5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(RetrievalError):
+            CachingSearchEngine(FakeEngine(), capacity=0)
+
+    def test_invalid_k(self):
+        cache = CachingSearchEngine(FakeEngine())
+        with pytest.raises(RetrievalError):
+            cache.search(q("a"), k=0)
+
+
+class TestWithRealEngine:
+    def test_cache_over_hdk_engine(self, hdk_engine):
+        cache = CachingSearchEngine(hdk_engine)
+        query = Query(query_id=0, terms=("t00042", "t00137"))
+        first = cache.search(query, k=10)
+        second = cache.search(query, k=10)
+        assert [r.doc_id for r in first.results] == [
+            r.doc_id for r in second.results
+        ]
+        assert second.postings_transferred == 0
+        assert cache.stats.postings_saved == first.postings_transferred

@@ -1,0 +1,104 @@
+"""Tests for the centralized BM25 baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.querylog import Query
+from repro.errors import RetrievalError
+from repro.retrieval.centralized import CentralizedBM25Engine
+
+
+@pytest.fixture()
+def engine():
+    docs = [
+        Document(doc_id=0, tokens=("apple", "pie", "apple")),
+        Document(doc_id=1, tokens=("apple", "tree")),
+        Document(doc_id=2, tokens=("quantum", "computer")),
+        Document(doc_id=3, tokens=("pie", "chart", "data")),
+        Document(doc_id=4, tokens=("apple", "pie", "pie", "pie")),
+    ]
+    # Filler documents keep every query term's df below N/2 so the idf
+    # floor never zeroes scores in these tests.
+    docs.extend(
+        Document(doc_id=5 + i, tokens=(f"filler{i}", "noise"))
+        for i in range(5)
+    )
+    return CentralizedBM25Engine(DocumentCollection(docs))
+
+
+def q(*terms, query_id=0):
+    return Query(query_id=query_id, terms=tuple(sorted(terms)))
+
+
+class TestSearch:
+    def test_disjunctive_semantics(self, engine):
+        results = engine.search(q("apple", "quantum"), k=10)
+        ids = {r.doc_id for r in results}
+        assert ids == {0, 1, 2, 4}
+
+    def test_conjunctive_match_ranks_highest(self, engine):
+        # Documents containing both query terms outrank single-term ones.
+        results = engine.search(q("apple", "pie"), k=5)
+        assert results[0].doc_id in (0, 4)
+
+    def test_k_limits_results(self, engine):
+        assert len(engine.search(q("apple", "pie"), k=2)) == 2
+
+    def test_scores_descending(self, engine):
+        results = engine.search(q("apple", "pie"), k=5)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ties_broken_by_doc_id(self, engine):
+        # Build two identical documents: equal scores, ascending ids.
+        docs = [
+            Document(doc_id=5, tokens=("x", "y")),
+            Document(doc_id=3, tokens=("x", "y")),
+        ]
+        eng = CentralizedBM25Engine(DocumentCollection(docs))
+        results = eng.search(q("x"), k=2)
+        assert [r.doc_id for r in results] == [3, 5]
+
+    def test_unknown_term_ignored(self, engine):
+        results = engine.search(q("apple", "zzzz"), k=5)
+        assert {r.doc_id for r in results} == {0, 1, 4}
+
+    def test_all_unknown_returns_empty(self, engine):
+        assert engine.search(q("zzzz", "wwww"), k=5) == []
+
+    def test_invalid_k(self, engine):
+        with pytest.raises(RetrievalError):
+            engine.search(q("apple"), k=0)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(RetrievalError):
+            CentralizedBM25Engine(DocumentCollection())
+
+
+class TestMatchingDocuments:
+    def test_union(self, engine):
+        assert engine.matching_documents(q("apple", "quantum")) == {
+            0,
+            1,
+            2,
+            4,
+        }
+
+    def test_unknown_term(self, engine):
+        assert engine.matching_documents(q("zzzz")) == set()
+
+
+class TestRankingQuality:
+    def test_tf_matters(self, engine):
+        # doc 4 has pie x3, doc 3 has pie x1; for a pie query doc 4 first.
+        results = engine.search(q("pie"), k=5)
+        assert results[0].doc_id == 4
+
+    def test_idf_matters(self, engine):
+        # 'quantum' (df=1) should score doc 2 above docs matched only by
+        # the common 'apple' (df=3) for a mixed query.
+        results = engine.search(q("quantum", "apple"), k=5)
+        assert results[0].doc_id == 2

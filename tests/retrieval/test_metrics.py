@@ -1,0 +1,72 @@
+"""Tests for retrieval metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RetrievalError
+from repro.retrieval.metrics import mean_overlap, precision_at_k, top_k_overlap
+from repro.retrieval.ranking import RankedResult
+
+
+def ranked(*doc_ids):
+    return [RankedResult(doc_id=d, score=1.0) for d in doc_ids]
+
+
+class TestTopKOverlap:
+    def test_identical_lists(self):
+        assert top_k_overlap(ranked(1, 2, 3), ranked(1, 2, 3), k=3) == 100.0
+
+    def test_disjoint_lists(self):
+        assert top_k_overlap(ranked(1, 2), ranked(3, 4), k=2) == 0.0
+
+    def test_partial(self):
+        assert top_k_overlap(ranked(1, 2), ranked(2, 3), k=2) == 50.0
+
+    def test_order_within_topk_irrelevant(self):
+        assert top_k_overlap(ranked(1, 2, 3), ranked(3, 1, 2), k=3) == 100.0
+
+    def test_k_slices_lists(self):
+        # Only the first k entries of each list matter.
+        assert (
+            top_k_overlap(ranked(1, 9, 9, 9), ranked(1, 8, 8, 8), k=1)
+            == 100.0
+        )
+
+    def test_accepts_plain_ints(self):
+        assert top_k_overlap([1, 2], [2, 1], k=2) == 100.0
+
+    def test_short_lists_measured_against_k(self):
+        # One shared doc out of k=20 is 5%.
+        assert top_k_overlap(ranked(1), ranked(1), k=20) == 5.0
+
+    def test_both_empty(self):
+        assert top_k_overlap([], [], k=20) == 100.0
+
+    def test_invalid_k(self):
+        with pytest.raises(RetrievalError):
+            top_k_overlap([], [], k=0)
+
+
+class TestPrecision:
+    def test_all_relevant(self):
+        assert precision_at_k(ranked(1, 2), {1, 2}, k=2) == 1.0
+
+    def test_half_relevant(self):
+        assert precision_at_k(ranked(1, 2), {1}, k=2) == 0.5
+
+    def test_empty_results(self):
+        assert precision_at_k([], {1}, k=5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(RetrievalError):
+            precision_at_k([], set(), k=0)
+
+
+class TestMeanOverlap:
+    def test_mean(self):
+        assert mean_overlap([100.0, 50.0]) == 75.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(RetrievalError):
+            mean_overlap([])

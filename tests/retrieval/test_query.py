@@ -1,0 +1,52 @@
+"""Tests for query processing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RetrievalError
+from repro.retrieval.query import QueryProcessor
+
+
+@pytest.fixture()
+def processor():
+    return QueryProcessor()
+
+
+def test_terms_processed_like_documents(processor):
+    query = processor.process("Running DOGS")
+    assert query.terms == ("dog", "run")
+
+
+def test_stopwords_removed(processor):
+    query = processor.process("the quantum and computing")
+    assert query.terms == ("comput", "quantum")
+
+
+def test_duplicates_collapse(processor):
+    query = processor.process("apple apple apples")
+    assert query.terms == ("appl",)
+
+
+def test_terms_sorted(processor):
+    query = processor.process("zebra apple")
+    assert query.terms == ("appl", "zebra")
+
+
+def test_empty_after_processing_raises(processor):
+    with pytest.raises(RetrievalError):
+        processor.process("the and of")
+
+
+def test_query_id_threaded(processor):
+    assert processor.process("quantum", query_id=17).query_id == 17
+
+
+def test_process_terms_canonicalizes(processor):
+    query = processor.process_terms(("b", "a", "b"))
+    assert query.terms == ("a", "b")
+
+
+def test_process_terms_empty_raises(processor):
+    with pytest.raises(RetrievalError):
+        processor.process_terms(())

@@ -1,0 +1,83 @@
+"""Tests for the distributed ranker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RetrievalError
+from repro.index.bm25 import BM25Scorer
+from repro.index.postings import Posting
+from repro.retrieval.ranking import DistributedRanker
+
+
+@pytest.fixture()
+def scorer():
+    return BM25Scorer(num_documents=100, average_doc_length=10.0)
+
+
+def make_ranker(scorer, dfs=None):
+    return DistributedRanker(scorer, dfs or {"a": 5, "b": 5})
+
+
+class TestRank:
+    def test_empty_input(self, scorer):
+        assert make_ranker(scorer).rank([], k=5) == []
+
+    def test_single_term_postings(self, scorer):
+        fetched = [
+            (("a",), Posting(doc_id=1, tf=3, term_tfs=(3,), doc_len=10)),
+            (("a",), Posting(doc_id=2, tf=1, term_tfs=(1,), doc_len=10)),
+        ]
+        results = make_ranker(scorer).rank(fetched, k=5)
+        assert [r.doc_id for r in results] == [1, 2]
+
+    def test_multi_key_evidence_merged(self, scorer):
+        # Document 1 appears under key {a} and key {a,b}: the ranker must
+        # combine both terms' evidence.
+        fetched = [
+            (("a",), Posting(doc_id=1, tf=2, term_tfs=(2,), doc_len=10)),
+            (
+                ("a", "b"),
+                Posting(doc_id=1, tf=1, term_tfs=(2, 1), doc_len=10),
+            ),
+            (("a",), Posting(doc_id=2, tf=2, term_tfs=(2,), doc_len=10)),
+        ]
+        results = make_ranker(scorer).rank(fetched, k=5)
+        # Doc 1 has evidence for both a and b; doc 2 only for a.
+        assert results[0].doc_id == 1
+        assert results[0].score > results[1].score
+
+    def test_k_truncates(self, scorer):
+        fetched = [
+            (("a",), Posting(doc_id=d, tf=1, term_tfs=(1,), doc_len=10))
+            for d in range(10)
+        ]
+        assert len(make_ranker(scorer).rank(fetched, k=3)) == 3
+
+    def test_ties_broken_by_doc_id(self, scorer):
+        fetched = [
+            (("a",), Posting(doc_id=5, tf=1, term_tfs=(1,), doc_len=10)),
+            (("a",), Posting(doc_id=2, tf=1, term_tfs=(1,), doc_len=10)),
+        ]
+        results = make_ranker(scorer).rank(fetched, k=5)
+        assert [r.doc_id for r in results] == [2, 5]
+
+    def test_posting_without_term_tfs_single_term(self, scorer):
+        fetched = [(("a",), Posting(doc_id=1, tf=4, doc_len=10))]
+        results = make_ranker(scorer).rank(fetched, k=1)
+        assert results[0].score > 0
+
+    def test_max_tf_wins_on_conflicting_evidence(self, scorer):
+        # Two sources report different tf for the same (doc, term): the
+        # ranker keeps the maximum (richer evidence).
+        fetched = [
+            (("a",), Posting(doc_id=1, tf=1, term_tfs=(1,), doc_len=10)),
+            (("a",), Posting(doc_id=1, tf=6, term_tfs=(6,), doc_len=10)),
+        ]
+        single = make_ranker(scorer).rank(fetched, k=1)
+        only_high = make_ranker(scorer).rank([fetched[1]], k=1)
+        assert single[0].score == pytest.approx(only_high[0].score)
+
+    def test_invalid_k(self, scorer):
+        with pytest.raises(RetrievalError):
+            make_ranker(scorer).rank([], k=0)

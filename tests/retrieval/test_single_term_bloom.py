@@ -1,0 +1,145 @@
+"""Tests for the Bloom-optimized single-term baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.querylog import Query
+from repro.net.network import P2PNetwork
+from repro.retrieval.single_term import (
+    SingleTermIndexer,
+    SingleTermRetrievalEngine,
+)
+from repro.retrieval.single_term_bloom import BloomSingleTermEngine
+
+
+def build_world(num_docs: int = 120, peers: int = 4):
+    """Docs alternate between two topic word pools so conjunctive
+    queries have non-trivial selectivity."""
+    network = P2PNetwork()
+    collections = [DocumentCollection() for _ in range(peers)]
+    all_docs = []
+    for i in range(num_docs):
+        tokens = ["common"]
+        if i % 2 == 0:
+            tokens += ["alpha", f"rare{i}"]
+        if i % 3 == 0:
+            tokens += ["beta", f"tag{i % 7}"]
+        doc = Document(doc_id=i, tokens=tuple(tokens))
+        collections[i % peers].add(doc)
+        all_docs.append(doc)
+    for p in range(peers):
+        network.add_peer(f"p{p}")
+    for p in range(peers):
+        SingleTermIndexer(f"p{p}", collections[p], network).index()
+    global_collection = DocumentCollection(all_docs)
+    naive = SingleTermRetrievalEngine(
+        network,
+        num_documents=len(global_collection),
+        average_doc_length=global_collection.average_document_length,
+    )
+    bloom = BloomSingleTermEngine(
+        network,
+        num_documents=len(global_collection),
+        average_doc_length=global_collection.average_document_length,
+    )
+    return network, naive, bloom, global_collection
+
+
+def q(*terms):
+    return Query(query_id=0, terms=tuple(sorted(terms)))
+
+
+class TestCorrectness:
+    def test_conjunctive_semantics(self):
+        _, _, bloom, collection = build_world()
+        outcome = bloom.search("p0", q("alpha", "beta"), k=50)
+        expected = {
+            doc.doc_id
+            for doc in collection
+            if doc.contains_all(frozenset({"alpha", "beta"}))
+        }
+        assert {r.doc_id for r in outcome.results} == expected
+
+    def test_no_false_positives_in_results(self):
+        _, _, bloom, collection = build_world()
+        outcome = bloom.search("p0", q("alpha", "common"), k=100)
+        for ranked in outcome.results:
+            doc = collection.get(ranked.doc_id)
+            assert doc.contains_all(frozenset({"alpha", "common"}))
+
+    def test_unknown_term_empty_result(self):
+        _, _, bloom, _ = build_world()
+        outcome = bloom.search("p0", q("alpha", "zzz"))
+        assert outcome.results == []
+        assert outcome.postings_transferred == 0
+
+    def test_three_term_query(self):
+        _, _, bloom, collection = build_world()
+        outcome = bloom.search("p0", q("alpha", "beta", "common"), k=100)
+        expected = {
+            doc.doc_id
+            for doc in collection
+            if doc.contains_all(frozenset({"alpha", "beta", "common"}))
+        }
+        assert {r.doc_id for r in outcome.results} == expected
+
+    def test_invalid_k(self):
+        _, _, bloom, _ = build_world()
+        with pytest.raises(Exception):
+            bloom.search("p0", q("alpha"), k=0)
+
+
+class TestTraffic:
+    def test_cheaper_than_naive_for_selective_conjunctions(self):
+        # 'common' matches everything, 'beta' a third: naive ships both
+        # full lists; Bloom ships a filter of the 'beta' list plus the
+        # pre-intersected candidates.
+        _, naive, bloom, _ = build_world(num_docs=300)
+        query = q("beta", "common")
+        _, naive_traffic = naive.search("p0", query, k=20)
+        outcome = bloom.search("p1", query, k=20)
+        assert outcome.postings_transferred < naive_traffic
+
+    def test_traffic_components_accounted(self):
+        _, _, bloom, _ = build_world()
+        outcome = bloom.search("p0", q("alpha", "beta"))
+        assert outcome.filter_posting_equivalents >= 1
+        assert outcome.postings_transferred >= (
+            outcome.filter_posting_equivalents + len(outcome.results)
+        )
+
+    def test_traffic_still_grows_with_collection(self):
+        # The paper's point: Bloom reduces the constant, not the growth.
+        small = build_world(num_docs=120)
+        large = build_world(num_docs=480)
+        query = q("beta", "common")
+        t_small = small[2].search("p0", query).postings_transferred
+        t_large = large[2].search("p0", query).postings_transferred
+        assert t_large > 2 * t_small
+
+    def test_hdk_style_bound_does_not_apply(self):
+        # Unlike HDK, there is no collection-independent bound: traffic
+        # scales with the rarest list's length.
+        _, _, bloom, collection = build_world(num_docs=400)
+        outcome = bloom.search("p0", q("alpha", "common"))
+        assert outcome.postings_transferred > 50
+
+
+class TestRankingAgreement:
+    def test_ranking_matches_naive_on_conjunctive_matches(self):
+        _, naive, bloom, collection = build_world()
+        query = q("alpha", "beta")
+        naive_results, _ = naive.search("p0", query, k=100)
+        conjunctive = {
+            doc.doc_id
+            for doc in collection
+            if doc.contains_all(frozenset({"alpha", "beta"}))
+        }
+        naive_conjunctive = [
+            r.doc_id for r in naive_results if r.doc_id in conjunctive
+        ]
+        bloom_results = bloom.search("p1", query, k=100).results
+        assert [r.doc_id for r in bloom_results] == naive_conjunctive

@@ -1,0 +1,161 @@
+"""Tests for the distributed Threshold-Algorithm top-k baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.collection import DocumentCollection
+from repro.corpus.document import Document
+from repro.corpus.querylog import Query
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+)
+from repro.net.network import P2PNetwork
+from repro.retrieval.single_term import (
+    SingleTermIndexer,
+    SingleTermRetrievalEngine,
+)
+from repro.retrieval.topk import DistributedTopKEngine
+
+
+def build_world(collection: DocumentCollection, peers: int = 4, batch=5):
+    network = P2PNetwork()
+    slices = collection.split(peers)
+    for p in range(peers):
+        network.add_peer(f"p{p}")
+    for p in range(peers):
+        SingleTermIndexer(f"p{p}", slices[p], network).index()
+    full = SingleTermRetrievalEngine(
+        network,
+        num_documents=len(collection),
+        average_doc_length=collection.average_document_length,
+    )
+    topk = DistributedTopKEngine(
+        network,
+        num_documents=len(collection),
+        average_doc_length=collection.average_document_length,
+        batch_size=batch,
+    )
+    return network, full, topk
+
+
+@pytest.fixture(scope="module")
+def synthetic_world():
+    config = SyntheticCorpusConfig(
+        vocabulary_size=400, mean_doc_length=40, num_topics=8
+    )
+    collection = SyntheticCorpusGenerator(config, seed=23).generate(200)
+    return collection, *build_world(collection)
+
+
+def q(*terms):
+    return Query(query_id=0, terms=tuple(sorted(terms)))
+
+
+class TestExactness:
+    def test_matches_full_fetch_ranking(self, synthetic_world):
+        collection, network, full, topk = synthetic_world
+        queries = [
+            q("t00001", "t00005"),
+            q("t00002", "t00010", "t00020"),
+            q("t00003",),
+        ]
+        for query in queries:
+            reference, _ = full.search("p0", query, k=10)
+            outcome = topk.search("p0", query, k=10)
+            assert [r.doc_id for r in outcome.results] == [
+                r.doc_id for r in reference
+            ], f"TA diverged on {query.terms}"
+
+    def test_scores_match_full_fetch(self, synthetic_world):
+        _, _, full, topk = synthetic_world
+        query = q("t00001", "t00005")
+        reference, _ = full.search("p0", query, k=5)
+        outcome = topk.search("p0", query, k=5)
+        for got, want in zip(outcome.results, reference):
+            assert got.score == pytest.approx(want.score)
+
+    def test_unknown_terms_empty(self, synthetic_world):
+        _, _, _, topk = synthetic_world
+        outcome = topk.search("p0", q("zzzz"))
+        assert outcome.results == []
+        assert outcome.postings_transferred == 0
+
+    def test_invalid_k(self, synthetic_world):
+        _, _, _, topk = synthetic_world
+        with pytest.raises(Exception):
+            topk.search("p0", q("t00001"), k=0)
+
+    def test_invalid_batch(self, synthetic_world):
+        collection = synthetic_world[0]
+        with pytest.raises(Exception):
+            build_world(collection, batch=0)
+
+
+class TestTraffic:
+    def test_cheaper_than_full_fetch_for_small_k(self, synthetic_world):
+        _, _, full, topk = synthetic_world
+        query = q("t00001", "t00002")
+        _, full_traffic = full.search("p0", query, k=5)
+        outcome = topk.search("p0", query, k=5)
+        assert outcome.postings_transferred < full_traffic
+
+    def test_traffic_components(self, synthetic_world):
+        _, _, _, topk = synthetic_world
+        outcome = topk.search("p0", q("t00001", "t00002"), k=5)
+        assert outcome.postings_transferred == (
+            outcome.sorted_accesses + outcome.random_accesses
+        )
+        assert outcome.rounds >= 1
+
+    def test_traffic_grows_with_k(self, synthetic_world):
+        _, _, _, topk = synthetic_world
+        small = topk.search("p0", q("t00001", "t00002"), k=2)
+        large = topk.search("p0", q("t00001", "t00002"), k=40)
+        assert (
+            large.postings_transferred >= small.postings_transferred
+        )
+
+    def test_traffic_grows_with_collection_for_disjoint_terms(self):
+        # The paper's framing: top-k is bandwidth-friendly but not
+        # collection-independent like HDK.  TA terminates early when the
+        # query terms co-occur in high-scoring documents; for terms from
+        # *different* topics it must scan deep frontiers, and that depth
+        # grows with the collection.
+        config = SyntheticCorpusConfig(
+            vocabulary_size=300, mean_doc_length=40, num_topics=6
+        )
+        small_coll = SyntheticCorpusGenerator(config, seed=29).generate(100)
+        large_coll = SyntheticCorpusGenerator(config, seed=29).generate(1600)
+        _, _, topk_small = build_world(small_coll)
+        _, _, topk_large = build_world(large_coll)
+        query = q("t00040", "t00041")
+        t_small = topk_small.search("p0", query, k=10).postings_transferred
+        t_large = topk_large.search("p0", query, k=10).postings_transferred
+        assert t_large > 3 * t_small
+
+
+class TestEdgeCases:
+    def test_k_larger_than_matches(self):
+        docs = DocumentCollection(
+            [
+                Document(doc_id=0, tokens=("x", "y")),
+                Document(doc_id=1, tokens=("x",)),
+                Document(doc_id=2, tokens=("z",)),
+            ]
+        )
+        _, full, topk = build_world(docs, peers=2, batch=2)
+        outcome = topk.search("p0", q("x", "y"), k=10)
+        reference, _ = full.search("p0", q("x", "y"), k=10)
+        assert [r.doc_id for r in outcome.results] == [
+            r.doc_id for r in reference
+        ]
+
+    def test_single_document_world(self):
+        docs = DocumentCollection(
+            [Document(doc_id=0, tokens=("only", "doc"))]
+        )
+        _, _, topk = build_world(docs, peers=1, batch=1)
+        outcome = topk.search("p0", q("only"), k=5)
+        assert [r.doc_id for r in outcome.results] == [0]

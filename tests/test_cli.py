@@ -1,0 +1,165 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestStats:
+    def test_synthetic_stats(self, capsys):
+        code = main(["stats", "--docs", "30", "--vocabulary", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total number of documents M" in out
+        assert "30" in out
+
+    def test_text_dir(self, tmp_path, capsys):
+        (tmp_path / "a.txt").write_text("apple pie crust baking")
+        (tmp_path / "b.txt").write_text("quantum computing hardware")
+        code = main(["stats", "--text-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2" in out
+
+    def test_empty_text_dir_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stats", "--text-dir", str(tmp_path)])
+
+
+class TestSearch:
+    def test_end_to_end(self, capsys):
+        code = main(
+            [
+                "search",
+                "t00001 t00002",
+                "--docs",
+                "60",
+                "--vocabulary",
+                "200",
+                "--peers",
+                "3",
+                "--df-max",
+                "5",
+                "--window",
+                "6",
+                "--ff",
+                "2000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "indexed 60 documents" in out
+        assert "n_k=" in out
+
+    def test_single_term_mode(self, capsys):
+        code = main(
+            [
+                "search",
+                "t00001",
+                "--docs",
+                "40",
+                "--vocabulary",
+                "150",
+                "--peers",
+                "2",
+                "--mode",
+                "single_term",
+                "--df-max",
+                "5",
+                "--window",
+                "6",
+            ]
+        )
+        assert code == 0
+
+    def test_pgrid_overlay(self, capsys):
+        code = main(
+            [
+                "search",
+                "t00001",
+                "--docs",
+                "40",
+                "--vocabulary",
+                "150",
+                "--peers",
+                "2",
+                "--overlay",
+                "pgrid",
+                "--df-max",
+                "5",
+                "--window",
+                "6",
+            ]
+        )
+        assert code == 0
+
+
+class TestExperiment:
+    def test_tiny_experiment(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "--docs-per-peer",
+                "20",
+                "--max-peers",
+                "2",
+                "--initial-peers",
+                "2",
+                "--vocabulary",
+                "150",
+                "--doc-length",
+                "25",
+                "--df-max-values",
+                "5",
+                "--df-max",
+                "5",
+                "--window",
+                "6",
+                "--queries",
+                "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "top-20 overlap %" in out
+        assert "ST" in out
+
+
+class TestPlan:
+    def test_default_profile(self, capsys):
+        code = main(["plan", "4200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recommended DF_max" in out
+        assert "1000" in out  # 4200 / 4.2
+
+    def test_custom_profile(self, capsys):
+        code = main(["plan", "700", "--query-sizes", "2:1.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # nk = 3 -> DF_max = 233.
+        assert "233" in out
+
+
+class TestTraffic:
+    def test_table(self, capsys):
+        code = main(["traffic", "--doc-counts", "653546", "1000000000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ST/HDK" in out
+        assert "x" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_lists_subcommands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for name in ("stats", "search", "experiment", "plan", "traffic"):
+            assert name in out

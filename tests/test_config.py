@@ -1,0 +1,87 @@
+"""Tests for model and experiment parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    ExperimentParameters,
+    HDKParameters,
+    PAPER_PARAMETERS,
+    SMALL_SCALE_PARAMETERS,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHDKParameters:
+    def test_paper_defaults(self):
+        params = HDKParameters()
+        assert params.df_max == 400
+        assert params.window_size == 20
+        assert params.s_max == 3
+        assert params.ff == 100_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HDKParameters(df_max=0)
+        with pytest.raises(ConfigurationError):
+            HDKParameters(window_size=1)
+        with pytest.raises(ConfigurationError):
+            HDKParameters(s_max=0)
+        with pytest.raises(ConfigurationError):
+            HDKParameters(s_max=25, window_size=20)
+        with pytest.raises(ConfigurationError):
+            HDKParameters(ff=0)
+        with pytest.raises(ConfigurationError):
+            HDKParameters(fr=200_000)  # fr > ff
+        with pytest.raises(ConfigurationError):
+            HDKParameters(ndk_truncation="weird")
+
+    def test_with_df_max(self):
+        params = HDKParameters().with_df_max(500)
+        assert params.df_max == 500
+        assert params.window_size == 20  # others preserved
+
+    def test_with_window(self):
+        assert HDKParameters().with_window(10).window_size == 10
+
+    def test_as_dict_roundtrip(self):
+        original = HDKParameters(df_max=123, fr=7)
+        assert HDKParameters.from_dict(original.as_dict()) == original
+
+    def test_from_dict_unknown_key(self):
+        with pytest.raises(ConfigurationError):
+            HDKParameters.from_dict({"df_max": 10, "bogus": 1})
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            HDKParameters().df_max = 1  # type: ignore[misc]
+
+
+class TestExperimentParameters:
+    def test_paper_peer_counts(self):
+        assert PAPER_PARAMETERS.peer_counts() == [4, 8, 12, 16, 20, 24, 28]
+
+    def test_paper_document_counts(self):
+        counts = PAPER_PARAMETERS.document_counts()
+        assert counts[0] == 20_000
+        assert counts[-1] == 140_000
+
+    def test_small_scale_is_valid(self):
+        assert SMALL_SCALE_PARAMETERS.peer_counts()[0] == 4
+
+    def test_irregular_step_includes_max(self):
+        params = ExperimentParameters(
+            initial_peers=2, peer_step=3, max_peers=9, docs_per_peer=10
+        )
+        assert params.peer_counts() == [2, 5, 8, 9]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentParameters(initial_peers=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentParameters(peer_step=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentParameters(initial_peers=8, max_peers=4)
+        with pytest.raises(ConfigurationError):
+            ExperimentParameters(docs_per_peer=0)

@@ -1,0 +1,32 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        if name == "ReproError":
+            continue
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(errors.ConfigurationError, ValueError)
+
+
+def test_peer_not_found_is_lookup_error():
+    assert issubclass(errors.PeerNotFoundError, LookupError)
+
+
+def test_routing_error_is_network_error():
+    assert issubclass(errors.RoutingError, errors.NetworkError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.KeyGenerationError("boom")

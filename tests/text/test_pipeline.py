@@ -1,0 +1,75 @@
+"""Tests for repro.text.pipeline."""
+
+from __future__ import annotations
+
+from repro.text.pipeline import PipelineConfig, TextPipeline
+from repro.text.tokenizer import Tokenizer
+
+
+class TestDefaultPipeline:
+    def test_stopwords_removed(self):
+        pipeline = TextPipeline()
+        tokens = pipeline.process("the apple and the pie")
+        assert "and" not in tokens
+        assert "appl" in tokens  # stemmed
+        assert "pie" in tokens
+
+    def test_stemming_applied(self):
+        pipeline = TextPipeline()
+        assert pipeline.process("running quickly") == ["run", "quickli"]
+
+    def test_order_preserved(self):
+        pipeline = TextPipeline()
+        tokens = pipeline.process("quantum computing hardware")
+        assert tokens == ["quantum", "comput", "hardwar"]
+
+    def test_empty_input(self):
+        assert TextPipeline().process("") == []
+
+    def test_all_stopwords_input(self):
+        assert TextPipeline().process("and of the a an") == []
+
+
+class TestConfiguredPipeline:
+    def test_no_stemming(self):
+        pipeline = TextPipeline(PipelineConfig(apply_stemming=False))
+        assert pipeline.process("running dogs") == ["running", "dogs"]
+
+    def test_no_stopword_removal(self):
+        pipeline = TextPipeline(
+            PipelineConfig(remove_stopwords=False, apply_stemming=False)
+        )
+        assert pipeline.process("and running") == ["and", "running"]
+
+    def test_extra_stopwords(self):
+        pipeline = TextPipeline(
+            PipelineConfig(
+                extra_stopwords=frozenset({"wikipedia"}),
+                apply_stemming=False,
+            )
+        )
+        assert pipeline.process("wikipedia article") == ["article"]
+
+    def test_custom_tokenizer(self):
+        pipeline = TextPipeline(
+            PipelineConfig(
+                tokenizer=Tokenizer(keep_numbers=True),
+                apply_stemming=False,
+            )
+        )
+        assert "2007" in pipeline.process("icde 2007")
+
+
+class TestPretokenized:
+    def test_process_pretokenized_matches_process(self):
+        pipeline = TextPipeline()
+        text = "the quick brown foxes are jumping over lazy dogs"
+        from_text = pipeline.process(text)
+        from_tokens = pipeline.process_pretokenized(text.split())
+        assert from_text == from_tokens
+
+    def test_stem_cache_consistency(self):
+        pipeline = TextPipeline()
+        first = pipeline.process("connection connection")
+        second = pipeline.process("connection")
+        assert first == [second[0], second[0]]

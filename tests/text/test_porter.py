@@ -1,0 +1,154 @@
+"""Tests for the Porter stemmer implementation.
+
+Expected stems follow Porter's published examples and the behaviour of the
+reference implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.porter import PorterStemmer, stem
+
+
+# (word, expected stem) pairs drawn from the algorithm's rule examples.
+KNOWN_STEMS = [
+    # step 1a
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    # step 1b
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    # step 1b cleanup
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    # step 1c
+    ("happy", "happi"),
+    ("sky", "sky"),
+    # step 2
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    # step 3
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    # step 4
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    # step 5
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", KNOWN_STEMS)
+def test_known_stems(word, expected):
+    assert stem(word) == expected
+
+
+def test_short_words_unchanged():
+    for word in ("a", "is", "be", "on"):
+        assert stem(word) == word
+
+
+def test_idempotent_on_common_words():
+    # Stemming a stem usually yields itself for these forms.
+    for word in ("run", "walk", "tree", "network"):
+        assert stem(stem(word)) == stem(word)
+
+
+def test_stemmer_instance_reusable():
+    stemmer = PorterStemmer()
+    assert stemmer.stem("running") == "run"
+    assert stemmer.stem("jumps") == "jump"
+
+
+def test_measure_function():
+    # Porter's published m examples: m=0 {TR, EE, TREE}, m=1 {TROUBLE,
+    # OATS, TREES}, m=2 {TROUBLES, PRIVATE, OATEN}.
+    assert PorterStemmer._measure("tr") == 0
+    assert PorterStemmer._measure("ee") == 0
+    assert PorterStemmer._measure("tree") == 0
+    assert PorterStemmer._measure("trees") == 1
+    assert PorterStemmer._measure("trouble") == 1
+    assert PorterStemmer._measure("oats") == 1
+    assert PorterStemmer._measure("oaten") == 2
+    assert PorterStemmer._measure("troubles") == 2
+    assert PorterStemmer._measure("private") == 2
+
+
+def test_consonant_classification_of_y():
+    # Porter: a consonant is any letter other than a vowel and other than
+    # Y preceded by a consonant.  So Y at position 0 or after a vowel is a
+    # consonant; Y after a consonant acts as a vowel.
+    assert PorterStemmer._is_consonant("yes", 0)
+    assert PorterStemmer._is_consonant("say", 2)  # after vowel 'a'
+    assert not PorterStemmer._is_consonant("syzygy", 1)  # after 's'
+
+
+def test_cvc_condition():
+    assert PorterStemmer._ends_cvc("hop")
+    assert not PorterStemmer._ends_cvc("how")  # ends in w
+    assert not PorterStemmer._ends_cvc("box")  # ends in x
+
+
+def test_double_consonant():
+    assert PorterStemmer._ends_double_consonant("fall")
+    assert not PorterStemmer._ends_double_consonant("feel")  # ee = vowels

@@ -1,0 +1,41 @@
+"""Tests for repro.text.stopwords."""
+
+from __future__ import annotations
+
+from repro.text.stopwords import STOPWORDS, is_stopword
+
+
+def test_exactly_250_stopwords():
+    # The paper's setup removes exactly 250 common English stop words.
+    assert len(STOPWORDS) == 250
+
+
+def test_common_words_present():
+    for word in ("a", "and", "the" if "the" in STOPWORDS else "an", "of"):
+        assert word in STOPWORDS
+
+
+def test_all_lowercase():
+    assert all(word == word.lower() for word in STOPWORDS)
+
+
+def test_no_empty_entries():
+    assert all(word.strip() == word and word for word in STOPWORDS)
+
+
+def test_is_stopword_positive():
+    assert is_stopword("and")
+
+
+def test_is_stopword_negative():
+    assert not is_stopword("quantum")
+
+
+def test_is_stopword_case_sensitive_contract():
+    # Callers must lower-case first; the predicate itself does not.
+    assert not is_stopword("AND")
+
+
+def test_frozenset_type():
+    # The list must be immutable so pipelines can share it safely.
+    assert isinstance(STOPWORDS, frozenset)

