@@ -1,32 +1,33 @@
-"""Baselines comparison: every retrieval strategy on one collection.
+"""Baselines comparison: every retrieval backend on one collection.
 
 Run with::
 
     python examples/baselines_comparison.py
 
 The paper positions HDK indexing against the whole landscape its related
-work describes; this example runs them all on the same synthetic
-collection and the same query log:
+work describes; this example runs every backend in the registry on the
+same synthetic collection and the same query log through one uniform
+``SearchService`` API:
 
-- naive distributed single-term (full posting lists per term),
-- Bloom-optimized single-term (conjunctive pre-intersection),
-- distributed top-k (Threshold Algorithm, exact BM25 top-k),
-- HDK (the paper's model),
-- HDK behind an LRU result cache (repeated-query workload).
+- ``single_term`` — naive distributed single-term (full posting lists),
+- ``single_term_bloom`` — Bloom-optimized conjunctive pre-intersection,
+- ``hdk`` — the paper's model,
+- ``centralized`` — single-node BM25 (the oracle the overlap column is
+  measured against),
+
+plus distributed top-k (Threshold Algorithm) and HDK behind the
+service's LRU result cache (repeated-query workload).
 
 Printed per engine: mean postings transferred per query and the top-10
-overlap with a centralized BM25 reference.
+overlap with the centralized BM25 reference.
 """
 
 from __future__ import annotations
 
-from repro import EngineMode, HDKParameters, P2PSearchEngine
+from repro import HDKParameters, SearchService
 from repro.corpus import SyntheticCorpusConfig, SyntheticCorpusGenerator
 from repro.corpus.querylog import QueryLogGenerator
-from repro.retrieval.cache import CachingSearchEngine
-from repro.retrieval.centralized import CentralizedBM25Engine
 from repro.retrieval.metrics import top_k_overlap
-from repro.retrieval.single_term_bloom import BloomSingleTermEngine
 from repro.retrieval.topk import DistributedTopKEngine
 from repro.utils import format_table
 
@@ -49,78 +50,79 @@ def main() -> None:
         seed=41,
         size_weights={2: 0.6, 3: 0.4},
     ).generate(25)
-    centralized = CentralizedBM25Engine(collection)
-    reference = {q.query_id: centralized.search(q, k=10) for q in queries}
 
-    hdk = P2PSearchEngine.build(collection, num_peers=6, params=params)
-    hdk.index()
-    st = P2PSearchEngine.build(
-        collection,
-        num_peers=6,
-        params=params,
-        mode=EngineMode.SINGLE_TERM,
-    )
-    st.index()
-    bloom = BloomSingleTermEngine(
-        st.network,
-        num_documents=len(collection),
-        average_doc_length=collection.average_document_length,
-    )
+    # One service per registered backend, cache disabled so the traffic
+    # column reflects the raw protocols.
+    def build(backend: str, cache_capacity: int | None = None):
+        service = SearchService.build(
+            collection,
+            num_peers=6,
+            backend=backend,
+            params=params,
+            cache_capacity=cache_capacity,
+        )
+        service.index()
+        return service
+
+    oracle = build("centralized")
+    reference = {
+        q.query_id: oracle.search(q, k=10).results for q in queries
+    }
+
+    def measure(service):
+        report = service.run_querylog(queries, k=10)
+        overlaps = [
+            top_k_overlap(r.results, reference[r.query.query_id], k=10)
+            for r in report.responses
+        ]
+        return (
+            report.mean_postings_per_query,
+            sum(overlaps) / len(overlaps),
+        )
+
+    rows = []
+    for backend, note in [
+        ("single_term", "full lists, OR semantics"),
+        ("single_term_bloom", "Bloom AND semantics"),
+        ("hdk", "the paper's model"),
+        ("centralized", "single-node oracle, zero network"),
+    ]:
+        traffic, overlap = measure(build(backend))
+        rows.append([backend, f"{traffic:,.1f}", f"{overlap:.1f}%", note])
+
+    # Distributed top-k (TA) rides on a single-term index; it has no
+    # registry entry yet, so it is measured through its own engine.
+    st = build("single_term")
     topk = DistributedTopKEngine(
         st.network,
         num_documents=len(collection),
         average_doc_length=collection.average_document_length,
         batch_size=10,
     )
-    cache = CachingSearchEngine(hdk)
-
-    def measure(search_fn):
-        traffic, overlaps = [], []
-        for query in queries:
-            result = search_fn(query)
-            traffic.append(result[0])
-            overlaps.append(
-                top_k_overlap(result[1], reference[query.query_id], k=10)
-            )
-        return sum(traffic) / len(traffic), sum(overlaps) / len(overlaps)
-
-    rows = []
-
-    def st_search(q):
-        r = st.search(q, k=10)
-        return r.postings_transferred, r.results
-
-    def bloom_search(q):
-        outcome = bloom.search("peer-000", q, k=10)
-        return outcome.postings_transferred, outcome.results
-
-    def topk_search(q):
-        outcome = topk.search("peer-000", q, k=10)
-        return outcome.postings_transferred, outcome.results
-
-    def hdk_search(q):
-        r = hdk.search(q, k=10)
-        return r.postings_transferred, r.results
-
-    def cached_search(q):
-        r = cache.search(q, k=10)
-        return r.postings_transferred, r.results
-
-    for label, fn, note in [
-        ("single-term (naive)", st_search, "full lists, OR semantics"),
-        ("single-term + Bloom", bloom_search, "AND semantics"),
-        ("distributed top-k (TA)", topk_search, "exact BM25 top-k"),
-        ("HDK", hdk_search, "the paper's model"),
-    ]:
-        traffic, overlap = measure(fn)
-        rows.append([label, f"{traffic:,.1f}", f"{overlap:.1f}%", note])
-    # Cache: run the log twice; report the amortized second-pass cost.
+    traffic, overlaps = [], []
     for q in queries:
-        cache.search(q, k=10)
-    traffic, overlap = measure(cached_search)
+        outcome = topk.search("peer-000", q, k=10)
+        traffic.append(outcome.postings_transferred)
+        overlaps.append(
+            top_k_overlap(outcome.results, reference[q.query_id], k=10)
+        )
     rows.append(
         [
-            "HDK + LRU cache (repeat)",
+            "distributed top-k (TA)",
+            f"{sum(traffic) / len(traffic):,.1f}",
+            f"{sum(overlaps) / len(overlaps):.1f}%",
+            "exact BM25 top-k",
+        ]
+    )
+
+    # Cache: replay the log twice through a caching HDK service; the
+    # second pass is all hits, so the batch traffic is zero.
+    cached = build("hdk", cache_capacity=256)
+    cached.run_querylog(queries, k=10)  # warm pass
+    traffic, overlap = measure(cached)
+    rows.append(
+        [
+            "hdk + LRU cache (repeat)",
             f"{traffic:,.1f}",
             f"{overlap:.1f}%",
             "second pass over the log",

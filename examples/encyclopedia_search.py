@@ -5,12 +5,12 @@ Run with::
     python examples/encyclopedia_search.py
 
 Indexes a small hand-written encyclopedia (raw text -> tokenizer -> stop
-words -> Porter stemmer) across 4 peers and compares three engines on the
-same queries:
+words -> Porter stemmer) across 4 peers and compares three backends on
+the same queries through one ``SearchService`` API:
 
-- the HDK P2P engine (the paper's model),
-- the distributed single-term baseline,
-- the centralized BM25 reference.
+- ``hdk`` — the HDK P2P engine (the paper's model),
+- ``single_term`` — the distributed single-term baseline,
+- ``centralized`` — the BM25 reference.
 
 This mirrors the paper's Figure 6/7 methodology at toy scale: identical
 queries, per-engine traffic, and top-k overlap against centralized BM25.
@@ -18,9 +18,8 @@ queries, per-engine traffic, and top-k overlap against centralized BM25.
 
 from __future__ import annotations
 
-from repro import EngineMode, HDKParameters, P2PSearchEngine
+from repro import HDKParameters, SearchService
 from repro.corpus import build_collection_from_texts
-from repro.retrieval.centralized import CentralizedBM25Engine
 from repro.retrieval.metrics import top_k_overlap
 from repro.utils import format_table
 
@@ -103,20 +102,20 @@ def main() -> None:
     )
     params = HDKParameters(df_max=2, window_size=8, s_max=3, ff=500, fr=1)
 
-    hdk = P2PSearchEngine.build(collection, num_peers=4, params=params)
-    hdk.index()
-    single_term = P2PSearchEngine.build(
-        collection,
-        num_peers=4,
-        params=params,
-        mode=EngineMode.SINGLE_TERM,
-    )
-    single_term.index()
-    centralized = CentralizedBM25Engine(collection)
+    def build(backend: str) -> SearchService:
+        service = SearchService.build(
+            collection, num_peers=4, backend=backend, params=params
+        )
+        service.index()
+        return service
+
+    hdk = build("hdk")
+    single_term = build("single_term")
+    centralized = build("centralized")
 
     print(
         f"indexed {len(collection)} articles; HDK global index holds "
-        f"{hdk.global_index.key_count()} keys "
+        f"{hdk.stats()['keys']} keys "
         f"({hdk.stored_postings_total()} postings) vs "
         f"{single_term.stored_postings_total()} single-term postings\n"
     )
@@ -125,7 +124,7 @@ def main() -> None:
     for raw_query in QUERIES:
         hdk_result = hdk.search(raw_query, k=5)
         st_result = single_term.search(raw_query, k=5)
-        reference = centralized.search(hdk_result.query, k=5)
+        reference = centralized.search(hdk_result.query, k=5).results
         overlap = top_k_overlap(hdk_result.results, reference, k=5)
         top = (
             collection.get(hdk_result.results[0].doc_id).title

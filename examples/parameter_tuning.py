@@ -7,19 +7,32 @@ Run with::
 The paper's discussion of Figures 3/6/7: DF_max controls a three-way
 trade-off between index size (storage), retrieval traffic (bandwidth),
 and retrieval quality (overlap with a centralized BM25 engine).  This
-example sweeps DF_max on a fixed collection and prints the trade-off
-table, then sweeps the proximity window w to show its effect on the
-number of generated keys (Theorem 3's binomial factor).
+example sweeps DF_max on a fixed collection through the ``SearchService``
+facade and prints the trade-off table, then sweeps the proximity window w
+to show its effect on the number of generated keys (Theorem 3's binomial
+factor).
 """
 
 from __future__ import annotations
 
-from repro import HDKParameters, P2PSearchEngine
+from repro import HDKParameters, SearchService
 from repro.corpus import SyntheticCorpusConfig, SyntheticCorpusGenerator
 from repro.corpus.querylog import QueryLogGenerator
-from repro.retrieval.centralized import CentralizedBM25Engine
+from repro.net.accounting import Phase
 from repro.retrieval.metrics import top_k_overlap
 from repro.utils import format_table
+
+
+def build_service(collection, params) -> SearchService:
+    service = SearchService.build(
+        collection,
+        num_peers=4,
+        backend="hdk",
+        params=params,
+        cache_capacity=None,  # raw per-query traffic, no cache
+    )
+    service.index()
+    return service
 
 
 def main() -> None:
@@ -27,10 +40,16 @@ def main() -> None:
         vocabulary_size=800, mean_doc_length=60, num_topics=10
     )
     collection = SyntheticCorpusGenerator(config, seed=1).generate(300)
-    centralized = CentralizedBM25Engine(collection)
+    oracle = SearchService.build(
+        collection, num_peers=1, backend="centralized"
+    )
+    oracle.index()
     queries = QueryLogGenerator(
         collection, window_size=8, min_hits=5, seed=21
     ).generate(20)
+    reference = {
+        q.query_id: oracle.search(q, k=10).results for q in queries
+    }
 
     print("DF_max sweep (fixed w=8, s_max=3):\n")
     rows = []
@@ -38,26 +57,20 @@ def main() -> None:
         params = HDKParameters(
             df_max=df_max, window_size=8, s_max=3, ff=3_000, fr=3
         )
-        engine = P2PSearchEngine.build(
-            collection, num_peers=4, params=params
-        )
-        engine.index()
-        traffic = []
-        overlaps = []
-        for query in queries:
-            result = engine.search(query, k=10)
-            traffic.append(result.postings_transferred)
-            overlaps.append(
-                top_k_overlap(
-                    result.results, centralized.search(query, k=10), k=10
-                )
-            )
+        service = build_service(collection, params)
+        num_peers = len(service.peers)
+        report = service.run_querylog(queries, k=10)
+        overlaps = [
+            top_k_overlap(r.results, reference[r.query.query_id], k=10)
+            for r in report.responses
+        ]
+        inserted = service.network.accounting.postings(Phase.INDEXING)
         rows.append(
             [
                 df_max,
-                f"{engine.stored_postings_per_peer():,.0f}",
-                f"{engine.inserted_postings_per_peer():,.0f}",
-                f"{sum(traffic) / len(traffic):,.1f}",
+                f"{service.stored_postings_total() / num_peers:,.0f}",
+                f"{inserted / num_peers:,.0f}",
+                f"{report.mean_postings_per_query:,.1f}",
                 f"{sum(overlaps) / len(overlaps):.1f}%",
             ]
         )
@@ -84,15 +97,13 @@ def main() -> None:
         params = HDKParameters(
             df_max=10, window_size=window, s_max=3, ff=3_000, fr=3
         )
-        engine = P2PSearchEngine.build(
-            collection, num_peers=4, params=params
-        )
-        engine.index()
+        service = build_service(collection, params)
+        stats = service.stats()
         rows.append(
             [
                 window,
-                f"{engine.global_index.key_count():,}",
-                f"{engine.stored_postings_per_peer():,.0f}",
+                f"{stats['keys']:,}",
+                f"{stats['stored_postings'] / len(service.peers):,.0f}",
             ]
         )
     print(format_table(["w", "global keys", "stored/peer"], rows))

@@ -1,17 +1,18 @@
-"""Quickstart: build a P2P HDK search engine and run a query.
+"""Quickstart: build a P2P HDK search service and run queries.
 
 Run with::
 
     python examples/quickstart.py
 
 Builds a synthetic 400-document collection, distributes it over 8
-simulated peers, runs the distributed HDK indexing protocol, and executes
-a few queries, printing results and the traffic each query generated.
+simulated peers, runs the distributed HDK indexing protocol through the
+``SearchService`` facade, and executes single and batch queries,
+printing results and the traffic each query generated.
 """
 
 from __future__ import annotations
 
-from repro import EngineMode, HDKParameters, P2PSearchEngine
+from repro import HDKParameters, SearchService
 from repro.corpus import SyntheticCorpusConfig, SyntheticCorpusGenerator
 from repro.net.accounting import Phase
 
@@ -37,53 +38,70 @@ def main() -> None:
     )
 
     # 3. Build and index: 8 peers share the collection and construct the
-    #    global key-to-documents index collaboratively.
-    engine = P2PSearchEngine.build(collection, num_peers=8, params=params)
-    engine.index()
+    #    global key-to-documents index collaboratively.  The backend is
+    #    chosen by name from the registry — swap "hdk" for
+    #    "single_term", "single_term_bloom", or "centralized" to run the
+    #    same workload against any baseline.
+    service = SearchService.build(
+        collection, num_peers=8, backend="hdk", params=params
+    )
+    service.index()
+    stats = service.stats()
     print(
-        f"indexed: {engine.global_index.key_count():,} keys, "
-        f"{engine.stored_postings_total():,} stored postings, "
-        f"{engine.inserted_postings_total():,} inserted postings"
+        f"indexed: {stats['keys']:,} keys, "
+        f"{stats['stored_postings']:,} stored postings "
+        f"(backend={service.backend_name})"
     )
 
-    # 4. Search.  Queries go through the same text pipeline as documents.
+    # 4. Search.  Queries go through the same text pipeline as documents;
+    #    every response carries timing and a per-phase traffic window.
+    responses = {}
     for raw_query in ("t00012 t00055", "t00003 t00104 t00288"):
-        result = engine.search(raw_query, k=10)
+        response = responses[raw_query] = service.search(raw_query, k=10)
         print(f"\nquery {raw_query!r}:")
         print(
-            f"  lattice lookups (n_k) : {result.keys_looked_up}"
-            f" ({result.dk_keys} DK, {result.ndk_keys} NDK)"
+            f"  lattice lookups (n_k) : {response.keys_looked_up}"
+            f" ({response.dk_keys} DK, {response.ndk_keys} NDK)"
         )
-        print(f"  postings transferred  : {result.postings_transferred}")
-        for rank, ranked in enumerate(result.results[:5], start=1):
+        print(f"  postings transferred  : {response.postings_transferred}")
+        print(f"  service time          : {response.elapsed_ms:.2f} ms")
+        for rank, ranked in enumerate(response.results[:5], start=1):
             doc = collection.get(ranked.doc_id)
             print(
                 f"  #{rank}  doc {ranked.doc_id:>4}  "
                 f"score {ranked.score:6.3f}  {doc.title}"
             )
 
-    # 5. Traffic accounting, the paper's central cost measure.
-    accounting = engine.network.accounting
+    # 5. Batch search — the heavy-traffic surface.  Repeated term sets
+    #    are served from the service's LRU cache at zero network cost.
+    log = ["t00012 t00055", "t00003 t00104 t00288", "t00012 t00055"]
+    report = service.search_batch(log, k=10)
+    print(
+        f"\nbatch of {report.num_queries}: "
+        f"{report.total_postings_transferred} postings transferred, "
+        f"{report.cache_hits} cache hit(s) "
+        f"({report.cache_hit_rate:.0%} hit rate)"
+    )
+
+    # 6. Traffic accounting, the paper's central cost measure.
+    accounting = service.network.accounting
     print(
         f"\ntraffic: indexing={accounting.postings(Phase.INDEXING):,} "
         f"retrieval={accounting.postings(Phase.RETRIEVAL):,} postings"
     )
 
-    # 6. The same collection under the naive single-term baseline, for
+    # 7. The same collection under the naive single-term baseline, for
     #    comparison (full posting lists fetched per query term).
-    baseline = P2PSearchEngine.build(
-        collection,
-        num_peers=8,
-        params=params,
-        mode=EngineMode.SINGLE_TERM,
+    baseline = SearchService.build(
+        collection, num_peers=8, backend="single_term", params=params
     )
     baseline.index()
-    st_result = baseline.search("t00012 t00055", k=10)
+    st_response = baseline.search("t00012 t00055", k=10)
     print(
         f"\nsingle-term baseline on 't00012 t00055': "
-        f"{st_result.postings_transferred} postings transferred "
+        f"{st_response.postings_transferred} postings transferred "
         f"(HDK transferred "
-        f"{engine.search('t00012 t00055', k=10).postings_transferred})"
+        f"{responses['t00012 t00055'].postings_transferred})"
     )
 
 

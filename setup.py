@@ -2,9 +2,37 @@
 
 The environment has no ``wheel`` package, so PEP 517 editable installs
 (``bdist_wheel``) are unavailable; this shim lets ``pip install -e .``
-fall back to ``setup.py develop``.  All metadata lives in pyproject.toml.
+fall back to ``setup.py develop``.  Metadata is declared here directly;
+the version is read from ``repro.__version__`` (the single source of
+truth, also printed by ``repro --version``) and the ``repro`` console
+script maps to :func:`repro.cli.main`.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(
+        r'^__version__ = "([^"]+)"', init.read_text(), re.MULTILINE
+    )
+    if match is None:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=read_version(),
+    description=(
+        "Reproduction of 'Scalable Peer-to-Peer Web Retrieval with "
+        "Highly Discriminative Keys' (ICDE 2007)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -6,21 +6,31 @@ The package implements the paper's HDK indexing/retrieval model and every
 substrate it runs on: the text pipeline, a synthetic Wikipedia-like corpus
 and query log, the structured P2P overlay simulators (Chord ring and
 P-Grid trie) with posting-level traffic accounting, the distributed global
-key index, the HDK generator, the retrieval engines (HDK, distributed
-single-term, centralized BM25), and the Section-4 scalability analysis.
+key index, the HDK generator, and the Section-4 scalability analysis.
+
+Retrieval is organized around a pluggable backend seam: the
+:class:`repro.engine.backends.RetrievalBackend` protocol with a
+string-keyed registry (``hdk``, ``single_term``, ``single_term_bloom``,
+``centralized``), fronted by :class:`SearchService` — the facade owning
+the query pipeline, an LRU result cache, and traffic accounting, with
+single, batch, and query-log search surfaces.  The legacy
+:class:`P2PSearchEngine` remains as a thin shim over it.
 
 Quickstart::
 
-    from repro import HDKParameters, P2PSearchEngine
+    from repro import HDKParameters, SearchService
     from repro.corpus import SyntheticCorpusGenerator
 
     collection = SyntheticCorpusGenerator(seed=1).generate(600)
     params = HDKParameters(df_max=12, window_size=8, s_max=3, ff=4_000)
-    engine = P2PSearchEngine.build(collection, num_peers=8, params=params)
-    engine.index()
-    result = engine.search("t00042 t00137")
-    for ranked in result.results[:10]:
+    service = SearchService.build(
+        collection, num_peers=8, backend="hdk", params=params)
+    service.index()
+    response = service.search("t00042 t00137", k=10)
+    for ranked in response.results:
         print(ranked.doc_id, f"{ranked.score:.3f}")
+    report = service.search_batch(["t00042 t00137", "t00003 t00104"])
+    print(report.total_postings_transferred, report.cache_hit_rate)
 """
 
 from .config import (
@@ -29,8 +39,16 @@ from .config import (
     PAPER_PARAMETERS,
     SMALL_SCALE_PARAMETERS,
 )
+from .engine.backends import (
+    BackendContext,
+    BackendRegistry,
+    RetrievalBackend,
+    SearchResponse,
+    registry,
+)
 from .engine.experiment import GrowthExperiment, GrowthStepResult
 from .engine.p2p_engine import EngineMode, P2PSearchEngine
+from .engine.service import BatchSearchReport, SearchService
 from .errors import (
     AnalysisError,
     ConfigurationError,
@@ -41,17 +59,24 @@ from .errors import (
     RetrievalError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExperimentParameters",
     "HDKParameters",
     "PAPER_PARAMETERS",
     "SMALL_SCALE_PARAMETERS",
+    "BackendContext",
+    "BackendRegistry",
+    "BatchSearchReport",
     "GrowthExperiment",
     "GrowthStepResult",
     "EngineMode",
     "P2PSearchEngine",
+    "RetrievalBackend",
+    "SearchResponse",
+    "SearchService",
+    "registry",
     "AnalysisError",
     "ConfigurationError",
     "CorpusError",

@@ -4,7 +4,9 @@ Subcommands::
 
     repro stats       corpus statistics (Table 1) for a synthetic corpus
                       or a directory of .txt files
-    repro search      build + index + query in one shot
+    repro search      build + index + query in one shot, against any
+                      registered retrieval backend (--backend), single
+                      query or batch query-log replay (--batch)
     repro experiment  run the Section-5 growth experiment
     repro plan        adaptive parameter planning from a traffic budget
     repro traffic     the Figure-8 total-traffic model
@@ -20,6 +22,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from . import __version__
 from .analysis.planner import plan_parameters
 from .analysis.traffic import TrafficModel
 from .config import ExperimentParameters, HDKParameters
@@ -29,9 +32,11 @@ from .corpus import (
     build_collection_from_texts,
     compute_statistics,
 )
+from .corpus.querylog import QueryLogGenerator
+from .engine.backends import registry
 from .engine.experiment import GrowthExperiment
-from .engine.p2p_engine import EngineMode, P2PSearchEngine
 from .engine.reporting import render_growth_table
+from .engine.service import SearchService
 from .utils import format_count, format_table
 
 __all__ = ["main", "build_parser"]
@@ -72,7 +77,7 @@ def _add_hdk_options(parser: argparse.ArgumentParser) -> None:
         "--mode",
         choices=["hdk", "single_term"],
         default="hdk",
-        help="indexing model",
+        help="indexing model (legacy alias; prefer --backend)",
     )
     parser.add_argument(
         "--overlay", choices=["chord", "pgrid"], default="chord"
@@ -121,29 +126,81 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    if args.batch < 0:
+        raise SystemExit(f"--batch must be >= 0, got {args.batch}")
+    if args.cache_capacity < 0:
+        raise SystemExit(
+            f"--cache-capacity must be >= 0, got {args.cache_capacity}"
+        )
+    if args.query is None and not args.batch:
+        raise SystemExit("a query string is required unless --batch is given")
+    if args.query is not None and args.batch:
+        raise SystemExit(
+            "--batch replays a generated query log and would ignore "
+            f"{args.query!r}; drop the query string or --batch"
+        )
     collection = _build_collection(args)
-    engine = P2PSearchEngine.build(
+    params = _hdk_params(args)
+    service = SearchService.build(
         collection,
         num_peers=args.peers,
-        params=_hdk_params(args),
-        mode=EngineMode(args.mode),
+        backend=args.backend or args.mode,
+        params=params,
         overlay=args.overlay,
+        cache_capacity=None if args.no_cache else args.cache_capacity,
     )
-    engine.index()
+    service.index()
     print(
         f"indexed {len(collection)} documents over {args.peers} peers "
-        f"({engine.stored_postings_total():,} stored postings)"
+        f"({service.stored_postings_total():,} stored postings, "
+        f"backend={service.backend_name})"
     )
-    result = engine.search(args.query, k=args.top)
+    if args.batch:
+        return _run_batch(args, service, collection)
+    response = service.search(args.query, k=args.top)
     print(
-        f"query {args.query!r}: n_k={result.keys_looked_up}, "
-        f"{result.postings_transferred} postings transferred"
+        f"query {args.query!r}: n_k={response.keys_looked_up}, "
+        f"{response.postings_transferred} postings transferred "
+        f"({response.elapsed_ms:.1f} ms)"
     )
     rows = []
-    for rank, ranked in enumerate(result.results, start=1):
+    for rank, ranked in enumerate(response.results, start=1):
         title = collection.get(ranked.doc_id).title
         rows.append([rank, ranked.doc_id, f"{ranked.score:.3f}", title])
     print(format_table(["#", "doc", "score", "title"], rows))
+    return 0
+
+
+def _run_batch(args: argparse.Namespace, service, collection) -> int:
+    """Replay a generated query log through ``search_batch`` and print
+    the aggregate traffic / cache breakdown."""
+    queries = QueryLogGenerator(
+        collection,
+        window_size=service.params.window_size,
+        min_hits=min(20, max(1, len(collection) // 20)),
+        seed=args.seed,
+    ).generate(args.batch)
+    report = service.run_querylog(queries, k=args.top)
+    rows = [
+        ("queries", f"{report.num_queries:,}"),
+        ("postings transferred", f"{report.total_postings_transferred:,}"),
+        (
+            "postings/query (mean)",
+            f"{report.mean_postings_per_query:,.1f}",
+        ),
+        ("index lookups", f"{report.total_keys_looked_up:,}"),
+        ("cache hits", f"{report.cache_hits:,}"),
+        ("cache hit rate", f"{report.cache_hit_rate:.1%}"),
+        ("batch time", f"{report.elapsed_ms:.1f} ms"),
+    ]
+    if report.traffic is not None:
+        rows.append(
+            (
+                "retrieval postings (accounting)",
+                f"{report.traffic.retrieval_postings:,}",
+            )
+        )
+    print(format_table(["batch statistic", "value"], rows))
     return 0
 
 
@@ -230,6 +287,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(Podnar et al., ICDE 2007 reproduction)"
         ),
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     stats = subparsers.add_parser("stats", help="collection statistics")
@@ -239,8 +301,38 @@ def build_parser() -> argparse.ArgumentParser:
     search = subparsers.add_parser("search", help="index and query")
     _add_corpus_options(search)
     _add_hdk_options(search)
-    search.add_argument("query", help="query string")
+    search.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="query string (omit when using --batch)",
+    )
     search.add_argument("--top", type=int, default=10)
+    search.add_argument(
+        "--backend",
+        choices=registry.names(),
+        default=None,
+        help="retrieval backend (overrides --mode)",
+    )
+    search.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replay an N-query generated log through search_batch "
+        "and print aggregate traffic and cache statistics",
+    )
+    search.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the service's query-result cache",
+    )
+    search.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        help="LRU query-cache capacity (default 256; 0 disables)",
+    )
     search.set_defaults(handler=_cmd_search)
 
     experiment = subparsers.add_parser(

@@ -2,24 +2,55 @@
 
 - :mod:`repro.engine.peer` — a peer bundling its local collection with its
   indexing role,
-- :mod:`repro.engine.p2p_engine` — :class:`P2PSearchEngine`, the
-  user-facing engine (build network, index, search) in either HDK or
-  single-term mode,
+- :mod:`repro.engine.backends` — the pluggable :class:`RetrievalBackend`
+  protocol, the string-keyed backend registry, and the four built-in
+  backends (``hdk``, ``single_term``, ``single_term_bloom``,
+  ``centralized``),
+- :mod:`repro.engine.service` — :class:`SearchService`, the public
+  facade (pipeline + backend + query cache + traffic accounting) with
+  single, batch, and query-log search surfaces,
+- :mod:`repro.engine.p2p_engine` — :class:`P2PSearchEngine`, the legacy
+  facade (build network, index, search) kept as a thin shim over
+  :class:`SearchService`,
 - :mod:`repro.engine.experiment` — the peer-growth experiment protocol
   (4 -> 28 peers) producing the data series of Figures 3-7,
 - :mod:`repro.engine.reporting` — typed result rows and text rendering.
 """
 
+from .backends import (
+    BackendContext,
+    BackendRegistry,
+    CentralizedBackend,
+    HDKBackend,
+    RetrievalBackend,
+    SearchResponse,
+    SingleTermBackend,
+    SingleTermBloomBackend,
+    registry,
+)
 from .experiment import GrowthExperiment, GrowthStepResult
 from .p2p_engine import EngineMode, P2PSearchEngine
 from .peer import Peer
 from .reporting import render_growth_table
+from .service import BatchSearchReport, SearchService, make_overlay
 
 __all__ = [
+    "BackendContext",
+    "BackendRegistry",
+    "BatchSearchReport",
+    "CentralizedBackend",
+    "EngineMode",
     "GrowthExperiment",
     "GrowthStepResult",
-    "EngineMode",
+    "HDKBackend",
     "P2PSearchEngine",
     "Peer",
+    "RetrievalBackend",
+    "SearchResponse",
+    "SearchService",
+    "SingleTermBackend",
+    "SingleTermBloomBackend",
+    "make_overlay",
+    "registry",
     "render_growth_table",
 ]

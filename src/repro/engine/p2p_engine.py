@@ -1,9 +1,18 @@
-"""The assembled P2P search engine.
+"""The assembled P2P search engine (legacy facade).
 
-:class:`P2PSearchEngine` is the library's primary entry point: give it a
-document collection and a peer count, and it builds the overlay, splits the
+:class:`P2PSearchEngine` is the original entry point: give it a document
+collection and a peer count, and it builds the overlay, splits the
 collection across peers, runs the distributed indexing protocol (HDK or
 single-term), and answers queries with full traffic accounting.
+
+It is now a thin back-compat shim over the redesigned API — a
+:class:`repro.engine.service.SearchService` holding a pluggable
+:class:`repro.engine.backends.RetrievalBackend` — and keeps its original
+surface (``build`` / ``index`` / ``add_peers`` / ``search`` returning
+:class:`HDKSearchResult` in both modes) unchanged.  New code should use
+:class:`SearchService` directly: it supports two more backends
+(``single_term_bloom``, ``centralized``), result caching, and batch
+querying.
 
 Typical use::
 
@@ -25,26 +34,18 @@ from enum import Enum
 from ..config import HDKParameters
 from ..corpus.collection import DocumentCollection
 from ..corpus.querylog import Query
-from ..errors import ConfigurationError, RetrievalError
-from ..hdk.indexer import (
-    IndexingReport,
-    PeerIndexer,
-    run_distributed_indexing,
-    run_incremental_join,
-)
+from ..errors import ConfigurationError
+from ..hdk.indexer import IndexingReport
 from ..index.global_index import GlobalKeyIndex
 from ..net.accounting import Phase, TrafficAccounting
-from ..net.chord import ChordOverlay, Overlay
+from ..net.chord import Overlay
 from ..net.network import P2PNetwork
-from ..net.pgrid import PGridOverlay
-from ..retrieval.hdk_engine import HDKRetrievalEngine, HDKSearchResult
+from ..retrieval.hdk_engine import HDKSearchResult
 from ..retrieval.query import QueryProcessor
-from ..retrieval.single_term import (
-    SingleTermIndexer,
-    SingleTermRetrievalEngine,
-)
-from ..text.pipeline import PipelineConfig, TextPipeline
+from ..text.pipeline import TextPipeline
+from .backends import HDKBackend, SearchResponse
 from .peer import Peer
+from .service import SearchService, make_overlay, spawn_peers
 
 __all__ = ["EngineMode", "P2PSearchEngine"]
 
@@ -55,11 +56,18 @@ class EngineMode(Enum):
     HDK = "hdk"
     SINGLE_TERM = "single_term"
 
+    @property
+    def backend_name(self) -> str:
+        """The registry key of the backend implementing this mode."""
+        return self.value
+
 
 class P2PSearchEngine:
-    """A complete simulated P2P retrieval engine.
+    """A complete simulated P2P retrieval engine (legacy API).
 
     Build via :meth:`build`; then :meth:`index` and :meth:`search`.
+    Internally delegates to a cache-less :class:`SearchService` so the
+    original per-query traffic semantics are preserved exactly.
     """
 
     def __init__(
@@ -70,21 +78,15 @@ class P2PSearchEngine:
         mode: EngineMode,
         pipeline: TextPipeline,
     ) -> None:
-        if not peers:
-            raise ConfigurationError("engine needs at least one peer")
-        self.peers = peers
-        self.network = network
-        self.params = params
         self.mode = mode
-        self.pipeline = pipeline
-        self.query_processor = QueryProcessor(pipeline)
-        self.global_index = GlobalKeyIndex(network, params)
-        self._indexed = False
-        self._reports: list[IndexingReport] = []
-        self._st_indexers: list[SingleTermIndexer] = []
-        self._hdk_indexers: list[PeerIndexer] = []
-        self._hdk_engine: HDKRetrievalEngine | None = None
-        self._st_engine: SingleTermRetrievalEngine | None = None
+        self._service = SearchService(
+            peers,
+            network,
+            params=params,
+            backend=mode.backend_name,
+            pipeline=pipeline,
+            cache_capacity=None,  # legacy engine has no result cache
+        )
 
     # -- construction ------------------------------------------------------------
 
@@ -113,29 +115,58 @@ class P2PSearchEngine:
         """
         if num_peers < 1:
             raise ConfigurationError(f"num_peers must be >= 1, got {num_peers}")
-        params = params or HDKParameters()
-        overlay_impl = cls._make_overlay(overlay)
-        network = P2PNetwork(overlay=overlay_impl, accounting=accounting)
-        slices = collection.split(num_peers)
-        peers: list[Peer] = []
-        for index, slice_ in enumerate(slices):
-            name = f"peer-{index:03d}"
-            network.add_peer(name)
-            peers.append(Peer(name=name, collection=slice_))
-        pipeline = pipeline or TextPipeline(PipelineConfig())
-        return cls(peers, network, params, mode, pipeline)
+        network = P2PNetwork(
+            overlay=cls._make_overlay(overlay), accounting=accounting
+        )
+        peers = spawn_peers(network, collection, num_peers)
+        pipeline = pipeline or TextPipeline()
+        return cls(peers, network, params or HDKParameters(), mode, pipeline)
 
     @staticmethod
     def _make_overlay(overlay: str) -> Overlay:
-        if overlay == "chord":
-            return ChordOverlay()
-        if overlay == "pgrid":
-            return PGridOverlay()
-        raise ConfigurationError(
-            f"unknown overlay {overlay!r}; use 'chord' or 'pgrid'"
-        )
+        return make_overlay(overlay)
 
-    # -- indexing ---------------------------------------------------------------------
+    # -- delegated attributes ----------------------------------------------------
+
+    @property
+    def service(self) -> SearchService:
+        """The underlying facade (the new API), for migration paths."""
+        return self._service
+
+    @property
+    def peers(self) -> list[Peer]:
+        return self._service.peers
+
+    @property
+    def network(self) -> P2PNetwork:
+        return self._service.network
+
+    @property
+    def params(self) -> HDKParameters:
+        return self._service.params
+
+    @property
+    def pipeline(self) -> TextPipeline:
+        return self._service.pipeline
+
+    @property
+    def query_processor(self) -> QueryProcessor:
+        return self._service.query_processor
+
+    @property
+    def global_index(self) -> GlobalKeyIndex:
+        """The distributed key index (live in HDK mode; an empty
+        placeholder in single-term mode, as in the original engine)."""
+        backend = self._service.backend
+        if isinstance(backend, HDKBackend):
+            return backend.global_index
+        placeholder = getattr(self, "_placeholder_index", None)
+        if placeholder is None:
+            placeholder = GlobalKeyIndex(self.network, self.params)
+            self._placeholder_index = placeholder
+        return placeholder
+
+    # -- indexing ----------------------------------------------------------------
 
     def index(self) -> list[IndexingReport]:
         """Run the distributed indexing protocol for the configured mode.
@@ -143,45 +174,7 @@ class P2PSearchEngine:
         Returns per-peer indexing reports (HDK mode) or synthesized
         reports with total inserted postings (single-term mode).
         """
-        if self._indexed:
-            raise ConfigurationError("engine is already indexed")
-        self.network.accounting.set_phase(Phase.INDEXING)
-        if self.mode is EngineMode.HDK:
-            self._hdk_indexers = [
-                PeerIndexer(
-                    peer.name, peer.collection, self.global_index, self.params
-                )
-                for peer in self.peers
-            ]
-            self._reports = run_distributed_indexing(
-                self._hdk_indexers, self.params
-            )
-            self._hdk_engine = HDKRetrievalEngine(
-                self.global_index, self.params
-            )
-        else:
-            self._st_indexers = [
-                SingleTermIndexer(peer.name, peer.collection, self.network)
-                for peer in self.peers
-            ]
-            for indexer, peer in zip(self._st_indexers, self.peers):
-                indexer.index()
-                report = IndexingReport(peer_name=peer.name)
-                report.inserted_postings_by_size[1] = (
-                    indexer.inserted_postings
-                )
-                self._reports.append(report)
-            total_docs = sum(p.num_documents for p in self.peers)
-            total_tokens = sum(p.sample_size for p in self.peers)
-            self._st_engine = SingleTermRetrievalEngine(
-                self.network,
-                num_documents=max(1, total_docs),
-                average_doc_length=(
-                    total_tokens / total_docs if total_docs else 1.0
-                ),
-            )
-        self._indexed = True
-        return self._reports
+        return self._service.index()
 
     def add_peers(
         self, new_collection: DocumentCollection, num_new_peers: int
@@ -202,64 +195,9 @@ class P2PSearchEngine:
 
         Returns the joining peers' indexing reports.
         """
-        if not self._indexed:
-            raise ConfigurationError(
-                "index() the initial network before add_peers()"
-            )
-        if num_new_peers < 1:
-            raise ConfigurationError(
-                f"num_new_peers must be >= 1, got {num_new_peers}"
-            )
-        slices = new_collection.split(num_new_peers)
-        new_peers: list[Peer] = []
-        start = len(self.peers)
-        for offset, slice_ in enumerate(slices):
-            name = f"peer-{start + offset:03d}"
-            self.network.add_peer(name)
-            new_peers.append(Peer(name=name, collection=slice_))
-        self.network.accounting.set_phase(Phase.INDEXING)
-        if self.mode is EngineMode.HDK:
-            joining = [
-                PeerIndexer(
-                    peer.name, peer.collection, self.global_index, self.params
-                )
-                for peer in new_peers
-            ]
-            reports = run_incremental_join(
-                self._hdk_indexers, joining, self.params
-            )
-            self._hdk_indexers.extend(joining)
-        else:
-            reports = []
-            for peer in new_peers:
-                indexer = SingleTermIndexer(
-                    peer.name, peer.collection, self.network
-                )
-                indexer.index()
-                self._st_indexers.append(indexer)
-                report = IndexingReport(peer_name=peer.name)
-                report.inserted_postings_by_size[1] = (
-                    indexer.inserted_postings
-                )
-                reports.append(report)
-            total_docs = sum(p.num_documents for p in self.peers) + sum(
-                p.num_documents for p in new_peers
-            )
-            total_tokens = sum(p.sample_size for p in self.peers) + sum(
-                p.sample_size for p in new_peers
-            )
-            self._st_engine = SingleTermRetrievalEngine(
-                self.network,
-                num_documents=max(1, total_docs),
-                average_doc_length=(
-                    total_tokens / total_docs if total_docs else 1.0
-                ),
-            )
-        self.peers.extend(new_peers)
-        self._reports.extend(reports)
-        return reports
+        return self._service.add_peers(new_collection, num_new_peers)
 
-    # -- searching ------------------------------------------------------------------------
+    # -- searching ---------------------------------------------------------------
 
     def search(
         self,
@@ -268,7 +206,7 @@ class P2PSearchEngine:
         source_peer: str | None = None,
     ) -> HDKSearchResult:
         """Execute a query; returns an :class:`HDKSearchResult` in both
-        modes (the single-term result is adapted into the same shape).
+        modes (the backend response is adapted into the legacy shape).
 
         Args:
             raw_query: a raw query string (processed through the engine's
@@ -277,42 +215,29 @@ class P2PSearchEngine:
             source_peer: the querying peer's name; defaults to the first
                 peer.
         """
-        if not self._indexed:
-            raise RetrievalError("call index() before search()")
-        if isinstance(raw_query, Query):
-            query = raw_query
-        else:
-            query = self.query_processor.process(raw_query)
-        source = source_peer or self.peers[0].name
-        if self.mode is EngineMode.HDK:
-            assert self._hdk_engine is not None
-            return self._hdk_engine.search(source, query, k)
-        assert self._st_engine is not None
-        results, transferred = self._st_engine.search(source, query, k)
-        adapted = HDKSearchResult(query=query)
-        adapted.results = results
-        adapted.keys_looked_up = len(query.terms)
-        adapted.keys_found = sum(
-            1 for _ in query.terms
-        )  # every term lookup is answered (possibly empty)
-        adapted.postings_transferred = transferred
+        response = self._service.search(raw_query, k=k, source_peer=source_peer)
+        return self._adapt(response)
+
+    @staticmethod
+    def _adapt(response: SearchResponse) -> HDKSearchResult:
+        adapted = HDKSearchResult(query=response.query)
+        adapted.results = response.results
+        adapted.keys_looked_up = response.keys_looked_up
+        adapted.keys_found = response.keys_found
+        adapted.postings_transferred = response.postings_transferred
+        adapted.dk_keys = response.dk_keys
+        adapted.ndk_keys = response.ndk_keys
         return adapted
 
-    # -- inspection -----------------------------------------------------------------------
+    # -- inspection --------------------------------------------------------------
 
     @property
     def indexing_reports(self) -> list[IndexingReport]:
-        return list(self._reports)
+        return self._service.indexing_reports
 
     def stored_postings_total(self) -> int:
         """Total postings stored in the network (Figure 3 numerator)."""
-        if self.mode is EngineMode.HDK:
-            return self.global_index.stored_postings_total()
-        return self.network.stored_value_total(
-            lambda value: value.posting_count()
-            if hasattr(value, "posting_count")
-            else 0
-        )
+        return self._service.stored_postings_total()
 
     def stored_postings_per_peer(self) -> float:
         """Average postings stored per peer (Figure 3's y-axis)."""
@@ -329,7 +254,7 @@ class P2PSearchEngine:
     def inserted_postings_by_key_size(self) -> dict[int, int]:
         """Key size -> postings inserted across all peers (Figure 5)."""
         totals: dict[int, int] = {}
-        for report in self._reports:
+        for report in self.indexing_reports:
             for size, postings in report.inserted_postings_by_size.items():
                 totals[size] = totals.get(size, 0) + postings
         return totals

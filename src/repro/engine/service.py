@@ -1,0 +1,443 @@
+"""The search-service facade.
+
+:class:`SearchService` is the public entry point of the redesigned API:
+it owns the text/query pipeline, a pluggable :class:`RetrievalBackend`
+(chosen by name from the backend registry), an LRU query-result cache,
+and per-query traffic accounting, and exposes three query surfaces:
+
+- :meth:`SearchService.search` — one query, returning a
+  :class:`~repro.engine.backends.SearchResponse` with timing, cache-hit
+  flag, and the per-phase traffic window it generated;
+- :meth:`SearchService.search_batch` — a query batch (the heavy-traffic
+  scenario): repeated term sets inside the batch are amortized through
+  the cache and the report aggregates traffic, lookups, and hit rates;
+- :meth:`SearchService.run_querylog` — replay a generated query log,
+  returning the same per-query + aggregate report.
+
+Typical use::
+
+    from repro import SearchService
+    from repro.corpus import SyntheticCorpusGenerator
+
+    collection = SyntheticCorpusGenerator(seed=1).generate(600)
+    service = SearchService.build(collection, num_peers=8, backend="hdk")
+    service.index()
+    response = service.search("t00042 t00137", k=10)
+    report = service.search_batch(["t00042 t00137"] * 50)
+
+The legacy :class:`repro.engine.p2p_engine.P2PSearchEngine` is a thin
+shim over this facade.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..config import HDKParameters
+from ..corpus.collection import DocumentCollection
+from ..corpus.querylog import Query
+from ..errors import ConfigurationError, RetrievalError
+from ..hdk.indexer import IndexingReport
+from ..net.accounting import Phase, TrafficAccounting, TrafficSnapshot
+from ..net.chord import ChordOverlay, Overlay
+from ..net.network import P2PNetwork
+from ..net.pgrid import PGridOverlay
+from ..retrieval.cache import CacheStats, QueryResultCache
+from ..retrieval.query import QueryProcessor
+from ..text.pipeline import PipelineConfig, TextPipeline
+from .backends import (
+    BackendContext,
+    BackendRegistry,
+    RetrievalBackend,
+    SearchResponse,
+    registry as default_registry,
+)
+from .peer import Peer
+
+__all__ = [
+    "BatchSearchReport",
+    "SearchService",
+    "make_overlay",
+    "spawn_peers",
+]
+
+
+def make_overlay(overlay: str) -> Overlay:
+    """Resolve an overlay name (``"chord"`` or ``"pgrid"``)."""
+    if overlay == "chord":
+        return ChordOverlay()
+    if overlay == "pgrid":
+        return PGridOverlay()
+    raise ConfigurationError(
+        f"unknown overlay {overlay!r}; use 'chord' or 'pgrid'"
+    )
+
+
+def spawn_peers(
+    network: P2PNetwork,
+    collection: DocumentCollection,
+    num_peers: int,
+    start: int = 0,
+) -> list[Peer]:
+    """Split ``collection`` across ``num_peers`` new peers registered
+    with ``network``, named ``peer-NNN`` from index ``start``."""
+    peers: list[Peer] = []
+    for offset, slice_ in enumerate(collection.split(num_peers)):
+        name = f"peer-{start + offset:03d}"
+        network.add_peer(name)
+        peers.append(Peer(name=name, collection=slice_))
+    return peers
+
+
+@dataclass
+class BatchSearchReport:
+    """Per-query responses plus batch-level aggregates.
+
+    Attributes:
+        responses: one :class:`SearchResponse` per query, in order.
+        traffic: the per-phase traffic window the whole batch generated
+            on the network (cache hits generate none).
+        elapsed_ms: wall-clock time for the whole batch.
+        cache_hits / cache_misses: cache outcomes inside this batch.
+    """
+
+    responses: list[SearchResponse] = field(default_factory=list)
+    traffic: TrafficSnapshot | None = None
+    elapsed_ms: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.responses)
+
+    @property
+    def total_postings_transferred(self) -> int:
+        """Network traffic of the batch in postings (cache hits count
+        zero — they were served locally)."""
+        return sum(r.postings_transferred for r in self.responses)
+
+    @property
+    def mean_postings_per_query(self) -> float:
+        if not self.responses:
+            return 0.0
+        return self.total_postings_transferred / len(self.responses)
+
+    @property
+    def total_keys_looked_up(self) -> int:
+        """Index lookups actually issued (cache hits issue none)."""
+        return sum(r.keys_looked_up for r in self.responses)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_elapsed_ms(self) -> float:
+        if not self.responses:
+            return 0.0
+        return sum(r.elapsed_ms for r in self.responses) / len(
+            self.responses
+        )
+
+
+class SearchService:
+    """The facade tying pipeline, backend, cache, and accounting together.
+
+    Build via :meth:`build` (which also constructs the simulated
+    network), or construct directly around an existing network and peer
+    split.  Then :meth:`index` once and query via :meth:`search`,
+    :meth:`search_batch`, or :meth:`run_querylog`.
+
+    Args:
+        peers: the initial peer population with their local collections.
+        network: the shared simulated network.
+        params: HDK model parameters (forwarded to the backend).
+        backend: a backend *name* resolved through ``backend_registry``,
+            or an already-constructed :class:`RetrievalBackend` instance.
+        pipeline: the text pipeline queries are processed with; must
+            match the one used to build the collections.
+        cache_capacity: LRU query-cache size; ``None`` or ``0`` disables
+            caching entirely (every query hits the backend).
+        backend_registry: the registry names are resolved against
+            (defaults to the module-level registry with the four
+            built-in backends).
+    """
+
+    def __init__(
+        self,
+        peers: list[Peer],
+        network: P2PNetwork,
+        params: HDKParameters | None = None,
+        backend: str | RetrievalBackend = "hdk",
+        pipeline: TextPipeline | None = None,
+        cache_capacity: int | None = 256,
+        backend_registry: BackendRegistry | None = None,
+    ) -> None:
+        if not peers:
+            raise ConfigurationError("service needs at least one peer")
+        self.peers = list(peers)
+        self.network = network
+        self.params = params or HDKParameters()
+        self.pipeline = pipeline or TextPipeline(PipelineConfig())
+        self.query_processor = QueryProcessor(self.pipeline)
+        reg = backend_registry or default_registry
+        if isinstance(backend, str):
+            context = BackendContext(network=network, params=self.params)
+            self.backend: RetrievalBackend = reg.create(backend, context)
+        else:
+            self.backend = backend
+        self.cache: QueryResultCache | None = (
+            QueryResultCache(cache_capacity) if cache_capacity else None
+        )
+        self._indexed = False
+        self._reports: list[IndexingReport] = []
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        collection: DocumentCollection,
+        num_peers: int,
+        backend: str = "hdk",
+        params: HDKParameters | None = None,
+        overlay: str = "chord",
+        pipeline: TextPipeline | None = None,
+        accounting: TrafficAccounting | None = None,
+        cache_capacity: int | None = 256,
+        backend_registry: BackendRegistry | None = None,
+    ) -> "SearchService":
+        """Build a service over ``collection`` split across ``num_peers``.
+
+        Args:
+            collection: the global document collection.
+            num_peers: how many peers share it (round-robin split).
+            backend: backend *name* (``hdk``, ``single_term``,
+                ``single_term_bloom``, ``centralized``).  An instance is
+                rejected here: a pre-constructed backend is bound to the
+                network it was built with, which cannot be the one this
+                method creates — construct :class:`SearchService`
+                directly around that network instead.
+            params: HDK model parameters (paper defaults when omitted).
+            overlay: ``"chord"`` or ``"pgrid"``.
+            pipeline: the query text pipeline.
+            accounting: shared traffic counters (created when omitted).
+            cache_capacity: query-cache size; falsy disables caching.
+            backend_registry: custom registry for name resolution.
+        """
+        if not isinstance(backend, str):
+            raise ConfigurationError(
+                "build() creates its own network, so it only accepts a "
+                "backend name; pass a backend instance to SearchService() "
+                "together with the network it was constructed for"
+            )
+        if num_peers < 1:
+            raise ConfigurationError(
+                f"num_peers must be >= 1, got {num_peers}"
+            )
+        network = P2PNetwork(
+            overlay=make_overlay(overlay), accounting=accounting
+        )
+        peers = spawn_peers(network, collection, num_peers)
+        return cls(
+            peers,
+            network,
+            params=params,
+            backend=backend,
+            pipeline=pipeline,
+            cache_capacity=cache_capacity,
+            backend_registry=backend_registry,
+        )
+
+    # -- indexing ----------------------------------------------------------------
+
+    def index(self) -> list[IndexingReport]:
+        """Run the backend's indexing protocol over the initial peers."""
+        if self._indexed:
+            raise ConfigurationError("service is already indexed")
+        self.network.accounting.set_phase(Phase.INDEXING)
+        self._reports = self.backend.index(self.peers)
+        self._indexed = True
+        return self._reports
+
+    def add_peers(
+        self, new_collection: DocumentCollection, num_new_peers: int
+    ) -> list[IndexingReport]:
+        """Grow the network: new peers join with new documents and index
+        them incrementally; the query cache is invalidated."""
+        if not self._indexed:
+            raise ConfigurationError(
+                "index() the initial network before add_peers()"
+            )
+        if num_new_peers < 1:
+            raise ConfigurationError(
+                f"num_new_peers must be >= 1, got {num_new_peers}"
+            )
+        new_peers = spawn_peers(
+            self.network, new_collection, num_new_peers, start=len(self.peers)
+        )
+        self.network.accounting.set_phase(Phase.INDEXING)
+        reports = self.backend.add_peers(new_peers)
+        self.peers.extend(new_peers)
+        self._reports.extend(reports)
+        if self.cache is not None:
+            self.cache.invalidate()
+        return reports
+
+    # -- querying ----------------------------------------------------------------
+
+    def search(
+        self,
+        raw_query: str | Query,
+        k: int = 20,
+        source_peer: str | None = None,
+    ) -> SearchResponse:
+        """Execute one query through cache + backend.
+
+        Args:
+            raw_query: a raw query string (processed through the
+                service's pipeline) or an already-processed
+                :class:`Query`.
+            k: result depth.
+            source_peer: the querying peer's name; defaults to the first
+                peer.
+
+        Returns a :class:`SearchResponse` carrying the ranked results,
+        the traffic window the query generated, wall-clock timing, and
+        whether it was served from the cache.
+        """
+        if not self._indexed:
+            raise RetrievalError("call index() before search()")
+        if k < 1:
+            raise RetrievalError(f"k must be >= 1, got {k}")
+        query = self._process(raw_query)
+        source = source_peer or self.peers[0].name
+        started = time.perf_counter()
+        if self.cache is not None:
+            cached = self.cache.get(query, k)
+            if cached is not None:
+                response = cached.clipped(k)
+                response.query = query  # the caller's query object
+                response.cache_hit = True
+                # Cost fields describe THIS call: a hit is served
+                # locally, issuing zero lookups and zero transfers.
+                response.postings_transferred = 0
+                response.keys_looked_up = 0
+                response.keys_found = 0
+                response.dk_keys = 0
+                response.ndk_keys = 0
+                response.traffic = _empty_snapshot()
+                response.elapsed_ms = _ms_since(started)
+                return response
+        with self.network.accounting.measure() as window:
+            response = self.backend.search(source, query, k)
+        response.traffic = window.delta
+        response.elapsed_ms = _ms_since(started)
+        if self.cache is not None:
+            # Cache a copy, not the object handed to the caller: a
+            # caller mutating response.results must not poison hits.
+            self.cache.put(
+                query,
+                k,
+                response.clipped(k),
+                response.postings_transferred,
+            )
+        return response
+
+    def search_batch(
+        self,
+        queries: Sequence[str | Query],
+        k: int = 20,
+        source_peer: str | None = None,
+    ) -> BatchSearchReport:
+        """Execute a batch of queries, amortizing repeats via the cache.
+
+        This is the heavy-traffic surface: identical term sets inside
+        the batch resolve against the index only once (when the cache is
+        enabled), and the report aggregates traffic, index lookups,
+        timing, and cache outcomes across the batch.
+        """
+        if not self._indexed:
+            raise RetrievalError("call index() before search_batch()")
+        started = time.perf_counter()
+        hits_before, misses_before = self._cache_counters()
+        report = BatchSearchReport()
+        with self.network.accounting.measure() as window:
+            for raw in queries:
+                report.responses.append(
+                    self.search(raw, k=k, source_peer=source_peer)
+                )
+        report.traffic = window.delta
+        report.elapsed_ms = _ms_since(started)
+        hits_after, misses_after = self._cache_counters()
+        report.cache_hits = hits_after - hits_before
+        report.cache_misses = misses_after - misses_before
+        return report
+
+    def run_querylog(
+        self,
+        querylog: Iterable[Query],
+        k: int = 20,
+        source_peer: str | None = None,
+    ) -> BatchSearchReport:
+        """Replay a generated query log (see
+        :class:`repro.corpus.querylog.QueryLogGenerator`); returns the
+        same per-query + aggregate report as :meth:`search_batch`."""
+        return self.search_batch(list(querylog), k=k, source_peer=source_peer)
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    @property
+    def indexing_reports(self) -> list[IndexingReport]:
+        return list(self._reports)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Cumulative cache counters (zeros when caching is disabled)."""
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    def stats(self) -> dict[str, object]:
+        """Service-level statistics: backend index stats, peer count,
+        cache counters, and the cumulative traffic snapshot."""
+        stats: dict[str, object] = dict(self.backend.stats())
+        stats["num_peers"] = len(self.peers)
+        stats["cache_hits"] = self.cache_stats.hits
+        stats["cache_misses"] = self.cache_stats.misses
+        stats["traffic"] = self.network.accounting.snapshot()
+        return stats
+
+    def stored_postings_total(self) -> int:
+        return self.backend.stored_postings_total()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _process(self, raw_query: str | Query) -> Query:
+        if isinstance(raw_query, Query):
+            return raw_query
+        return self.query_processor.process(raw_query)
+
+    def _cache_counters(self) -> tuple[int, int]:
+        if self.cache is None:
+            return 0, 0
+        return self.cache.stats.hits, self.cache.stats.misses
+
+
+def _empty_snapshot() -> TrafficSnapshot:
+    return TrafficSnapshot(
+        postings_by_phase={},
+        messages_by_phase={},
+        hops_by_phase={},
+        messages_by_kind={},
+    )
+
+
+def _ms_since(started: float) -> float:
+    return (time.perf_counter() - started) * 1000.0

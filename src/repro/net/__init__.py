@@ -18,7 +18,13 @@ Both overlays implement the same :class:`repro.net.chord.Overlay` protocol,
 so the global index is overlay-agnostic (an ablation in DESIGN.md §5).
 """
 
-from .accounting import Phase, TrafficAccounting
+from .accounting import (
+    Phase,
+    TrafficAccounting,
+    TrafficSnapshot,
+    TrafficWindow,
+    diff_snapshots,
+)
 from .chord import ChordOverlay
 from .messages import Message, MessageKind
 from .network import P2PNetwork
@@ -29,6 +35,9 @@ from .storage import PeerStorage
 __all__ = [
     "Phase",
     "TrafficAccounting",
+    "TrafficSnapshot",
+    "TrafficWindow",
+    "diff_snapshots",
     "ChordOverlay",
     "Message",
     "MessageKind",

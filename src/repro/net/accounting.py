@@ -16,7 +16,13 @@ from enum import Enum
 
 from .messages import Message, MessageKind
 
-__all__ = ["Phase", "TrafficAccounting", "TrafficSnapshot"]
+__all__ = [
+    "Phase",
+    "TrafficAccounting",
+    "TrafficSnapshot",
+    "TrafficWindow",
+    "diff_snapshots",
+]
 
 
 class Phase(Enum):
@@ -53,6 +59,14 @@ class TrafficSnapshot:
         """All postings including maintenance (the paper's headline numbers
         exclude maintenance; reports show both)."""
         return sum(self.postings_by_phase.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_phase.values())
+
+    @property
+    def total_hops(self) -> int:
+        return sum(self.hops_by_phase.values())
 
 
 class TrafficAccounting:
@@ -104,6 +118,21 @@ class TrafficAccounting:
             messages_by_kind=dict(self._by_kind),
         )
 
+    def measure(self) -> "TrafficWindow":
+        """Open a measurement window over these counters.
+
+        Usable as a context manager::
+
+            with accounting.measure() as window:
+                engine.search(...)
+            print(window.delta.retrieval_postings)
+
+        ``window.delta`` is the per-phase traffic generated inside the
+        window — the snapshot-diff idiom experiments previously spelled
+        out by hand around every measured operation.
+        """
+        return TrafficWindow(self)
+
     def postings(self, phase: Phase) -> int:
         """Postings transmitted so far in ``phase``."""
         return self._postings[phase]
@@ -122,6 +151,38 @@ class TrafficAccounting:
         self._messages.clear()
         self._hops.clear()
         self._by_kind.clear()
+
+
+class TrafficWindow:
+    """A live measurement window over a :class:`TrafficAccounting`.
+
+    Captures a snapshot when opened; :attr:`delta` diffs the counters
+    against that baseline (against the close-time snapshot once the
+    window has been exited, so the delta is stable afterwards).
+    """
+
+    def __init__(self, accounting: TrafficAccounting) -> None:
+        self._accounting = accounting
+        self._before = accounting.snapshot()
+        self._after: TrafficSnapshot | None = None
+
+    def __enter__(self) -> "TrafficWindow":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> TrafficSnapshot:
+        """Freeze the window; returns the final delta."""
+        if self._after is None:
+            self._after = self._accounting.snapshot()
+        return self.delta
+
+    @property
+    def delta(self) -> TrafficSnapshot:
+        """Traffic generated since the window opened."""
+        after = self._after or self._accounting.snapshot()
+        return diff_snapshots(self._before, after)
 
 
 def diff_snapshots(

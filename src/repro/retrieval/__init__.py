@@ -13,13 +13,17 @@
 - :mod:`repro.retrieval.metrics` — top-k overlap and related measures.
 """
 
-from .cache import CacheStats, CachingSearchEngine
+from .cache import CacheStats, CachingSearchEngine, QueryResultCache
 from .centralized import CentralizedBM25Engine
 from .hdk_engine import HDKRetrievalEngine, HDKSearchResult
 from .metrics import precision_at_k, top_k_overlap
 from .query import QueryProcessor
 from .ranking import DistributedRanker, RankedResult
-from .single_term import SingleTermIndexer, SingleTermRetrievalEngine
+from .single_term import (
+    STSearchOutcome,
+    SingleTermIndexer,
+    SingleTermRetrievalEngine,
+)
 from .single_term_bloom import BloomSearchOutcome, BloomSingleTermEngine
 from .topk import DistributedTopKEngine, TopKOutcome
 
@@ -28,6 +32,8 @@ __all__ = [
     "TopKOutcome",
     "CacheStats",
     "CachingSearchEngine",
+    "QueryResultCache",
+    "STSearchOutcome",
     "CentralizedBM25Engine",
     "HDKRetrievalEngine",
     "HDKSearchResult",

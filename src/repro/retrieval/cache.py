@@ -2,21 +2,28 @@
 
 Both [15] and [17] in the paper's related work propose caching (alongside
 top-k joins and Bloom filters) to reduce search cost for repeated
-queries.  This module provides an LRU result cache keyed by the query's
-canonical term set, wrapping any engine with a ``search(query, k)``-style
-interface: repeated queries are served locally at zero network cost.
+queries.  This module provides two layers:
+
+- :class:`QueryResultCache` — a payload-agnostic LRU keyed by the
+  query's canonical term set; :class:`repro.engine.service.SearchService`
+  uses it to serve repeated queries locally at zero network cost,
+  whatever backend produced the result.
+- :class:`CachingSearchEngine` — the legacy wrapper around any engine
+  with a ``search(query, k)``-style interface returning
+  :class:`HDKSearchResult`.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 from ..corpus.querylog import Query
 from ..errors import RetrievalError
 from .hdk_engine import HDKSearchResult
 
-__all__ = ["CacheStats", "CachingSearchEngine"]
+__all__ = ["CacheStats", "CachingSearchEngine", "QueryResultCache"]
 
 
 @dataclass
@@ -35,13 +42,79 @@ class CacheStats:
 
 
 @dataclass
-class _CachedEntry:
-    result: HDKSearchResult
+class _CachedPayload:
+    payload: Any
     k: int
+    postings: int
+
+
+class QueryResultCache:
+    """A payload-agnostic LRU query cache.
+
+    Keys are canonical term sets; payloads are whatever the caller
+    computed for the query (any backend's response type).  A cached
+    payload is served only when it was computed with a depth of at least
+    the requested ``k`` (a deeper ranking prefix-matches a shallower
+    request); shallower entries count as misses and are replaced by
+    :meth:`put`.
+
+    Args:
+        capacity: maximum number of cached query results.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise RetrievalError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[frozenset[str], _CachedPayload] = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    def get(self, query: Query, k: int) -> Any | None:
+        """Return the cached payload for ``query`` at depth >= ``k``,
+        or ``None`` (both outcomes update the hit/miss counters)."""
+        if k < 1:
+            raise RetrievalError(f"k must be >= 1, got {k}")
+        entry = self._entries.get(query.term_set)
+        if entry is not None and entry.k >= k:
+            self._entries.move_to_end(query.term_set)
+            self.stats.hits += 1
+            self.stats.postings_saved += entry.postings
+            return entry.payload
+        self.stats.misses += 1
+        return None
+
+    def put(
+        self,
+        query: Query,
+        k: int,
+        payload: Any,
+        postings_transferred: int = 0,
+    ) -> None:
+        """Cache ``payload`` for ``query``; ``postings_transferred`` is
+        the traffic a future hit will have saved (for the stats)."""
+        self._entries[query.term_set] = _CachedPayload(
+            payload=payload, k=k, postings=postings_transferred
+        )
+        self._entries.move_to_end(query.term_set)
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached entry (call after the index changes)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class CachingSearchEngine:
     """LRU cache in front of a :class:`P2PSearchEngine`-like object.
+
+    A thin HDK-result-shaped wrapper over :class:`QueryResultCache`
+    (one implementation of the LRU/prefix-match/stats mechanics).
 
     Args:
         engine: any object exposing ``search(query, k=...) ->
@@ -50,14 +123,12 @@ class CachingSearchEngine:
     """
 
     def __init__(self, engine, capacity: int = 256) -> None:
-        if capacity < 1:
-            raise RetrievalError(f"capacity must be >= 1, got {capacity}")
         self._engine = engine
-        self._capacity = capacity
-        self._entries: OrderedDict[frozenset[str], _CachedEntry] = (
-            OrderedDict()
-        )
-        self.stats = CacheStats()
+        self._cache = QueryResultCache(capacity)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
 
     def search(self, query: Query, k: int = 20) -> HDKSearchResult:
         """Serve from cache when possible; delegate otherwise.
@@ -66,37 +137,24 @@ class CachingSearchEngine:
         least ``k`` (a deeper cached ranking prefixes-matches a shallower
         request); shallower entries are treated as misses and replaced.
         """
-        if k < 1:
-            raise RetrievalError(f"k must be >= 1, got {k}")
-        cache_key = query.term_set
-        cached = self._entries.get(cache_key)
-        if cached is not None and cached.k >= k:
-            self._entries.move_to_end(cache_key)
-            self.stats.hits += 1
-            self.stats.postings_saved += (
-                cached.result.postings_transferred
-            )
+        cached = self._cache.get(query, k)
+        if cached is not None:
             clipped = HDKSearchResult(query=query)
-            clipped.results = cached.result.results[:k]
-            clipped.keys_looked_up = cached.result.keys_looked_up
-            clipped.keys_found = cached.result.keys_found
-            clipped.dk_keys = cached.result.dk_keys
-            clipped.ndk_keys = cached.result.ndk_keys
+            clipped.results = cached.results[:k]
+            clipped.keys_looked_up = cached.keys_looked_up
+            clipped.keys_found = cached.keys_found
+            clipped.dk_keys = cached.dk_keys
+            clipped.ndk_keys = cached.ndk_keys
             clipped.postings_transferred = 0  # served locally
             return clipped
-        self.stats.misses += 1
         result = self._engine.search(query, k=k)
-        self._entries[cache_key] = _CachedEntry(result=result, k=k)
-        self._entries.move_to_end(cache_key)
-        if len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        self._cache.put(query, k, result, result.postings_transferred)
         return result
 
     def invalidate(self) -> None:
         """Drop every cached entry (call after the index changes, e.g.
         an incremental join)."""
-        self._entries.clear()
+        self._cache.invalidate()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._cache)

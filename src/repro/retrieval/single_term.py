@@ -22,7 +22,12 @@ from ..net.accounting import Phase
 from ..net.network import P2PNetwork
 from .ranking import DistributedRanker, RankedResult
 
-__all__ = ["SingleTermIndexer", "SingleTermRetrievalEngine", "STEntry"]
+__all__ = [
+    "STSearchOutcome",
+    "SingleTermIndexer",
+    "SingleTermRetrievalEngine",
+    "STEntry",
+]
 
 
 @dataclass
@@ -84,6 +89,25 @@ class SingleTermIndexer:
             self.inserted_postings += len(posting_list)
 
 
+@dataclass
+class STSearchOutcome:
+    """Result + traffic breakdown of one single-term (OR) query.
+
+    Attributes:
+        results: top-k ranked documents.
+        postings_transferred: total postings shipped to the query peer.
+        terms_found: query terms whose lookup returned a non-empty
+            posting list (every lookup is *answered*, possibly empty —
+            only non-empty answers count as found).
+        term_dfs: per-term document frequency as observed by the query.
+    """
+
+    results: list[RankedResult]
+    postings_transferred: int
+    terms_found: int
+    term_dfs: dict[str, int]
+
+
 class SingleTermRetrievalEngine:
     """Query side of the distributed single-term baseline.
 
@@ -111,8 +135,17 @@ class SingleTermRetrievalEngine:
         """Fetch full posting lists for every query term and rank.
 
         Returns (top-k results, postings transferred) — the second element
-        is the per-query retrieval traffic Figure 6 plots.
+        is the per-query retrieval traffic Figure 6 plots.  See
+        :meth:`search_outcome` for the full breakdown.
         """
+        outcome = self.search_outcome(source_peer_name, query, k)
+        return outcome.results, outcome.postings_transferred
+
+    def search_outcome(
+        self, source_peer_name: str, query: Query, k: int = 20
+    ) -> STSearchOutcome:
+        """Like :meth:`search` but returns the full
+        :class:`STSearchOutcome` including which terms were found."""
         if k < 1:
             raise RetrievalError(f"k must be >= 1, got {k}")
         self.network.accounting.set_phase(Phase.RETRIEVAL)
@@ -136,4 +169,9 @@ class SingleTermRetrievalEngine:
             for posting in entry.postings:
                 fetched.append(((term,), posting))
         ranker = DistributedRanker(self.scorer, term_dfs)
-        return ranker.rank(fetched, k), transferred
+        return STSearchOutcome(
+            results=ranker.rank(fetched, k),
+            postings_transferred=transferred,
+            terms_found=sum(1 for df in term_dfs.values() if df > 0),
+            term_dfs=term_dfs,
+        )

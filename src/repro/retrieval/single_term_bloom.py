@@ -48,6 +48,13 @@ class BloomSearchOutcome:
     filter_posting_equivalents: int
     candidate_postings: int
     false_positives_removed: int
+    #: Query terms with a non-empty indexed posting list; under AND
+    #: semantics the protocol aborts at the first unknown term, so on an
+    #: empty result this counts the terms found before the abort.
+    terms_found: int = 0
+    #: Query terms actually looked up: all of them on a completed run,
+    #: ``terms_found + 1`` when the protocol aborted at an unknown term.
+    terms_probed: int = 0
 
 
 class BloomSingleTermEngine:
@@ -128,6 +135,8 @@ class BloomSingleTermEngine:
                     filter_posting_equivalents=0,
                     candidate_postings=0,
                     false_positives_removed=0,
+                    terms_found=len(entries),
+                    terms_probed=len(entries) + 1,
                 )
             entries[term] = entry
         # Visit terms rarest-first: the first filter is smallest and the
@@ -204,6 +213,8 @@ class BloomSingleTermEngine:
             filter_posting_equivalents=filter_cost,
             candidate_postings=len(candidates),
             false_positives_removed=false_positives,
+            terms_found=len(entries),
+            terms_probed=len(query.terms),
         )
 
     def _rank(

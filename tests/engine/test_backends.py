@@ -1,0 +1,219 @@
+"""Tests for the pluggable backend registry and the four backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HDKParameters
+from repro.corpus.querylog import Query
+from repro.engine.backends import (
+    BackendContext,
+    BackendRegistry,
+    RetrievalBackend,
+    SearchResponse,
+    registry,
+)
+from repro.engine.service import SearchService
+from repro.errors import ConfigurationError, RetrievalError
+from tests.conftest import SMALL_PARAMS
+
+ALL_BACKENDS = ("hdk", "single_term", "single_term_bloom", "centralized")
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert registry.names() == sorted(ALL_BACKENDS)
+        for name in ALL_BACKENDS:
+            assert name in registry
+
+    def test_unknown_backend_error_lists_known(self, small_collection):
+        with pytest.raises(ConfigurationError) as excinfo:
+            SearchService.build(
+                small_collection, num_peers=2, backend="kademlia_cache"
+            )
+        message = str(excinfo.value)
+        assert "kademlia_cache" in message
+        for name in ALL_BACKENDS:
+            assert name in message
+
+    def test_duplicate_registration_rejected(self):
+        fresh = BackendRegistry()
+        fresh.register("custom", lambda context: None)
+        with pytest.raises(ConfigurationError):
+            fresh.register("custom", lambda context: None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackendRegistry().register("", lambda context: None)
+
+    def test_custom_registry_resolution(self, small_collection):
+        fresh = BackendRegistry()
+
+        @fresh.backend("echo")
+        class EchoBackend:
+            def __init__(self, context: BackendContext) -> None:
+                self.context = context
+
+            def index(self, peers):
+                return []
+
+            def add_peers(self, new_peers):
+                return []
+
+            def search(self, source_peer_name, query, k=20):
+                return SearchResponse(query=query, backend=self.name, k=k)
+
+            def stats(self):
+                return {"backend": self.name}
+
+            def stored_postings_total(self):
+                return 0
+
+        service = SearchService.build(
+            small_collection,
+            num_peers=2,
+            backend="echo",
+            backend_registry=fresh,
+        )
+        service.index()
+        assert service.backend_name == "echo"
+        assert isinstance(service.backend, RetrievalBackend)
+        response = service.search("t00042")
+        assert response.backend == "echo"
+
+
+@pytest.fixture(scope="module")
+def services(small_collection):
+    """One indexed service per built-in backend, cache disabled."""
+    built = {}
+    for name in ALL_BACKENDS:
+        service = SearchService.build(
+            small_collection,
+            num_peers=4,
+            backend=name,
+            params=SMALL_PARAMS,
+            cache_capacity=None,
+        )
+        service.index()
+        built[name] = service
+    return built
+
+
+class TestResponseShape:
+    QUERY = "t00042 t00137"
+
+    def test_all_backends_same_response_shape(self, services):
+        for name, service in services.items():
+            response = service.search(self.QUERY, k=10)
+            assert isinstance(response, SearchResponse)
+            assert response.backend == name
+            assert response.k == 10
+            assert response.keys_looked_up >= 1
+            assert 0 <= response.keys_found <= response.keys_looked_up
+            assert response.postings_transferred >= 0
+            assert response.cache_hit is False
+            assert response.elapsed_ms >= 0.0
+            assert response.traffic is not None
+            assert response.results == sorted(
+                response.results, key=lambda r: (-r.score, r.doc_id)
+            )
+
+    def test_search_before_index_rejected(self, small_collection):
+        for name in ALL_BACKENDS:
+            service = SearchService.build(
+                small_collection, num_peers=2, backend=name
+            )
+            with pytest.raises(RetrievalError):
+                service.search(self.QUERY)
+
+    def test_centralized_is_zero_traffic(self, services):
+        response = services["centralized"].search(self.QUERY, k=10)
+        assert response.postings_transferred == 0
+        assert response.traffic.retrieval_postings == 0
+        assert response.results  # still answers the query
+
+    def test_distributed_backends_generate_traffic(self, services):
+        for name in ("hdk", "single_term", "single_term_bloom"):
+            response = services[name].search(self.QUERY, k=10)
+            assert response.postings_transferred > 0
+            assert (
+                response.traffic.retrieval_postings
+                == response.postings_transferred
+            )
+
+    def test_hdk_below_single_term_traffic(self, services):
+        hdk = services["hdk"].search(self.QUERY, k=10)
+        st = services["single_term"].search(self.QUERY, k=10)
+        assert hdk.postings_transferred < st.postings_transferred
+
+    def test_bloom_below_naive_single_term(self, services):
+        st = services["single_term"].search(self.QUERY, k=10)
+        bloom = services["single_term_bloom"].search(self.QUERY, k=10)
+        assert bloom.postings_transferred < st.postings_transferred
+        assert "candidate_postings" in bloom.detail
+
+    def test_bloom_abort_counts_only_probed_terms(self, services):
+        """The AND protocol stops at the first unknown term; lookups
+        beyond the abort must not be counted."""
+        query = Query(query_id=0, terms=("qzzzzq", "t00042", "t00137"))
+        response = services["single_term_bloom"].search(query, k=5)
+        assert response.results == []
+        assert response.keys_looked_up < len(query.terms)
+        assert response.keys_looked_up == response.keys_found + 1
+
+    def test_keys_found_counts_only_nonempty(self, services):
+        """A term absent from the corpus is looked up but not *found*
+        (the bug the legacy single-term adaptation had)."""
+        query = Query(query_id=0, terms=("qzzzzq", "t00042"))
+        for name in ("single_term", "centralized"):
+            response = services[name].search(query, k=5)
+            assert response.keys_looked_up == 2
+            assert response.keys_found == 1
+
+    def test_stats_shape(self, services):
+        for name, service in services.items():
+            stats = service.stats()
+            assert stats["backend"] == name
+            assert stats["stored_postings"] >= 0
+            assert stats["num_peers"] == 4
+
+    def test_hdk_backend_exposes_global_index(self, services):
+        backend = services["hdk"].backend
+        assert backend.global_index.key_count() > 0
+
+
+class TestBackendGrowth:
+    def test_add_peers_all_backends(self, small_collection):
+        ids = small_collection.doc_ids()
+        first = small_collection.subset(ids[:200])
+        second = small_collection.subset(ids[200:])
+        for name in ALL_BACKENDS:
+            service = SearchService.build(
+                first,
+                num_peers=2,
+                backend=name,
+                params=SMALL_PARAMS,
+                cache_capacity=None,
+            )
+            service.index()
+            before = service.stored_postings_total()
+            reports = service.add_peers(second, num_new_peers=2)
+            assert len(reports) == 2
+            assert len(service.peers) == 4
+            assert service.stored_postings_total() > before
+            response = service.search("t00042 t00137", k=10)
+            assert response.keys_looked_up >= 1
+
+    def test_backend_instance_accepted(self, small_collection):
+        # Passing an already-constructed backend bypasses the registry.
+        first = SearchService.build(
+            small_collection, num_peers=2, backend="single_term"
+        )
+        reused = SearchService(
+            first.peers,
+            first.network,
+            params=HDKParameters(),
+            backend=first.backend,
+        )
+        assert reused.backend is first.backend
+        assert reused.backend_name == "single_term"

@@ -96,6 +96,75 @@ class TestSearch:
         assert code == 0
 
 
+class TestSearchBackends:
+    BASE = [
+        "search",
+        "--docs",
+        "60",
+        "--vocabulary",
+        "200",
+        "--peers",
+        "3",
+        "--df-max",
+        "5",
+        "--window",
+        "6",
+    ]
+
+    @pytest.mark.parametrize(
+        "backend",
+        ["hdk", "single_term", "single_term_bloom", "centralized"],
+    )
+    def test_every_backend_end_to_end(self, backend, capsys):
+        code = main(
+            self.BASE + ["t00001 t00002", "--backend", backend]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"backend={backend}" in out
+        assert "n_k=" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["t00001", "--backend", "kademlia"])
+
+    def test_batch_reports_traffic_and_cache(self, capsys):
+        code = main(self.BASE + ["--batch", "12"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "postings transferred" in out
+        assert "cache hits" in out
+
+    def test_batch_no_cache(self, capsys):
+        code = main(self.BASE + ["--batch", "5", "--no-cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache hit rate" in out
+
+    def test_query_required_without_batch(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE)
+
+    def test_query_and_batch_conflict(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.BASE + ["t00001", "--batch", "5"])
+        assert "t00001" in str(excinfo.value)
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--batch", "-5"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_tiny_experiment(self, capsys):
         code = main(
