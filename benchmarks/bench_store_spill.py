@@ -1,0 +1,122 @@
+"""Ablation — the disk-backed store under shrinking RAM budgets.
+
+The ``hdk_disk`` backend must return exactly the in-memory backend's
+rankings while holding an arbitrarily small fraction of the posting
+lists in RAM; what degrades with the budget is *service time* (cold keys
+pay a segment read + varint decode).  This bench sweeps the budget from
+"everything hot" down to "everything spilled", checks result parity on a
+shared query log, and publishes residency/latency/IO per budget; the
+timed section serves the log from a snapshot-loaded service — the
+build-once / serve-many hot path.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.corpus.querylog import QueryLogGenerator
+from repro.corpus.synthetic import SyntheticCorpusGenerator
+from repro.engine.service import SearchService
+from repro.utils import format_table
+
+from .conftest import BENCH_CORPUS, BENCH_EXPERIMENT, publish
+
+
+def test_store_spill_budget_sweep(benchmark):
+    collection = SyntheticCorpusGenerator(
+        BENCH_CORPUS, seed=BENCH_EXPERIMENT.seed
+    ).generate(360)
+    params = BENCH_EXPERIMENT.hdk
+    queries = QueryLogGenerator(
+        collection,
+        window_size=params.window_size,
+        min_hits=3,
+        seed=29,
+        size_weights={2: 0.6, 3: 0.4},
+    ).generate(25)
+
+    def build(backend: str, **kwargs) -> SearchService:
+        service = SearchService.build(
+            collection,
+            num_peers=4,
+            backend=backend,
+            params=params,
+            cache_capacity=None,
+            **kwargs,
+        )
+        service.index()
+        return service
+
+    reference = build("hdk")
+    reference_report = reference.run_querylog(queries, k=10)
+    reference_rankings = [
+        [r.doc_id for r in resp.results]
+        for resp in reference_report.responses
+    ]
+    stored = reference.stored_postings_total()
+
+    rows = [
+        [
+            "hdk (all in RAM)",
+            f"{stored:,}",
+            "100.0%",
+            f"{reference_report.mean_postings_per_query:,.1f}",
+            f"{reference_report.mean_elapsed_ms:.2f}",
+            "-",
+        ]
+    ]
+    for budget in (10_000, 1_000, 100, 0):
+        disk = build("hdk_disk", memory_budget=budget)
+        report = disk.run_querylog(queries, k=10)
+        rankings = [
+            [r.doc_id for r in resp.results] for resp in report.responses
+        ]
+        assert rankings == reference_rankings, (
+            f"budget {budget}: rankings diverged from in-memory hdk"
+        )
+        spill = disk.backend.global_index.spill_stats()
+        assert spill["hot_postings"] <= budget
+        resident = spill["hot_postings"] + spill["store"]["cache_postings"]
+        rows.append(
+            [
+                f"hdk_disk budget={budget:,}",
+                f"{resident:,}",
+                f"{resident / stored:.1%}",
+                f"{report.mean_postings_per_query:,.1f}",
+                f"{report.mean_elapsed_ms:.2f}",
+                f"{spill['spills']:,}/{spill['reloads']:,}",
+            ]
+        )
+
+    table = format_table(
+        [
+            "engine",
+            "resident postings",
+            "of stored",
+            "postings/query",
+            "ms/query",
+            "spills/reloads",
+        ],
+        rows,
+    )
+    publish("store_spill_budget_sweep", table)
+
+    # Timed: serve the whole log from a freshly loaded snapshot (the
+    # production-shaped path: offset-directory scan + cold block reads).
+    disk = build("hdk_disk", memory_budget=1_000)
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-snap-")
+    snapshot = Path(tmp.name) / "snapshot"
+    disk.save(snapshot)
+
+    def serve_from_snapshot():
+        served = SearchService.load(
+            snapshot, memory_budget=1_000, cache_capacity=None
+        )
+        return served.run_querylog(queries, k=10)
+
+    report = benchmark(serve_from_snapshot)
+    assert [
+        [r.doc_id for r in resp.results] for resp in report.responses
+    ] == reference_rankings
+    tmp.cleanup()

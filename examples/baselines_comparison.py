@@ -11,12 +11,15 @@ same synthetic collection and the same query log through one uniform
 
 - ``single_term`` — naive distributed single-term (full posting lists),
 - ``single_term_bloom`` — Bloom-optimized conjunctive pre-intersection,
+- ``topk`` — distributed top-k via the Threshold Algorithm,
 - ``hdk`` — the paper's model,
+- ``hdk_disk`` — the paper's model served from the segmented disk store
+  under a tight RAM budget (identical results to ``hdk``),
 - ``centralized`` — single-node BM25 (the oracle the overlap column is
   measured against),
 
-plus distributed top-k (Threshold Algorithm) and HDK behind the
-service's LRU result cache (repeated-query workload).
+plus HDK behind the service's LRU result cache (repeated-query
+workload).
 
 Printed per engine: mean postings transferred per query and the top-10
 overlap with the centralized BM25 reference.
@@ -28,7 +31,6 @@ from repro import HDKParameters, SearchService
 from repro.corpus import SyntheticCorpusConfig, SyntheticCorpusGenerator
 from repro.corpus.querylog import QueryLogGenerator
 from repro.retrieval.metrics import top_k_overlap
-from repro.retrieval.topk import DistributedTopKEngine
 from repro.utils import format_table
 
 
@@ -53,13 +55,14 @@ def main() -> None:
 
     # One service per registered backend, cache disabled so the traffic
     # column reflects the raw protocols.
-    def build(backend: str, cache_capacity: int | None = None):
+    def build(backend: str, cache_capacity: int | None = None, **kwargs):
         service = SearchService.build(
             collection,
             num_peers=6,
             backend=backend,
             params=params,
             cache_capacity=cache_capacity,
+            **kwargs,
         )
         service.index()
         return service
@@ -81,39 +84,20 @@ def main() -> None:
         )
 
     rows = []
-    for backend, note in [
-        ("single_term", "full lists, OR semantics"),
-        ("single_term_bloom", "Bloom AND semantics"),
-        ("hdk", "the paper's model"),
-        ("centralized", "single-node oracle, zero network"),
+    for backend, note, kwargs in [
+        ("single_term", "full lists, OR semantics", {}),
+        ("single_term_bloom", "Bloom AND semantics", {}),
+        ("topk", "exact BM25 top-k (TA)", {}),
+        ("hdk", "the paper's model", {}),
+        (
+            "hdk_disk",
+            "HDK from disk, 500-posting RAM budget",
+            {"memory_budget": 500},
+        ),
+        ("centralized", "single-node oracle, zero network", {}),
     ]:
-        traffic, overlap = measure(build(backend))
+        traffic, overlap = measure(build(backend, **kwargs))
         rows.append([backend, f"{traffic:,.1f}", f"{overlap:.1f}%", note])
-
-    # Distributed top-k (TA) rides on a single-term index; it has no
-    # registry entry yet, so it is measured through its own engine.
-    st = build("single_term")
-    topk = DistributedTopKEngine(
-        st.network,
-        num_documents=len(collection),
-        average_doc_length=collection.average_document_length,
-        batch_size=10,
-    )
-    traffic, overlaps = [], []
-    for q in queries:
-        outcome = topk.search("peer-000", q, k=10)
-        traffic.append(outcome.postings_transferred)
-        overlaps.append(
-            top_k_overlap(outcome.results, reference[q.query_id], k=10)
-        )
-    rows.append(
-        [
-            "distributed top-k (TA)",
-            f"{sum(traffic) / len(traffic):,.1f}",
-            f"{sum(overlaps) / len(overlaps):.1f}%",
-            "exact BM25 top-k",
-        ]
-    )
 
     # Cache: replay the log twice through a caching HDK service; the
     # second pass is all hits, so the batch traffic is zero.

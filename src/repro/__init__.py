@@ -10,11 +10,13 @@ key index, the HDK generator, and the Section-4 scalability analysis.
 
 Retrieval is organized around a pluggable backend seam: the
 :class:`repro.engine.backends.RetrievalBackend` protocol with a
-string-keyed registry (``hdk``, ``single_term``, ``single_term_bloom``,
-``centralized``), fronted by :class:`SearchService` — the facade owning
-the query pipeline, an LRU result cache, and traffic accounting, with
-single, batch, and query-log search surfaces.  The legacy
-:class:`P2PSearchEngine` remains as a thin shim over it.
+string-keyed registry (``hdk``, ``hdk_disk``, ``single_term``,
+``single_term_bloom``, ``topk``, ``centralized``), fronted by
+:class:`SearchService` — the facade owning the query pipeline, an LRU
+result cache, and traffic accounting, with single, batch (optionally
+thread-parallel), and query-log search surfaces, plus ``save``/``load``
+snapshots backed by the :mod:`repro.store` segmented disk store.  The
+legacy :class:`P2PSearchEngine` remains as a thin shim over it.
 
 Quickstart::
 
@@ -57,9 +59,11 @@ from .errors import (
     NetworkError,
     ReproError,
     RetrievalError,
+    StoreError,
 )
+from .store import SegmentStore, SpillingGlobalKeyIndex
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExperimentParameters",
@@ -76,6 +80,9 @@ __all__ = [
     "RetrievalBackend",
     "SearchResponse",
     "SearchService",
+    "SegmentStore",
+    "SpillingGlobalKeyIndex",
+    "StoreError",
     "registry",
     "AnalysisError",
     "ConfigurationError",

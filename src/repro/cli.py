@@ -6,7 +6,11 @@ Subcommands::
                       or a directory of .txt files
     repro search      build + index + query in one shot, against any
                       registered retrieval backend (--backend), single
-                      query or batch query-log replay (--batch)
+                      query or batch query-log replay (--batch); persist
+                      an indexed collection with --save and serve it
+                      again with --load (skipping indexing entirely);
+                      the hdk_disk backend takes --store-dir and
+                      --memory-budget
     repro experiment  run the Section-5 growth experiment
     repro plan        adaptive parameter planning from a traffic budget
     repro traffic     the Figure-8 total-traffic model
@@ -132,6 +136,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--cache-capacity must be >= 0, got {args.cache_capacity}"
         )
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.memory_budget < 0:
+        raise SystemExit(
+            f"--memory-budget must be >= 0, got {args.memory_budget}"
+        )
     if args.query is None and not args.batch:
         raise SystemExit("a query string is required unless --batch is given")
     if args.query is not None and args.batch:
@@ -139,22 +149,44 @@ def _cmd_search(args: argparse.Namespace) -> int:
             "--batch replays a generated query log and would ignore "
             f"{args.query!r}; drop the query string or --batch"
         )
-    collection = _build_collection(args)
-    params = _hdk_params(args)
-    service = SearchService.build(
-        collection,
-        num_peers=args.peers,
-        backend=args.backend or args.mode,
-        params=params,
-        overlay=args.overlay,
-        cache_capacity=None if args.no_cache else args.cache_capacity,
-    )
-    service.index()
-    print(
-        f"indexed {len(collection)} documents over {args.peers} peers "
-        f"({service.stored_postings_total():,} stored postings, "
-        f"backend={service.backend_name})"
-    )
+    if args.load is not None:
+        # Serve a snapshot: no corpus build, no indexing.  The corpus is
+        # regenerated only when --batch needs documents to sample
+        # queries from (pass the same corpus flags as at build time).
+        service = SearchService.load(
+            args.load,
+            backend=args.backend,
+            memory_budget=args.memory_budget,
+            cache_capacity=None if args.no_cache else args.cache_capacity,
+        )
+        collection = _build_collection(args) if args.batch else None
+        print(
+            f"loaded snapshot {args.load} "
+            f"({service.stored_postings_total():,} stored postings, "
+            f"backend={service.backend_name})"
+        )
+    else:
+        collection = _build_collection(args)
+        params = _hdk_params(args)
+        service = SearchService.build(
+            collection,
+            num_peers=args.peers,
+            backend=args.backend or args.mode,
+            params=params,
+            overlay=args.overlay,
+            cache_capacity=None if args.no_cache else args.cache_capacity,
+            store_dir=args.store_dir,
+            memory_budget=args.memory_budget,
+        )
+        service.index()
+        print(
+            f"indexed {len(collection)} documents over {args.peers} peers "
+            f"({service.stored_postings_total():,} stored postings, "
+            f"backend={service.backend_name})"
+        )
+    if args.save is not None:
+        service.save(args.save)
+        print(f"saved snapshot to {args.save}")
     if args.batch:
         return _run_batch(args, service, collection)
     response = service.search(args.query, k=args.top)
@@ -165,7 +197,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
     )
     rows = []
     for rank, ranked in enumerate(response.results, start=1):
-        title = collection.get(ranked.doc_id).title
+        title = (
+            collection.get(ranked.doc_id).title
+            if collection is not None and ranked.doc_id in collection
+            else "-"
+        )
         rows.append([rank, ranked.doc_id, f"{ranked.score:.3f}", title])
     print(format_table(["#", "doc", "score", "title"], rows))
     return 0
@@ -180,7 +216,7 @@ def _run_batch(args: argparse.Namespace, service, collection) -> int:
         min_hits=min(20, max(1, len(collection) // 20)),
         seed=args.seed,
     ).generate(args.batch)
-    report = service.run_querylog(queries, k=args.top)
+    report = service.run_querylog(queries, k=args.top, workers=args.workers)
     rows = [
         ("queries", f"{report.num_queries:,}"),
         ("postings transferred", f"{report.total_postings_transferred:,}"),
@@ -332,6 +368,45 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="LRU query-cache capacity (default 256; 0 disables)",
+    )
+    search.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="thread-pool width for --batch execution",
+    )
+    search.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="segment-store directory for the hdk_disk backend "
+        "(default: a private temporary directory)",
+    )
+    search.add_argument(
+        "--memory-budget",
+        type=int,
+        default=50_000,
+        metavar="POSTINGS",
+        help="RAM posting budget of the hdk_disk backend (default 50000)",
+    )
+    search.add_argument(
+        "--save",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist the indexed collection as a snapshot directory "
+        "(hdk / hdk_disk backends)",
+    )
+    search.add_argument(
+        "--load",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="serve a previously saved snapshot instead of building and "
+        "indexing (corpus flags are ignored except for --batch query "
+        "sampling; --backend may override the snapshot's backend)",
     )
     search.set_defaults(handler=_cmd_search)
 

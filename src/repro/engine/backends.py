@@ -10,13 +10,19 @@ core again.  This module turns the seam into a first-class API:
   shared :class:`SearchResponse` shape;
 - :class:`BackendRegistry` and the module-level :data:`registry` — a
   string-keyed factory map (``registry.create("hdk", context)``);
-- four registered implementations:
+- six registered implementations:
 
   ==================  ====================================================
   ``hdk``             the paper's model (bounded per-key transfers)
+  ``hdk_disk``        the paper's model over the disk-backed
+                      :class:`repro.store.SpillingGlobalKeyIndex`
+                      (cold posting lists live in segment files under a
+                      RAM budget; identical results to ``hdk``)
   ``single_term``     naive distributed single-term baseline (Figure 6)
   ``single_term_bloom``  Bloom pre-intersection over the single-term
                       index (Reynolds & Vahdat's conjunctive protocol)
+  ``topk``            distributed top-k via the Threshold Algorithm
+                      (Balke et al.) over the single-term index
   ``centralized``     single-node BM25 oracle (the Terrier stand-in)
   ==================  ====================================================
 
@@ -29,6 +35,7 @@ parameters) and own their indexers/engines; the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Protocol, runtime_checkable
 
 from ..config import HDKParameters
@@ -52,13 +59,17 @@ from ..retrieval.single_term import (
     SingleTermRetrievalEngine,
 )
 from ..retrieval.single_term_bloom import BloomSingleTermEngine
+from ..retrieval.topk import DistributedTopKEngine
+from ..store.spill import DEFAULT_MEMORY_BUDGET, SpillingGlobalKeyIndex
 from .peer import Peer
 
 __all__ = [
     "BackendContext",
     "BackendRegistry",
     "CentralizedBackend",
+    "DistributedTopKBackend",
     "HDKBackend",
+    "HDKDiskBackend",
     "RetrievalBackend",
     "SearchResponse",
     "SingleTermBackend",
@@ -137,10 +148,16 @@ class BackendContext:
             traffic accounting).
         params: HDK model parameters (backends that don't use them may
             ignore them).
+        store_dir: directory for disk-backed backends (``hdk_disk``);
+            ``None`` gives the store a private temporary directory.
+        memory_budget: RAM posting budget for disk-backed backends;
+            ``None`` uses the store default.
     """
 
     network: P2PNetwork
     params: HDKParameters
+    store_dir: str | Path | None = None
+    memory_budget: int | None = None
 
 
 @runtime_checkable
@@ -253,9 +270,12 @@ class HDKBackend:
 
     def __init__(self, context: BackendContext) -> None:
         self.context = context
-        self.global_index = GlobalKeyIndex(context.network, context.params)
+        self.global_index = self._make_index(context)
         self._indexers: list[PeerIndexer] = []
         self._engine: HDKRetrievalEngine | None = None
+
+    def _make_index(self, context: BackendContext) -> GlobalKeyIndex:
+        return GlobalKeyIndex(context.network, context.params)
 
     def index(self, peers: list[Peer]) -> list[IndexingReport]:
         params = self.context.params
@@ -295,6 +315,14 @@ class HDKBackend:
             ndk_keys=result.ndk_keys,
         )
 
+    def restore(self) -> None:
+        """Mark the backend queryable after its global index was
+        populated externally (snapshot load): builds the retrieval
+        engine without running the indexing protocol."""
+        self._engine = HDKRetrievalEngine(
+            self.global_index, self.context.params
+        )
+
     def stats(self) -> dict[str, Any]:
         return {
             "backend": self.name,
@@ -305,6 +333,40 @@ class HDKBackend:
 
     def stored_postings_total(self) -> int:
         return self.global_index.stored_postings_total()
+
+
+@registry.backend("hdk_disk")
+class HDKDiskBackend(HDKBackend):
+    """The paper's model over the disk-backed spilling index.
+
+    The indexing and retrieval protocols (and therefore the results and
+    the traffic accounting) are identical to ``hdk``; the difference is
+    residency: cold posting lists live in append-only segment files
+    (:class:`repro.store.SegmentStore`) and only a bounded hot set plus
+    a bounded block cache stay in RAM, so the collection can exceed
+    memory.  Configure via :class:`BackendContext` (``store_dir``,
+    ``memory_budget``).
+    """
+
+    global_index: SpillingGlobalKeyIndex
+
+    def _make_index(self, context: BackendContext) -> GlobalKeyIndex:
+        budget = (
+            context.memory_budget
+            if context.memory_budget is not None
+            else DEFAULT_MEMORY_BUDGET
+        )
+        return SpillingGlobalKeyIndex(
+            context.network,
+            context.params,
+            memory_budget=budget,
+            store_dir=context.store_dir,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        stats = super().stats()
+        stats["spill"] = self.global_index.spill_stats()
+        return stats
 
 
 # -- single-term family ---------------------------------------------------------
@@ -453,6 +515,47 @@ class SingleTermBloomBackend(_SingleTermIndexedBackend):
                 ),
                 "candidate_postings": outcome.candidate_postings,
                 "false_positives_removed": outcome.false_positives_removed,
+            },
+        )
+
+
+@registry.backend("topk")
+class DistributedTopKBackend(_SingleTermIndexedBackend):
+    """Distributed top-k (Threshold Algorithm, Balke et al. ICDE 2005)
+    over the single-term index: sorted access in score order plus random
+    access to complete candidates, stopping at the exact BM25 top-k."""
+
+    #: Postings fetched per term per round of sorted access.
+    batch_size = 10
+
+    def _make_engine(
+        self, num_documents: int, average_doc_length: float
+    ) -> DistributedTopKEngine:
+        return DistributedTopKEngine(
+            self.context.network,
+            num_documents=num_documents,
+            average_doc_length=average_doc_length,
+            batch_size=self.batch_size,
+        )
+
+    def search(
+        self, source_peer_name: str, query: Query, k: int = 20
+    ) -> SearchResponse:
+        if self._engine is None:
+            raise RetrievalError("call index() before search()")
+        outcome = self._engine.search(source_peer_name, query, k)
+        return SearchResponse(
+            query=query,
+            backend=self.name,
+            results=outcome.results,
+            k=k,
+            keys_looked_up=len(query.terms),
+            keys_found=outcome.terms_found,
+            postings_transferred=outcome.postings_transferred,
+            detail={
+                "sorted_accesses": outcome.sorted_accesses,
+                "random_accesses": outcome.random_accesses,
+                "rounds": outcome.rounds,
             },
         )
 

@@ -31,8 +31,11 @@ shim over this facade.
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..config import HDKParameters
@@ -40,12 +43,15 @@ from ..corpus.collection import DocumentCollection
 from ..corpus.querylog import Query
 from ..errors import ConfigurationError, RetrievalError
 from ..hdk.indexer import IndexingReport
+from ..index.global_index import GlobalKeyIndex
 from ..net.accounting import Phase, TrafficAccounting, TrafficSnapshot
 from ..net.chord import ChordOverlay, Overlay
 from ..net.network import P2PNetwork
 from ..net.pgrid import PGridOverlay
 from ..retrieval.cache import CacheStats, QueryResultCache
 from ..retrieval.query import QueryProcessor
+from ..store import snapshot as snapshot_io
+from ..store.spill import SpillingGlobalKeyIndex
 from ..text.pipeline import PipelineConfig, TextPipeline
 from .backends import (
     BackendContext,
@@ -163,8 +169,11 @@ class SearchService:
         cache_capacity: LRU query-cache size; ``None`` or ``0`` disables
             caching entirely (every query hits the backend).
         backend_registry: the registry names are resolved against
-            (defaults to the module-level registry with the four
-            built-in backends).
+            (defaults to the module-level registry with the built-in
+            backends).
+        store_dir: directory for disk-backed backends (``hdk_disk``);
+            ``None`` gives the store a private temporary directory.
+        memory_budget: RAM posting budget for disk-backed backends.
     """
 
     def __init__(
@@ -176,6 +185,8 @@ class SearchService:
         pipeline: TextPipeline | None = None,
         cache_capacity: int | None = 256,
         backend_registry: BackendRegistry | None = None,
+        store_dir: str | Path | None = None,
+        memory_budget: int | None = None,
     ) -> None:
         if not peers:
             raise ConfigurationError("service needs at least one peer")
@@ -186,7 +197,12 @@ class SearchService:
         self.query_processor = QueryProcessor(self.pipeline)
         reg = backend_registry or default_registry
         if isinstance(backend, str):
-            context = BackendContext(network=network, params=self.params)
+            context = BackendContext(
+                network=network,
+                params=self.params,
+                store_dir=store_dir,
+                memory_budget=memory_budget,
+            )
             self.backend: RetrievalBackend = reg.create(backend, context)
         else:
             self.backend = backend
@@ -195,6 +211,10 @@ class SearchService:
         )
         self._indexed = False
         self._reports: list[IndexingReport] = []
+        # Serializes cache + accounting window + backend search so
+        # per-query traffic windows stay correct under search_batch
+        # concurrency (the simulated network is not thread-safe).
+        self._search_lock = threading.Lock()
 
     # -- construction ------------------------------------------------------------
 
@@ -210,24 +230,29 @@ class SearchService:
         accounting: TrafficAccounting | None = None,
         cache_capacity: int | None = 256,
         backend_registry: BackendRegistry | None = None,
+        store_dir: str | Path | None = None,
+        memory_budget: int | None = None,
     ) -> "SearchService":
         """Build a service over ``collection`` split across ``num_peers``.
 
         Args:
             collection: the global document collection.
             num_peers: how many peers share it (round-robin split).
-            backend: backend *name* (``hdk``, ``single_term``,
-                ``single_term_bloom``, ``centralized``).  An instance is
-                rejected here: a pre-constructed backend is bound to the
-                network it was built with, which cannot be the one this
-                method creates — construct :class:`SearchService`
-                directly around that network instead.
+            backend: backend *name* (``hdk``, ``hdk_disk``,
+                ``single_term``, ``single_term_bloom``, ``topk``,
+                ``centralized``).  An instance is rejected here: a
+                pre-constructed backend is bound to the network it was
+                built with, which cannot be the one this method creates —
+                construct :class:`SearchService` directly around that
+                network instead.
             params: HDK model parameters (paper defaults when omitted).
             overlay: ``"chord"`` or ``"pgrid"``.
             pipeline: the query text pipeline.
             accounting: shared traffic counters (created when omitted).
             cache_capacity: query-cache size; falsy disables caching.
             backend_registry: custom registry for name resolution.
+            store_dir: segment-store directory for ``hdk_disk``.
+            memory_budget: RAM posting budget for ``hdk_disk``.
         """
         if not isinstance(backend, str):
             raise ConfigurationError(
@@ -251,6 +276,8 @@ class SearchService:
             pipeline=pipeline,
             cache_capacity=cache_capacity,
             backend_registry=backend_registry,
+            store_dir=store_dir,
+            memory_budget=memory_budget,
         )
 
     # -- indexing ----------------------------------------------------------------
@@ -314,38 +341,39 @@ class SearchService:
             raise RetrievalError("call index() before search()")
         if k < 1:
             raise RetrievalError(f"k must be >= 1, got {k}")
-        query = self._process(raw_query)
+        query = self._process(raw_query)  # pipeline work outside the lock
         source = source_peer or self.peers[0].name
         started = time.perf_counter()
-        if self.cache is not None:
-            cached = self.cache.get(query, k)
-            if cached is not None:
-                response = cached.clipped(k)
-                response.query = query  # the caller's query object
-                response.cache_hit = True
-                # Cost fields describe THIS call: a hit is served
-                # locally, issuing zero lookups and zero transfers.
-                response.postings_transferred = 0
-                response.keys_looked_up = 0
-                response.keys_found = 0
-                response.dk_keys = 0
-                response.ndk_keys = 0
-                response.traffic = _empty_snapshot()
-                response.elapsed_ms = _ms_since(started)
-                return response
-        with self.network.accounting.measure() as window:
-            response = self.backend.search(source, query, k)
-        response.traffic = window.delta
-        response.elapsed_ms = _ms_since(started)
-        if self.cache is not None:
-            # Cache a copy, not the object handed to the caller: a
-            # caller mutating response.results must not poison hits.
-            self.cache.put(
-                query,
-                k,
-                response.clipped(k),
-                response.postings_transferred,
-            )
+        with self._search_lock:
+            if self.cache is not None:
+                cached = self.cache.get(query, k)
+                if cached is not None:
+                    response = cached.clipped(k)
+                    response.query = query  # the caller's query object
+                    response.cache_hit = True
+                    # Cost fields describe THIS call: a hit is served
+                    # locally, issuing zero lookups and zero transfers.
+                    response.postings_transferred = 0
+                    response.keys_looked_up = 0
+                    response.keys_found = 0
+                    response.dk_keys = 0
+                    response.ndk_keys = 0
+                    response.traffic = _empty_snapshot()
+                    response.elapsed_ms = _ms_since(started)
+                    return response
+            with self.network.accounting.measure() as window:
+                response = self.backend.search(source, query, k)
+            response.traffic = window.delta
+            response.elapsed_ms = _ms_since(started)
+            if self.cache is not None:
+                # Cache a copy, not the object handed to the caller: a
+                # caller mutating response.results must not poison hits.
+                self.cache.put(
+                    query,
+                    k,
+                    response.clipped(k),
+                    response.postings_transferred,
+                )
         return response
 
     def search_batch(
@@ -353,6 +381,7 @@ class SearchService:
         queries: Sequence[str | Query],
         k: int = 20,
         source_peer: str | None = None,
+        workers: int = 1,
     ) -> BatchSearchReport:
         """Execute a batch of queries, amortizing repeats via the cache.
 
@@ -360,17 +389,43 @@ class SearchService:
         the batch resolve against the index only once (when the cache is
         enabled), and the report aggregates traffic, index lookups,
         timing, and cache outcomes across the batch.
+
+        Args:
+            queries: raw strings or processed :class:`Query` objects.
+            k: result depth.
+            source_peer: the querying peer (defaults to the first).
+            workers: thread-pool width.  Query *processing* (tokenize,
+                stem) runs concurrently; the cache + accounting-window +
+                backend section of each query is serialized by the
+                service lock, so every response still carries its own
+                correct per-query traffic window and responses keep the
+                input order.
         """
         if not self._indexed:
             raise RetrievalError("call index() before search_batch()")
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}"
+            )
         started = time.perf_counter()
         hits_before, misses_before = self._cache_counters()
         report = BatchSearchReport()
         with self.network.accounting.measure() as window:
-            for raw in queries:
-                report.responses.append(
-                    self.search(raw, k=k, source_peer=source_peer)
-                )
+            if workers == 1 or len(queries) <= 1:
+                for raw in queries:
+                    report.responses.append(
+                        self.search(raw, k=k, source_peer=source_peer)
+                    )
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    report.responses.extend(
+                        pool.map(
+                            lambda raw: self.search(
+                                raw, k=k, source_peer=source_peer
+                            ),
+                            queries,
+                        )
+                    )
         report.traffic = window.delta
         report.elapsed_ms = _ms_since(started)
         hits_after, misses_after = self._cache_counters()
@@ -383,11 +438,134 @@ class SearchService:
         querylog: Iterable[Query],
         k: int = 20,
         source_peer: str | None = None,
+        workers: int = 1,
     ) -> BatchSearchReport:
         """Replay a generated query log (see
         :class:`repro.corpus.querylog.QueryLogGenerator`); returns the
         same per-query + aggregate report as :meth:`search_batch`."""
-        return self.search_batch(list(querylog), k=k, source_peer=source_peer)
+        return self.search_batch(
+            list(querylog), k=k, source_peer=source_peer, workers=workers
+        )
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the indexed collection as a snapshot directory.
+
+        The snapshot (manifest + ranking statistics + a compacted
+        segment store of every global-index entry) is self-contained:
+        :meth:`load` rebuilds a queryable service from it without
+        re-running the indexing protocol — the build-once / serve-many
+        workflow.  Only the HDK-family backends (``hdk``, ``hdk_disk``)
+        persist; the baselines raise.
+
+        Raises:
+            ConfigurationError: unindexed service or a backend without a
+                global key index.
+            StoreError: ``path`` already holds a snapshot.
+        """
+        if not self._indexed:
+            raise ConfigurationError(
+                "index() (or load()) the service before save()"
+            )
+        global_index = getattr(self.backend, "global_index", None)
+        if not isinstance(global_index, GlobalKeyIndex):
+            raise ConfigurationError(
+                f"backend {self.backend_name!r} does not support "
+                f"persistence; use 'hdk' or 'hdk_disk'"
+            )
+        overlay_name = (
+            "pgrid"
+            if isinstance(self.network.overlay, PGridOverlay)
+            else "chord"
+        )
+        snapshot_io.save_index_snapshot(
+            path,
+            backend_name=self.backend_name,
+            overlay_name=overlay_name,
+            peer_names=[peer.name for peer in self.peers],
+            params=self.params.as_dict(),
+            global_index=global_index,
+        )
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        backend: str | None = None,
+        memory_budget: int | None = None,
+        cache_capacity: int | None = 256,
+        pipeline: TextPipeline | None = None,
+        backend_registry: BackendRegistry | None = None,
+    ) -> "SearchService":
+        """Rebuild a queryable service from a :meth:`save` snapshot.
+
+        The network (overlay type, peer names), parameters, entries, and
+        ranking statistics all come from the snapshot; no indexing
+        traffic is generated.  With the ``hdk_disk`` backend the
+        snapshot's segment files are served *in place*: startup is one
+        sequential checksum scan per segment that rebuilds the offset
+        directory, and no posting-list objects are decoded until
+        queried.  Auto-compaction is disabled on the snapshot-backed
+        store so serving (and even later inserts, which only append)
+        never deletes the snapshot's segment files.
+
+        Args:
+            path: the snapshot directory.
+            backend: override the backend recorded in the manifest
+                (``hdk`` loads eagerly into RAM, ``hdk_disk`` lazily).
+            memory_budget: RAM posting budget (``hdk_disk``).
+            cache_capacity: LRU query-cache size for the new service.
+            pipeline: query text pipeline (must match the one the
+                collection was built with).
+            backend_registry: custom registry for name resolution.
+
+        Note: peers of a loaded service carry empty local collections
+        (the snapshot persists the *index*, not the documents), so a
+        later :meth:`add_peers` indexes only the joining peers' documents
+        and cannot replay NDK-expansion at pre-snapshot contributors.
+        With ``hdk_disk``, :meth:`add_peers` also appends spilled
+        entries into the snapshot's ``segments/`` directory — treat a
+        snapshot that keeps growing as owned by one service, and
+        :meth:`save` a fresh copy to publish it.
+        """
+        manifest = snapshot_io.read_manifest(path)
+        params = HDKParameters.from_dict(manifest.params)
+        network = P2PNetwork(overlay=make_overlay(manifest.overlay))
+        peers: list[Peer] = []
+        for name in manifest.peer_names:
+            network.add_peer(name)
+            peers.append(Peer(name=name, collection=DocumentCollection()))
+        backend_name = backend or manifest.backend
+        service = cls(
+            peers,
+            network,
+            params=params,
+            backend=backend_name,
+            pipeline=pipeline,
+            cache_capacity=cache_capacity,
+            backend_registry=backend_registry,
+            store_dir=snapshot_io.segments_dir(path),
+            memory_budget=memory_budget,
+        )
+        global_index = getattr(service.backend, "global_index", None)
+        restore = getattr(service.backend, "restore", None)
+        if restore is None or not isinstance(global_index, GlobalKeyIndex):
+            raise ConfigurationError(
+                f"backend {backend_name!r} cannot serve snapshots; "
+                f"use 'hdk' or 'hdk_disk'"
+            )
+        if isinstance(global_index, SpillingGlobalKeyIndex):
+            # Never let compaction unlink the snapshot's own segment
+            # files (a concurrent reader of the same snapshot would
+            # lose them); writes, if any, only append.
+            global_index.store.compact_dead_ratio = 1.0
+            snapshot_io.populate_lazy(path, global_index)
+        else:
+            snapshot_io.populate_eager(path, global_index)
+        restore()
+        service._indexed = True
+        return service
 
     # -- inspection --------------------------------------------------------------
 

@@ -18,6 +18,7 @@ __all__ = [
     "RoutingError",
     "PeerNotFoundError",
     "StorageError",
+    "StoreError",
     "RetrievalError",
     "AnalysisError",
 ]
@@ -62,6 +63,11 @@ class PeerNotFoundError(NetworkError, LookupError):
 
 class StorageError(NetworkError):
     """A peer-local storage operation failed."""
+
+
+class StoreError(ReproError):
+    """A disk-backed key-index store operation failed (bad segment file,
+    unknown snapshot layout, corrupt record)."""
 
 
 class RetrievalError(ReproError):

@@ -290,6 +290,26 @@ class GlobalKeyIndex:
         """Global statistics of ``term`` (None when never published)."""
         return self._term_stats.get(term)
 
+    def export_statistics(
+        self,
+    ) -> tuple[dict[str, TermStats], int, int]:
+        """Snapshot the statistics directory:
+        ``(term stats, num_documents, total_doc_length)`` — the ranking
+        state a persisted index must carry alongside its entries."""
+        return dict(self._term_stats), self._num_documents, self._total_doc_length
+
+    def restore_statistics(
+        self,
+        term_stats: dict[str, TermStats],
+        num_documents: int,
+        total_doc_length: int,
+    ) -> None:
+        """Install a previously exported statistics directory (snapshot
+        load; replaces, does not aggregate, and logs no traffic)."""
+        self._term_stats = dict(term_stats)
+        self._num_documents = num_documents
+        self._total_doc_length = total_doc_length
+
     def term_document_frequency(self, term: str) -> int:
         stats = self._term_stats.get(term)
         return stats.document_frequency if stats is not None else 0

@@ -18,7 +18,7 @@ from ..errors import NetworkError, PeerNotFoundError
 from .accounting import Phase, TrafficAccounting
 from .chord import ChordOverlay, Overlay
 from .messages import Message, MessageKind
-from .node_id import hash_to_id, peer_id_for
+from .node_id import canonical_term_set, hash_to_id, peer_id_for
 from .storage import PeerStorage
 
 __all__ = ["P2PNetwork"]
@@ -280,6 +280,19 @@ class P2PNetwork:
         """The storage of a named peer (for inspection and figures)."""
         return self._storage[self.id_of(peer_name)]
 
+    def storage_by_id(self, peer_id: int) -> PeerStorage:
+        """The storage of a peer by overlay id.
+
+        Raises:
+            PeerNotFoundError: unknown id.
+        """
+        try:
+            return self._storage[peer_id]
+        except KeyError:
+            raise PeerNotFoundError(
+                f"peer id {peer_id} not in the network"
+            ) from None
+
     def storages(self) -> Iterator[PeerStorage]:
         """Iterate over every peer's storage."""
         return iter(self._storage.values())
@@ -298,6 +311,12 @@ class P2PNetwork:
 
     # -- internals -----------------------------------------------------------------------
 
+    def key_id(self, key: Any) -> int:
+        """Public form of the key-hashing rule (snapshot loaders place
+        entries directly into storages and need the id the network would
+        assign)."""
+        return self._key_id(key)
+
     @staticmethod
     def _key_id(key: Any) -> int:
         """Hash a logical key into the overlay id space.
@@ -309,7 +328,7 @@ class P2PNetwork:
         if isinstance(key, str):
             canonical = key
         elif isinstance(key, frozenset):
-            canonical = "\x1f".join(sorted(key))
+            canonical = canonical_term_set(key)
         else:
             canonical = repr(key)
         return hash_to_id(canonical)

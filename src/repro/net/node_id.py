@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import hashlib
 
-__all__ = ["KEY_SPACE_BITS", "KEY_SPACE_SIZE", "hash_to_id", "peer_id_for"]
+__all__ = [
+    "KEY_SPACE_BITS",
+    "KEY_SPACE_SIZE",
+    "canonical_term_set",
+    "hash_to_id",
+    "peer_id_for",
+]
 
 #: Width of the identifier space in bits.  64 bits keeps ids readable in
 #: debug output while making collisions vanishingly unlikely at simulated
@@ -18,6 +24,15 @@ KEY_SPACE_BITS = 64
 
 #: Size of the identifier space.
 KEY_SPACE_SIZE = 1 << KEY_SPACE_BITS
+
+
+def canonical_term_set(key: frozenset[str]) -> str:
+    """The one canonical serialization of a term-set key (terms sorted,
+    0x1f-joined).  Both the overlay hashing (`P2PNetwork.key_id`) and the
+    on-disk segment format (`repro.store.segment`) build on this rule;
+    keeping it in one place guarantees a persisted key rehashes to the
+    same responsible peer on reload."""
+    return "\x1f".join(sorted(key))
 
 
 def hash_to_id(value: str) -> int:

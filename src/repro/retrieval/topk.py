@@ -47,6 +47,8 @@ class TopKOutcome:
     sorted_accesses: int
     random_accesses: int
     rounds: int
+    #: Query terms whose responsible peer held a posting list.
+    terms_found: int = 0
 
 
 class DistributedTopKEngine:
@@ -84,11 +86,8 @@ class DistributedTopKEngine:
 
     def _entry_of(self, term: str) -> STEntry | None:
         target = self.network.responsible_peer_for(term)
-        for storage in self.network.storages():
-            if storage.peer_id == target:
-                value = storage.get(term)
-                return value if isinstance(value, STEntry) else None
-        return None
+        value = self.network.storage_by_id(target).get(term)
+        return value if isinstance(value, STEntry) else None
 
     def _log_transfer(self, source: str, term: str, postings: int) -> None:
         target_id = self.network.responsible_peer_for(term)
@@ -126,6 +125,7 @@ class DistributedTopKEngine:
                 sorted_accesses=0,
                 random_accesses=0,
                 rounds=0,
+                terms_found=0,
             )
         dfs = {term: len(entry.postings) for term, entry in entries.items()}
         # Pre-sort each list by BM25 contribution (the responsible peer
@@ -207,4 +207,5 @@ class DistributedTopKEngine:
             sorted_accesses=sorted_accesses,
             random_accesses=random_accesses,
             rounds=rounds,
+            terms_found=len(entries),
         )

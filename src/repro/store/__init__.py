@@ -1,0 +1,41 @@
+"""Disk-backed segmented key-index store.
+
+The persistence subsystem behind the ``hdk_disk`` backend and the
+``SearchService.save`` / ``SearchService.load`` snapshot workflow:
+
+- :mod:`repro.store.segment` — crash-safe append-only segment files of
+  varint/delta-encoded posting-list records;
+- :mod:`repro.store.blockcache` — bounded LRU over decoded blocks;
+- :mod:`repro.store.store` — :class:`SegmentStore`: offset directory,
+  write/read paths, tombstones, and the compacting writer;
+- :mod:`repro.store.spill` — :class:`SpillingGlobalKeyIndex`: the global
+  HDK index under a RAM posting budget, spilling cold lists to segments;
+- :mod:`repro.store.snapshot` — save/load of a whole indexed service.
+"""
+
+from .blockcache import BlockCache, BlockCacheStats
+from .segment import (
+    STATUS_DK,
+    STATUS_NDK,
+    STATUS_TOMBSTONE,
+    SegmentRecord,
+    SegmentWriter,
+    scan_segment,
+)
+from .spill import SpilledPostings, SpillingGlobalKeyIndex
+from .store import SegmentStore, StoredMeta
+
+__all__ = [
+    "STATUS_DK",
+    "STATUS_NDK",
+    "STATUS_TOMBSTONE",
+    "BlockCache",
+    "BlockCacheStats",
+    "SegmentRecord",
+    "SegmentStore",
+    "SegmentWriter",
+    "SpilledPostings",
+    "SpillingGlobalKeyIndex",
+    "StoredMeta",
+    "scan_segment",
+]

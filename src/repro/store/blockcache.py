@@ -1,0 +1,108 @@
+"""Bounded LRU cache over decoded posting-list blocks.
+
+The segment store pays a disk read + varint decode for every cold key;
+this cache keeps the most recently used decoded lists in RAM under a
+posting-count budget (the same cost unit the paper and the spilling
+index use), so hot keys are served without touching the segments.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..errors import StoreError
+from ..index.postings import PostingList
+
+__all__ = ["BlockCache", "BlockCacheStats"]
+
+
+@dataclass
+class BlockCacheStats:
+    """Hit/miss/eviction counters plus current occupancy."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BlockCache:
+    """LRU over decoded blocks, bounded by total postings held.
+
+    Args:
+        capacity_postings: maximum postings held across cached blocks;
+            ``0`` disables caching (every get is a miss, puts are
+            dropped).  Empty lists are charged one posting so the entry
+            count stays bounded too.
+    """
+
+    def __init__(self, capacity_postings: int) -> None:
+        if capacity_postings < 0:
+            raise StoreError(
+                f"capacity_postings must be >= 0, got {capacity_postings}"
+            )
+        self.capacity_postings = capacity_postings
+        self._blocks: OrderedDict[Hashable, PostingList] = OrderedDict()
+        self._held_postings = 0
+        self.stats = BlockCacheStats()
+
+    @staticmethod
+    def _cost(postings: PostingList) -> int:
+        return max(1, len(postings))
+
+    @property
+    def held_postings(self) -> int:
+        """Postings currently held across cached blocks."""
+        return self._held_postings
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, block_id: Hashable) -> PostingList | None:
+        """Return the cached block, refreshing its recency, or None."""
+        block = self._blocks.get(block_id)
+        if block is None:
+            self.stats.misses += 1
+            return None
+        self._blocks.move_to_end(block_id)
+        self.stats.hits += 1
+        return block
+
+    def put(self, block_id: Hashable, postings: PostingList) -> None:
+        """Insert (or refresh) a block, evicting LRU blocks over budget."""
+        if self.capacity_postings == 0:
+            return
+        existing = self._blocks.pop(block_id, None)
+        if existing is not None:
+            self._held_postings -= self._cost(existing)
+        self._blocks[block_id] = postings
+        self._held_postings += self._cost(postings)
+        while (
+            self._held_postings > self.capacity_postings
+            and len(self._blocks) > 1
+        ):
+            _, evicted = self._blocks.popitem(last=False)
+            self._held_postings -= self._cost(evicted)
+            self.stats.evictions += 1
+        # A single block larger than the whole budget cannot be kept.
+        if self._held_postings > self.capacity_postings:
+            self._blocks.popitem(last=False)
+            self._held_postings = 0
+            self.stats.evictions += 1
+
+    def invalidate(self, block_id: Hashable) -> None:
+        """Drop one block if present (stale after an overwrite)."""
+        block = self._blocks.pop(block_id, None)
+        if block is not None:
+            self._held_postings -= self._cost(block)
+
+    def clear(self) -> None:
+        """Drop every block (e.g. after compaction moves offsets)."""
+        self._blocks.clear()
+        self._held_postings = 0

@@ -1,0 +1,327 @@
+"""Snapshot layout: persist an indexed global key index to a directory.
+
+A snapshot is the build-once / serve-many artifact of the store
+subsystem::
+
+    <dir>/
+      manifest.json     backend, overlay, peer names, HDK parameters
+      termstats.bin     ranking statistics directory (varint-encoded)
+      segments/         every live (key, posting list) entry, one
+                        SegmentStore written by a compacting pass
+
+Saving walks the index's entries; entries whose postings are spilled are
+copied segment-to-segment as raw encoded payloads (no decode).  Loading
+offers two strategies: *eager* decodes every record back into plain
+in-RAM entries (the ``hdk`` backend), while *lazy* only rebuilds the
+offset directory and places length-only stubs, so a collection far
+larger than RAM is queryable the moment the scan finishes (the
+``hdk_disk`` backend).
+
+The peers of the loading service must be registered with the network
+before entries are placed, so DHT responsibility matches the hash-based
+placement used here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..errors import StoreError
+from ..index.bm25 import TermStats
+from ..index.codec import decode_varint, encode_varint
+from ..index.global_index import GlobalEntry, GlobalKeyIndex
+from ..net.network import P2PNetwork
+from .segment import SegmentRecord
+from .spill import (
+    SpilledPostings,
+    SpillingGlobalKeyIndex,
+    code_to_status,
+    status_to_code,
+)
+from .store import SegmentStore
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SEGMENTS_DIRNAME",
+    "TERMSTATS_NAME",
+    "SnapshotManifest",
+    "load_statistics",
+    "populate_eager",
+    "populate_lazy",
+    "read_manifest",
+    "save_index_snapshot",
+]
+
+MANIFEST_NAME = "manifest.json"
+SEGMENTS_DIRNAME = "segments"
+TERMSTATS_NAME = "termstats.bin"
+
+_FORMAT_VERSION = 1
+_TERMSTATS_MAGIC = b"RTST\x01"
+
+
+@dataclass
+class SnapshotManifest:
+    """Everything needed to rebuild a queryable service around the
+    persisted entries."""
+
+    backend: str
+    overlay: str
+    peer_names: list[str] = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+    key_count: int = 0
+    stored_postings: int = 0
+    format_version: int = _FORMAT_VERSION
+    repro_version: str = ""
+
+
+def save_index_snapshot(
+    path: str | Path,
+    *,
+    backend_name: str,
+    overlay_name: str,
+    peer_names: list[str],
+    params: dict,
+    global_index: GlobalKeyIndex,
+) -> SnapshotManifest:
+    """Write a snapshot of ``global_index`` under ``path``.
+
+    Raises:
+        StoreError: when ``path`` already holds a snapshot.
+    """
+    target = Path(path)
+    if (target / MANIFEST_NAME).exists():
+        raise StoreError(
+            f"snapshot already exists at {target}; choose a fresh directory"
+        )
+    target.mkdir(parents=True, exist_ok=True)
+    source_store = (
+        global_index.store
+        if isinstance(global_index, SpillingGlobalKeyIndex)
+        else None
+    )
+    out = SegmentStore(target / SEGMENTS_DIRNAME, cache_postings=0)
+    entries = sorted(
+        global_index.entries(), key=lambda entry: sorted(entry.key)
+    )
+    stored_postings = 0
+    for entry in entries:
+        contributors = tuple(sorted(entry.contributors))
+        status_code = status_to_code(entry.status)
+        postings = entry.postings
+        if (
+            source_store is not None
+            and isinstance(postings, SpilledPostings)
+            and not postings.is_loaded
+        ):
+            # Cold entry: copy the encoded payload segment-to-segment.
+            record = source_store.get_record(entry.key)
+            if record is None:
+                raise StoreError(
+                    f"spilled entry {sorted(entry.key)} missing from "
+                    f"backing store during snapshot"
+                )
+            out.put_record(
+                SegmentRecord(
+                    key=entry.key,
+                    global_df=entry.global_df,
+                    status_code=status_code,
+                    contributors=contributors,
+                    payload=record.payload,
+                )
+            )
+        else:
+            out.put_record(
+                SegmentRecord.from_postings(
+                    entry.key,
+                    postings,
+                    entry.global_df,
+                    status_code,
+                    contributors,
+                )
+            )
+        stored_postings += len(postings)
+    out.close()
+    _write_statistics(target / TERMSTATS_NAME, global_index)
+    # Imported here: repro/__init__ pulls in the engine (and through it
+    # this module) before it defines __version__.
+    from .. import __version__ as repro_version
+
+    manifest = SnapshotManifest(
+        backend=backend_name,
+        overlay=overlay_name,
+        peer_names=list(peer_names),
+        params=dict(params),
+        key_count=len(entries),
+        stored_postings=stored_postings,
+        repro_version=repro_version,
+    )
+    (target / MANIFEST_NAME).write_text(
+        json.dumps(asdict(manifest), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return manifest
+
+
+def read_manifest(path: str | Path) -> SnapshotManifest:
+    """Read and validate the manifest of a snapshot directory."""
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StoreError(f"no snapshot manifest at {manifest_path}")
+    try:
+        data = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise StoreError(f"unreadable manifest {manifest_path}: {exc}") from exc
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise StoreError(
+            f"unsupported snapshot format_version {version!r} "
+            f"(this build reads {_FORMAT_VERSION})"
+        )
+    known = {f for f in SnapshotManifest.__dataclass_fields__}
+    try:
+        return SnapshotManifest(
+            **{key: value for key, value in data.items() if key in known}
+        )
+    except TypeError as exc:  # structurally valid JSON, fields missing
+        raise StoreError(
+            f"incomplete manifest {manifest_path}: {exc}"
+        ) from exc
+
+
+def segments_dir(path: str | Path) -> Path:
+    """The segment-store directory inside a snapshot."""
+    return Path(path) / SEGMENTS_DIRNAME
+
+
+# -- statistics directory ---------------------------------------------------------
+
+
+def _write_statistics(path: Path, global_index: GlobalKeyIndex) -> None:
+    term_stats, num_documents, total_doc_length = (
+        global_index.export_statistics()
+    )
+    out = bytearray(_TERMSTATS_MAGIC)
+    encode_varint(num_documents, out)
+    encode_varint(total_doc_length, out)
+    encode_varint(len(term_stats), out)
+    for term in sorted(term_stats):
+        stats = term_stats[term]
+        encoded = term.encode("utf-8")
+        encode_varint(len(encoded), out)
+        out.extend(encoded)
+        encode_varint(stats.document_frequency, out)
+        encode_varint(stats.collection_frequency, out)
+    path.write_bytes(bytes(out))
+
+
+def load_statistics(
+    path: str | Path, global_index: GlobalKeyIndex
+) -> None:
+    """Restore the ranking statistics directory from a snapshot."""
+    stats_path = Path(path) / TERMSTATS_NAME
+    data = stats_path.read_bytes()
+    if data[: len(_TERMSTATS_MAGIC)] != _TERMSTATS_MAGIC:
+        raise StoreError(f"{stats_path}: not a statistics file")
+    offset = len(_TERMSTATS_MAGIC)
+    num_documents, offset = decode_varint(data, offset)
+    total_doc_length, offset = decode_varint(data, offset)
+    n_terms, offset = decode_varint(data, offset)
+    term_stats: dict[str, TermStats] = {}
+    for _ in range(n_terms):
+        term_len, offset = decode_varint(data, offset)
+        term = data[offset : offset + term_len].decode("utf-8")
+        offset += term_len
+        df, offset = decode_varint(data, offset)
+        cf, offset = decode_varint(data, offset)
+        term_stats[term] = TermStats(
+            term=term, document_frequency=df, collection_frequency=cf
+        )
+    global_index.restore_statistics(
+        term_stats, num_documents, total_doc_length
+    )
+
+
+# -- entry placement --------------------------------------------------------------
+
+
+def _place_entry(network: P2PNetwork, entry: GlobalEntry) -> None:
+    """Put ``entry`` directly into the responsible peer's storage —
+    snapshot restoration is local I/O, not protocol traffic."""
+    target = network.responsible_peer_for(entry.key)
+    network.storage_by_id(target).put(
+        entry.key, network.key_id(entry.key), entry
+    )
+
+
+def populate_eager(
+    path: str | Path, global_index: GlobalKeyIndex
+) -> int:
+    """Decode every snapshot record into in-RAM entries (``hdk``).
+
+    Returns the number of keys placed.
+    """
+    reader = SegmentStore(segments_dir(path), cache_postings=0)
+    placed = 0
+    for key in reader.keys():
+        meta = reader.meta(key)
+        postings = reader.get_postings(key)
+        assert meta is not None and postings is not None
+        _place_entry(
+            global_index.network,
+            GlobalEntry(
+                key=key,
+                postings=postings,
+                global_df=meta.global_df,
+                status=code_to_status(meta.status_code),
+                contributors=set(meta.contributors),
+            ),
+        )
+        placed += 1
+    reader.close()
+    load_statistics(path, global_index)
+    return placed
+
+
+def populate_lazy(
+    path: str | Path, global_index: SpillingGlobalKeyIndex
+) -> int:
+    """Place length-only stubs for every snapshot record (``hdk_disk``).
+
+    The index's backing store must already be opened over the snapshot's
+    ``segments/`` directory (its offset directory is the source of
+    truth); no posting list is decoded here.
+
+    Returns the number of keys placed.
+    """
+    store = global_index.store
+    expected = segments_dir(path).resolve()
+    if store.directory.resolve() != expected:
+        raise StoreError(
+            f"lazy load requires the index store to be opened over "
+            f"{expected}, not {store.directory}"
+        )
+    placed = 0
+    for key in store.keys():
+        meta = store.meta(key)
+        assert meta is not None
+        _place_entry(
+            global_index.network,
+            GlobalEntry(
+                key=key,
+                postings=SpilledPostings(
+                    store,
+                    key,
+                    meta.posting_count,
+                    global_index._note_loaded,
+                ),
+                global_df=meta.global_df,
+                status=code_to_status(meta.status_code),
+                contributors=set(meta.contributors),
+            ),
+        )
+        placed += 1
+    load_statistics(path, global_index)
+    return placed

@@ -1,0 +1,318 @@
+"""Memory-budgeted global key index that spills cold postings to disk.
+
+The paper bounds the *per-key* storage of the global HDK index, but the
+in-memory reproduction still holds every posting list in RAM, capping
+collection size far below web scale.  :class:`SpillingGlobalKeyIndex`
+keeps the protocol byte-for-byte identical — entries still live in the
+simulated peers' storages, inserts still merge/truncate/notify, lookups
+still cost the same messages — while bounding the posting lists actually
+resident in RAM:
+
+- a *hot set* of recently inserted/read keys keeps plain posting lists,
+  LRU-tracked under ``memory_budget`` postings;
+- cold keys keep a :class:`SpilledPostings` stub — same length, same
+  entry object, zero resident postings — whose data lives in a
+  :class:`~repro.store.store.SegmentStore`; touching a stub transparently
+  reloads it (through the store's block cache) and re-heats the key.
+
+Because stubs satisfy the full :class:`PostingList` reading interface,
+every consumer — retrieval engines, traffic accounting, churn handoff,
+figure inspection — works unchanged, and results are identical to the
+in-memory index.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable
+
+from ..config import HDKParameters
+from ..errors import StoreError
+from ..index.global_index import GlobalEntry, GlobalKeyIndex, KeyStatus
+from ..index.postings import Posting, PostingList
+from ..net.network import P2PNetwork
+from .segment import STATUS_DK, STATUS_NDK
+from .store import SegmentStore
+
+__all__ = [
+    "SpilledPostings",
+    "SpillingGlobalKeyIndex",
+    "code_to_status",
+    "status_to_code",
+]
+
+#: Default RAM budget of the spilling index, in postings held hot.
+DEFAULT_MEMORY_BUDGET = 50_000
+
+
+def status_to_code(status: KeyStatus) -> int:
+    """Map a :class:`KeyStatus` to its segment-record status code."""
+    return (
+        STATUS_DK if status is KeyStatus.DISCRIMINATIVE else STATUS_NDK
+    )
+
+
+def code_to_status(code: int) -> KeyStatus:
+    """Inverse of :func:`status_to_code` (tombstones never reach here)."""
+    if code == STATUS_DK:
+        return KeyStatus.DISCRIMINATIVE
+    if code == STATUS_NDK:
+        return KeyStatus.NON_DISCRIMINATIVE
+    raise StoreError(f"status code {code} is not a key status")
+
+
+class SpilledPostings(PostingList):
+    """A posting list whose payload lives in a :class:`SegmentStore`.
+
+    Reports its length from directory metadata without touching disk;
+    any operation that needs the actual postings loads them through the
+    store's block cache and (via ``on_load``) notifies the owning index
+    that the key became hot again.
+    """
+
+    __slots__ = ("_store", "_key", "_count", "_on_load")
+
+    def __init__(
+        self,
+        store: SegmentStore,
+        key: frozenset[str],
+        count: int,
+        on_load: Callable[[frozenset[str], "SpilledPostings"], None]
+        | None = None,
+    ) -> None:
+        # Deliberately no super().__init__: _postings None marks "cold".
+        self._postings: list[Posting] | None = None  # type: ignore[assignment]
+        self._store = store
+        self._key = key
+        self._count = count
+        self._on_load = on_load
+
+    @property
+    def is_loaded(self) -> bool:
+        return self._postings is not None
+
+    def _materialize(self) -> None:
+        if self._postings is not None:
+            return
+        loaded = self._store.get_postings(self._key)
+        if loaded is None:
+            raise StoreError(
+                f"spilled postings for {sorted(self._key)} missing from "
+                f"store {self._store.directory}"
+            )
+        self._postings = list(loaded)
+        if self._on_load is not None:
+            self._on_load(self._key, self)
+
+    # -- metadata-only fast paths ------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._postings is None:
+            return self._count
+        return len(self._postings)
+
+    def document_frequency(self) -> int:
+        return len(self)
+
+    def __repr__(self) -> str:
+        state = "loaded" if self.is_loaded else "spilled"
+        return f"SpilledPostings(len={len(self)}, {state})"
+
+    # -- materializing delegates -------------------------------------------------
+
+    def __iter__(self):
+        self._materialize()
+        return super().__iter__()
+
+    def __contains__(self, doc_id: int) -> bool:
+        self._materialize()
+        return super().__contains__(doc_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PostingList):
+            return NotImplemented
+        self._materialize()
+        if isinstance(other, SpilledPostings):
+            other._materialize()
+        return super().__eq__(other)
+
+    def doc_ids(self) -> list[int]:
+        self._materialize()
+        return super().doc_ids()
+
+    def get(self, doc_id: int) -> Posting | None:
+        self._materialize()
+        return super().get(doc_id)
+
+    def add(self, posting: Posting) -> None:
+        self._materialize()
+        super().add(posting)
+
+    def union(self, other: PostingList) -> PostingList:
+        self._materialize()
+        return super().union(other)
+
+    def intersect(self, other: PostingList) -> PostingList:
+        self._materialize()
+        return super().intersect(other)
+
+    def filter_docs(self, keep: Callable[[int], bool]) -> PostingList:
+        self._materialize()
+        return super().filter_docs(keep)
+
+    def truncate_top(self, limit: int, policy: str = "tf") -> PostingList:
+        self._materialize()
+        return super().truncate_top(limit, policy)
+
+
+class SpillingGlobalKeyIndex(GlobalKeyIndex):
+    """Drop-in :class:`GlobalKeyIndex` bounded by a RAM posting budget.
+
+    Args:
+        network: the simulated P2P network storing the entries.
+        params: HDK model parameters.
+        store: the backing segment store; built from ``store_dir`` when
+            omitted (a private temporary directory when both are None).
+        memory_budget: maximum postings held hot in RAM across entries;
+            ``0`` spills everything immediately (all reads go through
+            the store's block cache).
+        store_dir: directory for an implicitly created store.
+    """
+
+    def __init__(
+        self,
+        network: P2PNetwork,
+        params: HDKParameters,
+        store: SegmentStore | None = None,
+        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        store_dir: str | Path | None = None,
+    ) -> None:
+        super().__init__(network, params)
+        if memory_budget < 0:
+            raise StoreError(
+                f"memory_budget must be >= 0, got {memory_budget}"
+            )
+        self.store = store or SegmentStore(
+            store_dir, cache_postings=memory_budget
+        )
+        self.memory_budget = memory_budget
+        self._hot: OrderedDict[frozenset[str], int] = OrderedDict()
+        self._hot_postings = 0
+        self._spills = 0
+        self._reloads = 0
+        self._in_operation = False
+
+    # -- hot-set accounting ------------------------------------------------------
+
+    @property
+    def hot_postings(self) -> int:
+        """Postings currently resident in RAM across hot entries."""
+        return self._hot_postings
+
+    @property
+    def hot_keys(self) -> int:
+        return len(self._hot)
+
+    def _entry_at_responsible(
+        self, key: frozenset[str]
+    ) -> GlobalEntry | None:
+        target = self.network.responsible_peer_for(key)
+        value = self.network.storage_by_id(target).get(key)
+        return value if isinstance(value, GlobalEntry) else None
+
+    def _note_hot(self, key: frozenset[str], count: int) -> None:
+        previous = self._hot.pop(key, None)
+        if previous is not None:
+            self._hot_postings -= previous
+        self._hot[key] = count
+        self._hot_postings += count
+
+    def _note_loaded(
+        self, key: frozenset[str], _stub: SpilledPostings
+    ) -> None:
+        """A spilled stub materialized (engine iteration, merge, ...)."""
+        self._reloads += 1
+        self._note_hot(key, len(_stub))
+        if not self._in_operation:
+            self._enforce_budget()
+
+    def _spill(self, key: frozenset[str], count: int) -> None:
+        entry = self._entry_at_responsible(key)
+        if entry is None:
+            # The key vanished from storage (e.g. churn edge) — nothing
+            # resident to release.
+            return
+        postings = entry.postings
+        if isinstance(postings, SpilledPostings):
+            # A reloaded stub: the store already holds this exact list
+            # (inserts replace the whole entry with a plain list), so
+            # dropping the resident copy is enough.
+            entry.postings = SpilledPostings(
+                self.store, key, len(postings), self._note_loaded
+            )
+        else:
+            self.store.put(
+                key,
+                postings,
+                entry.global_df,
+                status_to_code(entry.status),
+                tuple(sorted(entry.contributors)),
+            )
+            entry.postings = SpilledPostings(
+                self.store, key, len(postings), self._note_loaded
+            )
+        self._spills += 1
+
+    def _enforce_budget(self) -> None:
+        while self._hot_postings > self.memory_budget and self._hot:
+            key, count = self._hot.popitem(last=False)
+            self._hot_postings -= count
+            self._spill(key, count)
+
+    # -- overridden protocol surfaces --------------------------------------------
+
+    def insert(
+        self,
+        source_peer_name: str,
+        key: frozenset[str],
+        local_postings: PostingList,
+        local_df: int | None = None,
+    ) -> KeyStatus:
+        self._in_operation = True
+        try:
+            status = super().insert(
+                source_peer_name, key, local_postings, local_df
+            )
+        finally:
+            self._in_operation = False
+        entry = self._entry_at_responsible(key)
+        if entry is not None:
+            self._note_hot(key, len(entry.postings))
+        self._enforce_budget()
+        return status
+
+    # lookup() needs no override: the response size reads the stub's
+    # metadata length, and consumers that iterate the returned postings
+    # re-heat the key through _note_loaded.
+
+    # -- persistence hooks -------------------------------------------------------
+
+    def spill_all(self) -> None:
+        """Spill every hot entry (snapshot flush / tests)."""
+        while self._hot:
+            key, count = self._hot.popitem(last=False)
+            self._hot_postings -= count
+            self._spill(key, count)
+        self.store.flush()
+
+    def spill_stats(self) -> dict[str, object]:
+        """RAM-residency counters plus the backing store's statistics."""
+        return {
+            "memory_budget": self.memory_budget,
+            "hot_keys": self.hot_keys,
+            "hot_postings": self.hot_postings,
+            "spills": self._spills,
+            "reloads": self._reloads,
+            "store": self.store.stats(),
+        }

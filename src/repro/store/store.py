@@ -1,0 +1,376 @@
+"""The disk-backed segmented key→posting store.
+
+:class:`SegmentStore` keeps posting lists in append-only segment files
+(:mod:`repro.store.segment`) while holding only an *offset directory* —
+per-key metadata plus the (segment, offset) of the latest record — in
+memory, fronted by a bounded LRU :class:`~repro.store.blockcache.BlockCache`
+of decoded lists.  Overwrites append a superseding record; deletions
+append a tombstone; a compacting writer rewrites the live record set into
+fresh segments once the dead-byte ratio passes a threshold, dropping
+superseded and tombstoned records.
+
+Opening a directory that already contains segments rebuilds the
+directory by scanning them in id order (torn tails from a crashed writer
+are detected and skipped), which is what makes the build-once /
+serve-many snapshot workflow possible.
+"""
+
+from __future__ import annotations
+
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from typing import BinaryIO
+
+from ..errors import StoreError
+from ..index.postings import PostingList
+from .blockcache import BlockCache, BlockCacheStats
+from .segment import (
+    STATUS_TOMBSTONE,
+    SegmentRecord,
+    SegmentWriter,
+    read_record_from,
+    scan_segment,
+)
+
+__all__ = ["SegmentStore", "StoredMeta"]
+
+_SEGMENT_PATTERN = re.compile(r"^segment-(\d{6})\.seg$")
+
+#: Default segment rollover size; small enough that compaction can drop
+#: whole files of dead records at repro scale.
+DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class StoredMeta:
+    """Directory metadata of one live key (everything but the postings)."""
+
+    global_df: int
+    status_code: int
+    contributors: tuple[int, ...]
+    posting_count: int
+
+
+@dataclass
+class _DirEntry:
+    segment_id: int
+    offset: int
+    length: int
+    meta: StoredMeta
+
+
+class SegmentStore:
+    """Append-only segmented store with an in-memory offset directory.
+
+    Args:
+        directory: where segment files live; ``None`` creates a private
+            temporary directory that lives as long as the store object.
+        cache_postings: budget of the decoded-block LRU cache, in
+            postings (``0`` disables it).
+        segment_max_bytes: active segment rollover size.
+        compact_dead_ratio: trigger compaction when at least this
+            fraction of on-disk record bytes is superseded/tombstoned
+            (checked after every write; ``1.0`` disables auto-compaction).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        cache_postings: int = 50_000,
+        segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
+        compact_dead_ratio: float = 0.5,
+    ) -> None:
+        if segment_max_bytes < 1:
+            raise StoreError(
+                f"segment_max_bytes must be >= 1, got {segment_max_bytes}"
+            )
+        if not 0.0 < compact_dead_ratio <= 1.0:
+            raise StoreError(
+                "compact_dead_ratio must be in (0, 1], got "
+                f"{compact_dead_ratio}"
+            )
+        self._tmp: tempfile.TemporaryDirectory | None = None
+        if directory is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-store-")
+            directory = self._tmp.name
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = segment_max_bytes
+        self.compact_dead_ratio = compact_dead_ratio
+        self.cache = BlockCache(cache_postings)
+        self._dir: dict[frozenset[str], _DirEntry] = {}
+        self._live_bytes = 0
+        self._dead_bytes = 0
+        self._compactions = 0
+        self._truncated_tails = 0
+        self._writer: SegmentWriter | None = None
+        #: Open read handles, one per segment actually read from.
+        self._readers: dict[int, BinaryIO] = {}
+        self._active_id = 0
+        self._recover()
+
+    # -- startup / recovery ------------------------------------------------------
+
+    def _segment_path(self, segment_id: int) -> Path:
+        return self.directory / f"segment-{segment_id:06d}.seg"
+
+    def _segment_ids(self) -> list[int]:
+        ids = []
+        for path in self.directory.iterdir():
+            match = _SEGMENT_PATTERN.match(path.name)
+            if match:
+                ids.append(int(match.group(1)))
+        return sorted(ids)
+
+    def _recover(self) -> None:
+        """Rebuild the offset directory from the segments on disk."""
+        ids = self._segment_ids()
+        for segment_id in ids:
+            scan = scan_segment(self._segment_path(segment_id))
+            if scan.truncated:
+                self._truncated_tails += 1
+            for offset, length, record in scan.records:
+                self._apply_record(segment_id, offset, length, record)
+        # Always start a fresh active segment: never append after a
+        # possibly-torn tail.
+        self._active_id = (ids[-1] + 1) if ids else 1
+
+    def _apply_record(
+        self,
+        segment_id: int,
+        offset: int,
+        length: int,
+        record: SegmentRecord,
+    ) -> None:
+        previous = self._dir.pop(record.key, None)
+        if previous is not None:
+            self._dead_bytes += previous.length
+            self._live_bytes -= previous.length
+        if record.is_tombstone:
+            self._dead_bytes += length
+            return
+        self._dir[record.key] = _DirEntry(
+            segment_id=segment_id,
+            offset=offset,
+            length=length,
+            meta=StoredMeta(
+                global_df=record.global_df,
+                status_code=record.status_code,
+                contributors=record.contributors,
+                posting_count=record.posting_count(),
+            ),
+        )
+        self._live_bytes += length
+
+    # -- write path --------------------------------------------------------------
+
+    def _active_writer(self) -> SegmentWriter:
+        if self._writer is None:
+            self._writer = SegmentWriter(self._segment_path(self._active_id))
+        elif self._writer.offset >= self.segment_max_bytes:
+            self._writer.close()
+            self._active_id += 1
+            self._writer = SegmentWriter(self._segment_path(self._active_id))
+        return self._writer
+
+    def _append(self, record: SegmentRecord) -> None:
+        writer = self._active_writer()
+        offset, length = writer.append(record)
+        self._apply_record(self._active_id, offset, length, record)
+
+    def put(
+        self,
+        key: frozenset[str],
+        postings: PostingList,
+        global_df: int,
+        status_code: int,
+        contributors: tuple[int, ...] = (),
+    ) -> None:
+        """Write (or supersede) the record for ``key``."""
+        self.put_record(
+            SegmentRecord.from_postings(
+                key, postings, global_df, status_code, contributors
+            )
+        )
+        # Write-through: the freshly encoded list is the hottest block.
+        entry = self._dir[key]
+        self.cache.put((entry.segment_id, entry.offset), postings)
+
+    def put_record(self, record: SegmentRecord) -> None:
+        """Write an already-encoded record (raw snapshot copies)."""
+        if record.is_tombstone:
+            raise StoreError("use delete() to write tombstones")
+        self._append(record)
+        self.maybe_compact()
+
+    def delete(self, key: frozenset[str]) -> None:
+        """Tombstone ``key``; a no-op when the key is not stored."""
+        entry = self._dir.get(key)
+        if entry is None:
+            return
+        self.cache.invalidate((entry.segment_id, entry.offset))
+        self._append(SegmentRecord.tombstone(key))
+        self.maybe_compact()
+
+    # -- read path ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._dir)
+
+    def __contains__(self, key: frozenset[str]) -> bool:
+        return key in self._dir
+
+    def keys(self) -> Iterator[frozenset[str]]:
+        return iter(self._dir)
+
+    def meta(self, key: frozenset[str]) -> StoredMeta | None:
+        """Directory metadata of ``key`` (no disk access), or None."""
+        entry = self._dir.get(key)
+        return entry.meta if entry is not None else None
+
+    def _reader(self, segment_id: int) -> BinaryIO:
+        handle = self._readers.get(segment_id)
+        if handle is None:
+            handle = open(self._segment_path(segment_id), "rb")
+            self._readers[segment_id] = handle
+        return handle
+
+    def _close_readers(self) -> None:
+        for handle in self._readers.values():
+            handle.close()
+        self._readers = {}
+
+    def _read_record(self, entry: _DirEntry) -> SegmentRecord:
+        # The active segment's bytes may still sit in the writer's
+        # buffer; reads go through a separate per-segment handle.
+        if entry.segment_id == self._active_id and self._writer is not None:
+            self._writer.flush()
+        return read_record_from(
+            self._reader(entry.segment_id),
+            entry.offset,
+            label=str(self._segment_path(entry.segment_id)),
+        )
+
+    def get_postings(self, key: frozenset[str]) -> PostingList | None:
+        """Decode the stored posting list of ``key`` (through the block
+        cache), or None when the key is absent."""
+        entry = self._dir.get(key)
+        if entry is None:
+            return None
+        block_id = (entry.segment_id, entry.offset)
+        cached = self.cache.get(block_id)
+        if cached is not None:
+            return cached
+        postings = self._read_record(entry).postings()
+        self.cache.put(block_id, postings)
+        return postings
+
+    def get_record(self, key: frozenset[str]) -> SegmentRecord | None:
+        """Read the raw latest record of ``key`` (undecoded payload)."""
+        entry = self._dir.get(key)
+        if entry is None:
+            return None
+        return self._read_record(entry)
+
+    # -- compaction --------------------------------------------------------------
+
+    @property
+    def dead_ratio(self) -> float:
+        total = self._live_bytes + self._dead_bytes
+        return self._dead_bytes / total if total else 0.0
+
+    def maybe_compact(self) -> bool:
+        """Compact when the dead-byte ratio passes the threshold."""
+        if (
+            self.compact_dead_ratio < 1.0
+            and self._dead_bytes > 0
+            and self.dead_ratio >= self.compact_dead_ratio
+        ):
+            self.compact()
+            return True
+        return False
+
+    def compact(self) -> None:
+        """Rewrite the live record set into fresh segments, dropping
+        superseded records and tombstones, and delete the old files.
+
+        Each old segment is scanned exactly once (one open + one
+        sequential read per file, not one open per record)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._close_readers()
+        old_ids = self._segment_ids()
+        self._active_id = (old_ids[-1] + 1) if old_ids else 1
+        live_at = {
+            (entry.segment_id, entry.offset): key
+            for key, entry in self._dir.items()
+        }
+        survivors: dict[frozenset[str], SegmentRecord] = {}
+        for segment_id in old_ids:
+            scan = scan_segment(self._segment_path(segment_id))
+            for offset, _, record in scan.records:
+                key = live_at.get((segment_id, offset))
+                if key is not None:
+                    survivors[key] = record
+        self._dir = {}
+        self._live_bytes = 0
+        self._dead_bytes = 0
+        for key in sorted(survivors, key=sorted):
+            self._append(survivors[key])
+        if self._writer is not None:
+            self._writer.flush()
+        for segment_id in old_ids:
+            self._segment_path(segment_id).unlink()
+        self.cache.clear()
+        self._compactions += 1
+
+    # -- lifecycle / inspection --------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush the active segment to the OS."""
+        if self._writer is not None:
+            self._writer.flush()
+
+    def close(self) -> None:
+        """Flush and close the active segment and all read handles (the
+        store stays usable; reads reopen lazily)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._close_readers()
+
+    def stored_postings_total(self) -> int:
+        """Total postings across live records (directory metadata only)."""
+        return sum(e.meta.posting_count for e in self._dir.values())
+
+    @property
+    def cache_stats(self) -> BlockCacheStats:
+        return self.cache.stats
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "directory": str(self.directory),
+            "keys": len(self._dir),
+            "segments": len(self._segment_ids()),
+            "live_bytes": self._live_bytes,
+            "dead_bytes": self._dead_bytes,
+            "dead_ratio": round(self.dead_ratio, 4),
+            "compactions": self._compactions,
+            "truncated_tails_skipped": self._truncated_tails,
+            "cache_blocks": len(self.cache),
+            "cache_postings": self.cache.held_postings,
+            "cache_hits": self.cache.stats.hits,
+            "cache_misses": self.cache.stats.misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentStore(dir={str(self.directory)!r}, "
+            f"keys={len(self._dir)}, segments={len(self._segment_ids())})"
+        )

@@ -17,7 +17,14 @@ from repro.engine.service import SearchService
 from repro.errors import ConfigurationError, RetrievalError
 from tests.conftest import SMALL_PARAMS
 
-ALL_BACKENDS = ("hdk", "single_term", "single_term_bloom", "centralized")
+ALL_BACKENDS = (
+    "hdk",
+    "hdk_disk",
+    "single_term",
+    "single_term_bloom",
+    "topk",
+    "centralized",
+)
 
 
 class TestRegistry:
