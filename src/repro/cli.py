@@ -138,6 +138,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
         )
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.link_latency < 0.0:
+        raise SystemExit(
+            f"--link-latency must be >= 0, got {args.link_latency}"
+        )
     if args.memory_budget < 0:
         raise SystemExit(
             f"--memory-budget must be >= 0, got {args.memory_budget}"
@@ -187,6 +191,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if args.save is not None:
         service.save(args.save)
         print(f"saved snapshot to {args.save}")
+    # Latency applies to the serving phase only: indexing above ran at
+    # zero latency, queries below pay it per overlay hop.
+    service.network.link_latency_s = args.link_latency
     if args.batch:
         return _run_batch(args, service, collection)
     response = service.search(args.query, k=args.top)
@@ -374,7 +381,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="thread-pool width for --batch execution",
+        help="thread-pool width for --batch execution (the backend "
+        "section of each query runs genuinely concurrent)",
+    )
+    search.add_argument(
+        "--link-latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="simulated per-hop link latency applied to the serving "
+        "phase (indexing stays instantaneous); non-zero values make "
+        "--workers overlap real wait time",
     )
     search.add_argument(
         "--store-dir",

@@ -97,6 +97,18 @@ def spawn_peers(
     return peers
 
 
+class _InFlightQuery:
+    """A single-flight slot: one in-progress backend resolution that
+    concurrent identical queries (same term set, depth <= ``k``) wait
+    on instead of hitting the index again."""
+
+    __slots__ = ("k", "done")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.done = threading.Event()
+
+
 @dataclass
 class BatchSearchReport:
     """Per-query responses plus batch-level aggregates.
@@ -211,10 +223,15 @@ class SearchService:
         )
         self._indexed = False
         self._reports: list[IndexingReport] = []
-        # Serializes cache + accounting window + backend search so
-        # per-query traffic windows stay correct under search_batch
-        # concurrency (the simulated network is not thread-safe).
-        self._search_lock = threading.Lock()
+        # Concurrency design (short critical sections): only the cache
+        # lookup/fill and the single-flight table are serialized, under
+        # this fine-grained lock; the backend section of a query runs
+        # fully concurrent, with a thread-scoped traffic window keeping
+        # its per-query delta exact (see repro.net.accounting).
+        self._cache_lock = threading.Lock()
+        #: In-flight backend computations by term set (single-flight:
+        #: concurrent identical queries wait for one resolution).
+        self._inflight: dict[frozenset[str], _InFlightQuery] = {}
 
     # -- construction ------------------------------------------------------------
 
@@ -336,6 +353,14 @@ class SearchService:
         Returns a :class:`SearchResponse` carrying the ranked results,
         the traffic window the query generated, wall-clock timing, and
         whether it was served from the cache.
+
+        Thread-safe, and concurrent calls genuinely overlap: only the
+        cache lookup/fill runs under a lock; the backend section runs
+        outside it with a thread-scoped traffic window, so each
+        response's ``traffic`` is exactly the messages its own backend
+        call generated.  Concurrent calls for the *same* term set are
+        de-duplicated (single-flight): one caller resolves against the
+        index, the others wait and are served as cache hits.
         """
         if not self._indexed:
             raise RetrievalError("call index() before search()")
@@ -344,36 +369,81 @@ class SearchService:
         query = self._process(raw_query)  # pipeline work outside the lock
         source = source_peer or self.peers[0].name
         started = time.perf_counter()
-        with self._search_lock:
-            if self.cache is not None:
-                cached = self.cache.get(query, k)
-                if cached is not None:
-                    response = cached.clipped(k)
-                    response.query = query  # the caller's query object
-                    response.cache_hit = True
-                    # Cost fields describe THIS call: a hit is served
-                    # locally, issuing zero lookups and zero transfers.
-                    response.postings_transferred = 0
-                    response.keys_looked_up = 0
-                    response.keys_found = 0
-                    response.dk_keys = 0
-                    response.ndk_keys = 0
-                    response.traffic = _empty_snapshot()
-                    response.elapsed_ms = _ms_since(started)
-                    return response
-            with self.network.accounting.measure() as window:
-                response = self.backend.search(source, query, k)
-            response.traffic = window.delta
-            response.elapsed_ms = _ms_since(started)
-            if self.cache is not None:
-                # Cache a copy, not the object handed to the caller: a
-                # caller mutating response.results must not poison hits.
-                self.cache.put(
-                    query,
-                    k,
-                    response.clipped(k),
-                    response.postings_transferred,
-                )
+        if self.cache is None:
+            # No cache, no single-flight: every call pays the backend.
+            return self._backend_search(source, query, k, started)
+        while True:
+            with self._cache_lock:
+                cached = self.cache.try_hit(query, k)
+                if cached is None:
+                    flight = self._inflight.get(query.term_set)
+                    if flight is None or flight.k < k:
+                        # Become the leader for this term set (a deeper
+                        # request supersedes a shallower in-flight one).
+                        self.cache.note_miss()
+                        flight = _InFlightQuery(k)
+                        self._inflight[query.term_set] = flight
+                        break
+            if cached is not None:
+                # Shape the hit outside the lock: clipping copies the
+                # result list, and concurrent lookups must not queue
+                # behind per-hit copies (cached payloads are never
+                # mutated, so no lock is needed to read one).
+                return self._hit_response(cached, query, k, started)
+            # Follower: an identical term set is already resolving.
+            # Wait outside the lock, then retry the cache (the leader
+            # fills it before signalling; on leader failure or eviction
+            # the retry simply becomes the new leader).
+            flight.done.wait()
+        try:
+            response = self._backend_search(source, query, k, started)
+            # Cache a copy, not the object handed to the caller: a
+            # caller mutating response.results must not poison hits.
+            # The cache is internally locked and followers only read it
+            # after flight.done below, so the fill runs outside
+            # _cache_lock — other queries' lookups must not queue
+            # behind this clip-and-insert.
+            self.cache.put(
+                query,
+                k,
+                response.clipped(k),
+                response.postings_transferred,
+            )
+            return response
+        finally:
+            with self._cache_lock:
+                if self._inflight.get(query.term_set) is flight:
+                    del self._inflight[query.term_set]
+            flight.done.set()
+
+    def _backend_search(
+        self, source: str, query: Query, k: int, started: float
+    ) -> SearchResponse:
+        """The concurrent section: backend resolution under a
+        thread-scoped traffic window (no service lock held)."""
+        with self.network.accounting.measure(scope="thread") as window:
+            response = self.backend.search(source, query, k)
+        response.traffic = window.delta
+        response.elapsed_ms = _ms_since(started)
+        return response
+
+    @staticmethod
+    def _hit_response(
+        cached: SearchResponse, query: Query, k: int, started: float
+    ) -> SearchResponse:
+        """Shape a cached payload into this call's response."""
+        response = cached.clipped(k)
+        response.query = query  # the caller's query object
+        response.cache_hit = True
+        # Cost fields describe THIS call: a hit is served locally,
+        # issuing zero lookups and zero transfers.
+        response.postings_transferred = 0
+        response.keys_looked_up = 0
+        response.keys_found = 0
+        response.dk_keys = 0
+        response.ndk_keys = 0
+        response.traffic = _empty_snapshot()
+        response.elapsed_ms = _ms_since(started)
         return response
 
     def search_batch(
@@ -394,12 +464,23 @@ class SearchService:
             queries: raw strings or processed :class:`Query` objects.
             k: result depth.
             source_peer: the querying peer (defaults to the first).
-            workers: thread-pool width.  Query *processing* (tokenize,
-                stem) runs concurrently; the cache + accounting-window +
-                backend section of each query is serialized by the
-                service lock, so every response still carries its own
-                correct per-query traffic window and responses keep the
-                input order.
+            workers: thread-pool width.  With ``workers > 1`` the whole
+                query path — cache, accounting, backend — runs
+                concurrently: the backend section is never serialized,
+                and each response still carries its own exact per-query
+                traffic window (thread-scoped accumulation).  Responses
+                keep the input order, and when the cache is enabled the
+                batch is de-duplicated in input order: the *first*
+                occurrence of each term set resolves against the index
+                (concurrently with the other first occurrences) and
+                every repeat is a cache hit — identical reports
+                (results, scores, cost fields, traffic snapshots;
+                timing aside) for ``workers=1`` and ``workers=8``.  (Exactness caveat: if
+                a single batch carries more *distinct* term sets than
+                the cache capacity, eviction order — and therefore which
+                late repeats still hit — depends on backend completion
+                order; results and scores stay identical, only cache-hit
+                flags and their zero-traffic windows can differ.)
         """
         if not self._indexed:
             raise RetrievalError("call index() before search_batch()")
@@ -410,28 +491,74 @@ class SearchService:
         started = time.perf_counter()
         hits_before, misses_before = self._cache_counters()
         report = BatchSearchReport()
-        with self.network.accounting.measure() as window:
+        with self.network.accounting.measure(scope="global") as window:
             if workers == 1 or len(queries) <= 1:
                 for raw in queries:
                     report.responses.append(
                         self.search(raw, k=k, source_peer=source_peer)
                     )
             else:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    report.responses.extend(
-                        pool.map(
-                            lambda raw: self.search(
-                                raw, k=k, source_peer=source_peer
-                            ),
-                            queries,
-                        )
-                    )
+                report.responses.extend(
+                    self._search_parallel(queries, k, source_peer, workers)
+                )
         report.traffic = window.delta
         report.elapsed_ms = _ms_since(started)
         hits_after, misses_after = self._cache_counters()
         report.cache_hits = hits_after - hits_before
         report.cache_misses = misses_after - misses_before
         return report
+
+    def _search_parallel(
+        self,
+        queries: Sequence[str | Query],
+        k: int,
+        source_peer: str | None,
+        workers: int,
+    ) -> list[SearchResponse]:
+        """Run a batch on a thread pool, preserving input order.
+
+        With the cache enabled, repeated term sets are resolved in input
+        order: the first occurrence of each distinct set goes to the
+        pool (all first occurrences run concurrently), repeats are then
+        served as cache hits.  This keeps the per-position hit/miss
+        pattern — and therefore every per-query traffic window —
+        identical to a sequential run, instead of letting thread timing
+        decide which duplicate pays the backend cost.  Single-flight in
+        :meth:`search` still guards identical term sets racing *across*
+        batches or from direct concurrent callers.
+        """
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # Phase 1: pipeline work (tokenize/stem) across the pool.
+            processed = list(pool.map(self._process, queries))
+            responses: list[SearchResponse | None] = [None] * len(processed)
+            if self.cache is None:
+                # Without a cache every occurrence pays the backend,
+                # exactly as in a sequential run — fan the batch out.
+                resolve = list(range(len(processed)))
+            else:
+                first_of: dict[frozenset[str], int] = {}
+                for position, query in enumerate(processed):
+                    first_of.setdefault(query.term_set, position)
+                # enumerate + setdefault inserts positions ascending,
+                # so the values are already in input order.
+                resolve = list(first_of.values())
+            # Phase 2: backend resolution across the pool.
+            for position, response in zip(
+                resolve,
+                pool.map(
+                    lambda position: self.search(
+                        processed[position], k=k, source_peer=source_peer
+                    ),
+                    resolve,
+                ),
+            ):
+                responses[position] = response
+        for position, query in enumerate(processed):
+            if responses[position] is None:  # a repeat: served by cache
+                responses[position] = self.search(
+                    query, k=k, source_peer=source_peer
+                )
+        return responses  # type: ignore[return-value]
 
     def run_querylog(
         self,

@@ -6,13 +6,34 @@ indexing and retrieval phases (Figures 4 and 6).  Message and hop counts
 are also kept for overlay diagnostics, and maintenance traffic (key
 handoffs on churn) is tracked but reported separately, exactly as the paper
 excludes it from its analysis.
+
+Concurrency model: the accounting object is shared by every thread that
+touches the network, so the global counters are guarded by a lock and
+measurement windows *accumulate* messages as they are recorded instead of
+diffing global snapshots (a snapshot diff taken around one query would
+absorb every message other threads recorded in the meantime).  A window is
+opened with a scope:
+
+- ``scope="thread"`` — the window only sees messages recorded *by the
+  thread that opened it*.  This is what makes per-query traffic windows
+  exact under a concurrent ``search_batch``: each worker thread runs its
+  query's backend section and accumulates only its own messages.
+- ``scope="global"`` — the window sees messages recorded by *every*
+  thread (batch-level aggregates, experiment-level measurements).
+
+Either scope aggregates into the same global totals; closing a window
+freezes its delta.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
+from typing import Iterator
 
 from .messages import Message, MessageKind
 
@@ -74,22 +95,61 @@ class TrafficAccounting:
 
     The accounting object is shared: the network logs every message into
     it, and experiments snapshot/diff it around the operations they
-    measure.
+    measure.  All mutation goes through :meth:`record`, which is
+    thread-safe; per-thread measurement windows (see :meth:`measure`)
+    keep per-operation deltas exact even when several threads record
+    concurrently.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._postings: Counter[Phase] = Counter()
         self._messages: Counter[Phase] = Counter()
         self._hops: Counter[Phase] = Counter()
         self._by_kind: Counter[MessageKind] = Counter()
         self._current_phase = Phase.INDEXING
+        #: Open windows fed by every thread's messages (under the lock).
+        #: Weak references: the old snapshot-diff windows cost nothing
+        #: when abandoned unclosed, so the accumulating kind must not
+        #: regress that — a window nobody holds is collected and pruned
+        #: on the next record() instead of taxing it forever.
+        self._global_windows: list["weakref.ref[TrafficWindow]"] = []
+        #: Per-thread state: open thread-scoped windows + phase override.
+        self._local = threading.local()
+
+    def _thread_windows(self) -> list["weakref.ref[TrafficWindow]"]:
+        windows = getattr(self._local, "windows", None)
+        if windows is None:
+            windows = []
+            self._local.windows = windows
+        return windows
+
+    @staticmethod
+    def _absorb_into(
+        refs: list["weakref.ref[TrafficWindow]"],
+        phase: Phase,
+        message: Message,
+    ) -> None:
+        """Feed ``message`` to every live window in ``refs``, pruning
+        refs whose window was abandoned without close()."""
+        dead = False
+        for ref in refs:
+            window = ref()
+            if window is None:
+                dead = True
+            else:
+                window._absorb(phase, message)
+        if dead:
+            refs[:] = [ref for ref in refs if ref() is not None]
 
     # -- phase control ---------------------------------------------------------
 
     @property
     def phase(self) -> Phase:
-        """The phase newly logged messages are attributed to."""
-        return self._current_phase
+        """The phase newly logged messages are attributed to (the
+        thread-local override from :meth:`phase_scope` wins)."""
+        override = getattr(self._local, "phase_override", None)
+        return override if override is not None else self._current_phase
 
     def set_phase(self, phase: Phase) -> None:
         """Switch the accounting phase (indexing/retrieval/maintenance)."""
@@ -97,28 +157,49 @@ class TrafficAccounting:
             raise TypeError(f"expected Phase, got {type(phase).__name__}")
         self._current_phase = phase
 
+    @contextmanager
+    def phase_scope(self, phase: Phase) -> Iterator[None]:
+        """Attribute messages recorded *by this thread* inside the block
+        to ``phase``, without touching the shared phase other threads
+        read (e.g. maintenance handoffs racing with retrieval queries).
+        """
+        if not isinstance(phase, Phase):
+            raise TypeError(f"expected Phase, got {type(phase).__name__}")
+        previous = getattr(self._local, "phase_override", None)
+        self._local.phase_override = phase
+        try:
+            yield
+        finally:
+            self._local.phase_override = previous
+
     # -- recording ------------------------------------------------------------
 
     def record(self, message: Message) -> None:
-        """Attribute ``message`` to the current phase."""
-        phase = self._current_phase
-        self._postings[phase] += message.postings
-        self._messages[phase] += 1
-        self._hops[phase] += message.hops
-        self._by_kind[message.kind] += 1
+        """Attribute ``message`` to the current phase (thread-safe)."""
+        phase = self.phase
+        with self._lock:
+            self._postings[phase] += message.postings
+            self._messages[phase] += 1
+            self._hops[phase] += message.hops
+            self._by_kind[message.kind] += 1
+            self._absorb_into(self._global_windows, phase, message)
+        # Thread-scoped windows belong to this thread alone: no other
+        # thread reads them while open, so no lock is needed.
+        self._absorb_into(self._thread_windows(), phase, message)
 
     # -- reading ----------------------------------------------------------------
 
     def snapshot(self) -> TrafficSnapshot:
         """Return an immutable copy of all counters."""
-        return TrafficSnapshot(
-            postings_by_phase=dict(self._postings),
-            messages_by_phase=dict(self._messages),
-            hops_by_phase=dict(self._hops),
-            messages_by_kind=dict(self._by_kind),
-        )
+        with self._lock:
+            return TrafficSnapshot(
+                postings_by_phase=dict(self._postings),
+                messages_by_phase=dict(self._messages),
+                hops_by_phase=dict(self._hops),
+                messages_by_kind=dict(self._by_kind),
+            )
 
-    def measure(self) -> "TrafficWindow":
+    def measure(self, scope: str = "global") -> "TrafficWindow":
         """Open a measurement window over these counters.
 
         Usable as a context manager::
@@ -130,41 +211,108 @@ class TrafficAccounting:
         ``window.delta`` is the per-phase traffic generated inside the
         window — the snapshot-diff idiom experiments previously spelled
         out by hand around every measured operation.
+
+        Args:
+            scope: ``"global"`` (default) accumulates messages recorded
+                by every thread; ``"thread"`` accumulates only messages
+                recorded by the calling thread, which keeps the delta
+                exact when other threads record concurrently (per-query
+                windows under a parallel batch).  A thread-scoped window
+                must be closed by the thread that opened it.
         """
-        return TrafficWindow(self)
+        return TrafficWindow(self, scope=scope)
 
     def postings(self, phase: Phase) -> int:
         """Postings transmitted so far in ``phase``."""
-        return self._postings[phase]
+        with self._lock:
+            return self._postings[phase]
 
     def messages(self, phase: Phase) -> int:
         """Messages sent so far in ``phase``."""
-        return self._messages[phase]
+        with self._lock:
+            return self._messages[phase]
 
     def hops(self, phase: Phase) -> int:
         """Total overlay hops traversed so far in ``phase``."""
-        return self._hops[phase]
+        with self._lock:
+            return self._hops[phase]
 
     def reset(self) -> None:
         """Zero every counter (the phase is preserved)."""
-        self._postings.clear()
-        self._messages.clear()
-        self._hops.clear()
-        self._by_kind.clear()
+        with self._lock:
+            self._postings.clear()
+            self._messages.clear()
+            self._hops.clear()
+            self._by_kind.clear()
+
+    # -- window registry (called by TrafficWindow) ------------------------------
+
+    def _attach(self, window: "TrafficWindow") -> None:
+        ref = weakref.ref(window)
+        if window.scope == "global":
+            with self._lock:
+                self._global_windows.append(ref)
+        else:
+            self._thread_windows().append(ref)
+
+    def _detach(self, window: "TrafficWindow") -> None:
+        def prune(refs: list["weakref.ref[TrafficWindow]"]) -> None:
+            refs[:] = [
+                ref for ref in refs
+                if ref() is not None and ref() is not window
+            ]
+
+        if window.scope == "global":
+            with self._lock:
+                prune(self._global_windows)
+        else:
+            prune(self._thread_windows())
 
 
 class TrafficWindow:
     """A live measurement window over a :class:`TrafficAccounting`.
 
-    Captures a snapshot when opened; :attr:`delta` diffs the counters
-    against that baseline (against the close-time snapshot once the
-    window has been exited, so the delta is stable afterwards).
+    Accumulates every message recorded while open (all threads' messages
+    for ``scope="global"``, only the opening thread's for
+    ``scope="thread"``); :attr:`delta` reads the accumulated counters
+    (frozen once the window is closed, so the delta is stable afterwards).
     """
 
-    def __init__(self, accounting: TrafficAccounting) -> None:
+    def __init__(
+        self, accounting: TrafficAccounting, scope: str = "global"
+    ) -> None:
+        if scope not in ("global", "thread"):
+            raise ValueError(
+                f"scope must be 'global' or 'thread', got {scope!r}"
+            )
         self._accounting = accounting
-        self._before = accounting.snapshot()
-        self._after: TrafficSnapshot | None = None
+        self.scope = scope
+        self._postings: Counter[Phase] = Counter()
+        self._messages: Counter[Phase] = Counter()
+        self._hops: Counter[Phase] = Counter()
+        self._by_kind: Counter[MessageKind] = Counter()
+        self._frozen: TrafficSnapshot | None = None
+        accounting._attach(self)
+
+    def _absorb(self, phase: Phase, message: Message) -> None:
+        """Fold one recorded message into the window's accumulators.
+
+        Called by :meth:`TrafficAccounting.record` — under the accounting
+        lock for global-scoped windows, lock-free from the owning thread
+        for thread-scoped ones.
+        """
+        self._postings[phase] += message.postings
+        self._messages[phase] += 1
+        self._hops[phase] += message.hops
+        self._by_kind[message.kind] += 1
+
+    def _materialize(self) -> TrafficSnapshot:
+        return TrafficSnapshot(
+            postings_by_phase=dict(self._postings),
+            messages_by_phase=dict(self._messages),
+            hops_by_phase=dict(self._hops),
+            messages_by_kind=dict(self._by_kind),
+        )
 
     def __enter__(self) -> "TrafficWindow":
         return self
@@ -174,15 +322,26 @@ class TrafficWindow:
 
     def close(self) -> TrafficSnapshot:
         """Freeze the window; returns the final delta."""
-        if self._after is None:
-            self._after = self._accounting.snapshot()
-        return self.delta
+        if self._frozen is None:
+            self._accounting._detach(self)
+            if self.scope == "global":
+                # Copy under the lock so a concurrent record() cannot
+                # interleave with the freeze.
+                with self._accounting._lock:
+                    self._frozen = self._materialize()
+            else:
+                self._frozen = self._materialize()
+        return self._frozen
 
     @property
     def delta(self) -> TrafficSnapshot:
-        """Traffic generated since the window opened."""
-        after = self._after or self._accounting.snapshot()
-        return diff_snapshots(self._before, after)
+        """Traffic accumulated since the window opened."""
+        if self._frozen is not None:
+            return self._frozen
+        if self.scope == "global":
+            with self._accounting._lock:
+                return self._materialize()
+        return self._materialize()
 
 
 def diff_snapshots(

@@ -12,6 +12,7 @@ analysis deliberately reports separately from indexing/retrieval postings.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Iterator
 
 from ..errors import NetworkError, PeerNotFoundError
@@ -32,17 +33,37 @@ class P2PNetwork:
             pass a :class:`repro.net.pgrid.PGridOverlay` for the paper's
             P-Grid substrate).
         accounting: shared traffic counters; created when omitted.
+        link_latency_s: simulated one-hop link latency in seconds; every
+            logged message blocks the sending thread for
+            ``hops * link_latency_s``.  The default ``0.0`` keeps the
+            simulation instantaneous; a non-zero value models the WAN
+            round-trips a real DHT pays, which is what makes concurrent
+            query execution (``search_batch(workers=N)``) overlap useful
+            work.  Mutable — benchmarks typically index at zero latency
+            and turn it on for the serving phase.
     """
 
     def __init__(
         self,
         overlay: Overlay | None = None,
         accounting: TrafficAccounting | None = None,
+        link_latency_s: float = 0.0,
     ) -> None:
+        if link_latency_s < 0.0:
+            raise NetworkError(
+                f"link_latency_s must be >= 0, got {link_latency_s}"
+            )
         self.overlay: Overlay = overlay if overlay is not None else ChordOverlay()
         self.accounting = accounting or TrafficAccounting()
+        self.link_latency_s = link_latency_s
         self._storage: dict[int, PeerStorage] = {}
         self._names: dict[str, int] = {}
+
+    def _send(self, message: Message) -> None:
+        """Log ``message`` and pay its simulated transmission latency."""
+        self.accounting.record(message)
+        if self.link_latency_s > 0.0 and message.hops > 0:
+            time.sleep(self.link_latency_s * message.hops)
 
     # -- membership ---------------------------------------------------------------
 
@@ -116,18 +137,18 @@ class P2PNetwork:
     def _record_maintenance(
         self, source: int, destination: int, postings: int
     ) -> None:
-        previous_phase = self.accounting.phase
-        self.accounting.set_phase(Phase.MAINTENANCE)
-        self.accounting.record(
-            Message(
-                kind=MessageKind.HANDOFF,
-                source=source,
-                destination=destination,
-                postings=postings,
-                hops=1,
+        # A thread-local phase override: churn handoffs racing with
+        # queries in other threads must not re-attribute their messages.
+        with self.accounting.phase_scope(Phase.MAINTENANCE):
+            self._send(
+                Message(
+                    kind=MessageKind.HANDOFF,
+                    source=source,
+                    destination=destination,
+                    postings=postings,
+                    hops=1,
+                )
             )
-        )
-        self.accounting.set_phase(previous_phase)
 
     # -- DHT primitives ---------------------------------------------------------------
 
@@ -156,7 +177,7 @@ class P2PNetwork:
         key_id = self._key_id(key)
         target_id = self.overlay.responsible_peer(key_id)
         hops = self.overlay.route_hops(source_id, key_id)
-        self.accounting.record(
+        self._send(
             Message(
                 kind=MessageKind.INSERT,
                 source=source_id,
@@ -185,7 +206,7 @@ class P2PNetwork:
         key_id = self._key_id(key)
         target_id = self.overlay.responsible_peer(key_id)
         hops = self.overlay.route_hops(source_id, key_id)
-        self.accounting.record(
+        self._send(
             Message(
                 kind=MessageKind.LOOKUP,
                 source=source_id,
@@ -196,7 +217,7 @@ class P2PNetwork:
             )
         )
         value = self._storage[target_id].get(key)
-        self.accounting.record(
+        self._send(
             Message(
                 kind=MessageKind.RESPONSE,
                 source=target_id,
@@ -215,7 +236,7 @@ class P2PNetwork:
         key_repr: str = "",
     ) -> None:
         """Log an NDK notification message (no posting payload)."""
-        self.accounting.record(
+        self._send(
             Message(
                 kind=MessageKind.NDK_NOTIFY,
                 source=source_peer_id,
@@ -245,7 +266,7 @@ class P2PNetwork:
         destination_id = self.id_of(destination_peer_name)
         # Direct transfer: the peers already know each other's addresses
         # from the preceding lookup, so no overlay routing is involved.
-        self.accounting.record(
+        self._send(
             Message(
                 kind=kind,
                 source=source_id,
@@ -264,7 +285,7 @@ class P2PNetwork:
         key_id = self._key_id(key)
         target_id = self.overlay.responsible_peer(key_id)
         hops = self.overlay.route_hops(source_id, key_id)
-        self.accounting.record(
+        self._send(
             Message(
                 kind=MessageKind.STATS_PUBLISH,
                 source=source_id,

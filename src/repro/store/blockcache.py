@@ -8,6 +8,7 @@ index use), so hot keys are served without touching the segments.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
@@ -35,6 +36,11 @@ class BlockCacheStats:
 class BlockCache:
     """LRU over decoded blocks, bounded by total postings held.
 
+    Thread-safe: LRU order, occupancy, and counters are guarded by an
+    internal lock, and eviction makes room *before* a new block becomes
+    visible, so ``held_postings`` never exceeds ``capacity_postings`` at
+    any observable instant under concurrent readers.
+
     Args:
         capacity_postings: maximum postings held across cached blocks;
             ``0`` disables caching (every get is a miss, puts are
@@ -50,6 +56,7 @@ class BlockCache:
         self.capacity_postings = capacity_postings
         self._blocks: OrderedDict[Hashable, PostingList] = OrderedDict()
         self._held_postings = 0
+        self._lock = threading.Lock()
         self.stats = BlockCacheStats()
 
     @staticmethod
@@ -66,43 +73,50 @@ class BlockCache:
 
     def get(self, block_id: Hashable) -> PostingList | None:
         """Return the cached block, refreshing its recency, or None."""
-        block = self._blocks.get(block_id)
-        if block is None:
-            self.stats.misses += 1
-            return None
-        self._blocks.move_to_end(block_id)
-        self.stats.hits += 1
-        return block
+        with self._lock:
+            block = self._blocks.get(block_id)
+            if block is None:
+                self.stats.misses += 1
+                return None
+            self._blocks.move_to_end(block_id)
+            self.stats.hits += 1
+            return block
 
     def put(self, block_id: Hashable, postings: PostingList) -> None:
         """Insert (or refresh) a block, evicting LRU blocks over budget."""
         if self.capacity_postings == 0:
             return
-        existing = self._blocks.pop(block_id, None)
-        if existing is not None:
-            self._held_postings -= self._cost(existing)
-        self._blocks[block_id] = postings
-        self._held_postings += self._cost(postings)
-        while (
-            self._held_postings > self.capacity_postings
-            and len(self._blocks) > 1
-        ):
-            _, evicted = self._blocks.popitem(last=False)
-            self._held_postings -= self._cost(evicted)
-            self.stats.evictions += 1
-        # A single block larger than the whole budget cannot be kept.
-        if self._held_postings > self.capacity_postings:
-            self._blocks.popitem(last=False)
-            self._held_postings = 0
-            self.stats.evictions += 1
+        cost = self._cost(postings)
+        with self._lock:
+            existing = self._blocks.pop(block_id, None)
+            if existing is not None:
+                self._held_postings -= self._cost(existing)
+            if cost > self.capacity_postings:
+                # A single block larger than the whole budget can never
+                # be kept — reject it up front rather than flushing
+                # every resident block on each read of an oversized key
+                # (and without counting phantom evictions: nothing left).
+                return
+            # Make room first: the budget must hold even transiently.
+            while (
+                self._held_postings + cost > self.capacity_postings
+                and self._blocks
+            ):
+                _, evicted = self._blocks.popitem(last=False)
+                self._held_postings -= self._cost(evicted)
+                self.stats.evictions += 1
+            self._blocks[block_id] = postings
+            self._held_postings += cost
 
     def invalidate(self, block_id: Hashable) -> None:
         """Drop one block if present (stale after an overwrite)."""
-        block = self._blocks.pop(block_id, None)
-        if block is not None:
-            self._held_postings -= self._cost(block)
+        with self._lock:
+            block = self._blocks.pop(block_id, None)
+            if block is not None:
+                self._held_postings -= self._cost(block)
 
     def clear(self) -> None:
         """Drop every block (e.g. after compaction moves offsets)."""
-        self._blocks.clear()
-        self._held_postings = 0
+        with self._lock:
+            self._blocks.clear()
+            self._held_postings = 0

@@ -23,6 +23,7 @@ in-memory index.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable
@@ -71,7 +72,7 @@ class SpilledPostings(PostingList):
     that the key became hot again.
     """
 
-    __slots__ = ("_store", "_key", "_count", "_on_load")
+    __slots__ = ("_store", "_key", "_count", "_on_load", "_load_lock")
 
     def __init__(
         self,
@@ -87,6 +88,7 @@ class SpilledPostings(PostingList):
         self._key = key
         self._count = count
         self._on_load = on_load
+        self._load_lock = threading.Lock()
 
     @property
     def is_loaded(self) -> bool:
@@ -95,15 +97,21 @@ class SpilledPostings(PostingList):
     def _materialize(self) -> None:
         if self._postings is not None:
             return
-        loaded = self._store.get_postings(self._key)
-        if loaded is None:
-            raise StoreError(
-                f"spilled postings for {sorted(self._key)} missing from "
-                f"store {self._store.directory}"
-            )
-        self._postings = list(loaded)
-        if self._on_load is not None:
-            self._on_load(self._key, self)
+        # Check-then-act guarded per stub: two threads touching the same
+        # cold stub must load once and fire on_load once, or the hot-set
+        # posting budget would be double-charged.
+        with self._load_lock:
+            if self._postings is not None:
+                return
+            loaded = self._store.get_postings(self._key)
+            if loaded is None:
+                raise StoreError(
+                    f"spilled postings for {sorted(self._key)} missing from "
+                    f"store {self._store.directory}"
+                )
+            self._postings = list(loaded)
+            if self._on_load is not None:
+                self._on_load(self._key, self)
 
     # -- metadata-only fast paths ------------------------------------------------
 
@@ -197,11 +205,20 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
             store_dir, cache_postings=memory_budget
         )
         self.memory_budget = memory_budget
+        # Hot-set bookkeeping is shared by every thread whose reads
+        # re-heat stubs.  Acyclic lock order: a stub's load lock is
+        # only ever taken first, and the store lock is never held while
+        # acquiring _hot_lock (materialize releases it before on_load
+        # fires).  insert() deliberately runs its merge before
+        # acquiring this lock so it follows the same order.
+        self._hot_lock = threading.RLock()
         self._hot: OrderedDict[frozenset[str], int] = OrderedDict()
         self._hot_postings = 0
         self._spills = 0
         self._reloads = 0
-        self._in_operation = False
+        # "Inside insert" is per-thread state: a reader in another
+        # thread must still enforce the budget for its own reloads.
+        self._op_local = threading.local()
 
     # -- hot-set accounting ------------------------------------------------------
 
@@ -232,10 +249,11 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         self, key: frozenset[str], _stub: SpilledPostings
     ) -> None:
         """A spilled stub materialized (engine iteration, merge, ...)."""
-        self._reloads += 1
-        self._note_hot(key, len(_stub))
-        if not self._in_operation:
-            self._enforce_budget()
+        with self._hot_lock:
+            self._reloads += 1
+            self._note_hot(key, len(_stub))
+            if not getattr(self._op_local, "in_operation", False):
+                self._enforce_budget()
 
     def _spill(self, key: frozenset[str], count: int) -> None:
         entry = self._entry_at_responsible(key)
@@ -265,6 +283,7 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         self._spills += 1
 
     def _enforce_budget(self) -> None:
+        # Callers hold _hot_lock.
         while self._hot_postings > self.memory_budget and self._hot:
             key, count = self._hot.popitem(last=False)
             self._hot_postings -= count
@@ -279,17 +298,25 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         local_postings: PostingList,
         local_df: int | None = None,
     ) -> KeyStatus:
-        self._in_operation = True
+        # super().insert() runs OUTSIDE _hot_lock: merging into a cold
+        # entry materializes its stub, which takes the stub's load lock
+        # and then (via on_load) _hot_lock — the same order readers use.
+        # Holding _hot_lock across the merge would invert that order and
+        # deadlock against a reader mid-materialize.  Writes themselves
+        # are externally serialized (indexing precedes serving); the
+        # lock below only covers hot-set bookkeeping.
+        self._op_local.in_operation = True
         try:
             status = super().insert(
                 source_peer_name, key, local_postings, local_df
             )
         finally:
-            self._in_operation = False
-        entry = self._entry_at_responsible(key)
-        if entry is not None:
-            self._note_hot(key, len(entry.postings))
-        self._enforce_budget()
+            self._op_local.in_operation = False
+        with self._hot_lock:
+            entry = self._entry_at_responsible(key)
+            if entry is not None:
+                self._note_hot(key, len(entry.postings))
+            self._enforce_budget()
         return status
 
     # lookup() needs no override: the response size reads the stub's
@@ -300,19 +327,21 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
 
     def spill_all(self) -> None:
         """Spill every hot entry (snapshot flush / tests)."""
-        while self._hot:
-            key, count = self._hot.popitem(last=False)
-            self._hot_postings -= count
-            self._spill(key, count)
+        with self._hot_lock:
+            while self._hot:
+                key, count = self._hot.popitem(last=False)
+                self._hot_postings -= count
+                self._spill(key, count)
         self.store.flush()
 
     def spill_stats(self) -> dict[str, object]:
         """RAM-residency counters plus the backing store's statistics."""
-        return {
-            "memory_budget": self.memory_budget,
-            "hot_keys": self.hot_keys,
-            "hot_postings": self.hot_postings,
-            "spills": self._spills,
-            "reloads": self._reloads,
-            "store": self.store.stats(),
-        }
+        with self._hot_lock:
+            return {
+                "memory_budget": self.memory_budget,
+                "hot_keys": self.hot_keys,
+                "hot_postings": self.hot_postings,
+                "spills": self._spills,
+                "reloads": self._reloads,
+                "store": self.store.stats(),
+            }

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import re
 import tempfile
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -94,6 +95,13 @@ class SegmentStore:
                 "compact_dead_ratio must be in (0, 1], got "
                 f"{compact_dead_ratio}"
             )
+        # One reentrant lock serializes directory, writer, read handles,
+        # and compaction: readers share OS file handles (seek + read is
+        # not atomic per handle) and a budget-pressure spill can append
+        # or compact while other threads read.  Disk I/O is the cold
+        # path — hot keys are served by the spilling index and the block
+        # cache, both outside this lock.
+        self._lock = threading.RLock()
         self._tmp: tempfile.TemporaryDirectory | None = None
         if directory is None:
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-store-")
@@ -192,46 +200,61 @@ class SegmentStore:
         contributors: tuple[int, ...] = (),
     ) -> None:
         """Write (or supersede) the record for ``key``."""
-        self.put_record(
-            SegmentRecord.from_postings(
-                key, postings, global_df, status_code, contributors
+        with self._lock:
+            previous = self._dir.get(key)
+            if previous is not None:
+                # The superseded record's block is now unreachable but
+                # would keep consuming the cache's posting budget.
+                self.cache.invalidate(
+                    (previous.segment_id, previous.offset)
+                )
+            self.put_record(
+                SegmentRecord.from_postings(
+                    key, postings, global_df, status_code, contributors
+                )
             )
-        )
-        # Write-through: the freshly encoded list is the hottest block.
-        entry = self._dir[key]
-        self.cache.put((entry.segment_id, entry.offset), postings)
+            # Write-through: the freshly encoded list is the hottest
+            # block.
+            entry = self._dir[key]
+            self.cache.put((entry.segment_id, entry.offset), postings)
 
     def put_record(self, record: SegmentRecord) -> None:
         """Write an already-encoded record (raw snapshot copies)."""
         if record.is_tombstone:
             raise StoreError("use delete() to write tombstones")
-        self._append(record)
-        self.maybe_compact()
+        with self._lock:
+            self._append(record)
+            self.maybe_compact()
 
     def delete(self, key: frozenset[str]) -> None:
         """Tombstone ``key``; a no-op when the key is not stored."""
-        entry = self._dir.get(key)
-        if entry is None:
-            return
-        self.cache.invalidate((entry.segment_id, entry.offset))
-        self._append(SegmentRecord.tombstone(key))
-        self.maybe_compact()
+        with self._lock:
+            entry = self._dir.get(key)
+            if entry is None:
+                return
+            self.cache.invalidate((entry.segment_id, entry.offset))
+            self._append(SegmentRecord.tombstone(key))
+            self.maybe_compact()
 
     # -- read path ---------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._dir)
+        with self._lock:
+            return len(self._dir)
 
     def __contains__(self, key: frozenset[str]) -> bool:
-        return key in self._dir
+        with self._lock:
+            return key in self._dir
 
     def keys(self) -> Iterator[frozenset[str]]:
-        return iter(self._dir)
+        with self._lock:
+            return iter(list(self._dir))
 
     def meta(self, key: frozenset[str]) -> StoredMeta | None:
         """Directory metadata of ``key`` (no disk access), or None."""
-        entry = self._dir.get(key)
-        return entry.meta if entry is not None else None
+        with self._lock:
+            entry = self._dir.get(key)
+            return entry.meta if entry is not None else None
 
     def _reader(self, segment_id: int) -> BinaryIO:
         handle = self._readers.get(segment_id)
@@ -259,23 +282,55 @@ class SegmentStore:
     def get_postings(self, key: frozenset[str]) -> PostingList | None:
         """Decode the stored posting list of ``key`` (through the block
         cache), or None when the key is absent."""
-        entry = self._dir.get(key)
+        with self._lock:
+            entry = self._dir.get(key)
         if entry is None:
             return None
+        # Probe the block cache outside the store lock (it has its own):
+        # cached reads must not queue behind a concurrent cold read's
+        # disk I/O.  Segment ids are never reused, so a stale block id
+        # can only miss — it cannot alias fresher data.
         block_id = (entry.segment_id, entry.offset)
         cached = self.cache.get(block_id)
         if cached is not None:
             return cached
-        postings = self._read_record(entry).postings()
-        self.cache.put(block_id, postings)
+        with self._lock:
+            # Re-validate: a compaction may have moved the record while
+            # the cache was probed.
+            entry = self._dir.get(key)
+            if entry is None:
+                return None
+            moved_to = (entry.segment_id, entry.offset)
+            if moved_to != block_id:
+                block_id = moved_to
+                cached = self.cache.get(block_id)
+                if cached is not None:
+                    return cached
+            record = self._read_record(entry)
+        # Varint decode outside the lock: only the seek+read needs the
+        # shared file handle.  A racing duplicate fill of the same
+        # block id is idempotent (same bytes, internally locked cache).
+        postings = record.postings()
+        with self._lock:
+            # Fill only if the record has not moved since the read — a
+            # concurrent compaction retires the old block id forever,
+            # and caching under it would strand a dead resident that
+            # burns posting budget without ever being hit.
+            entry = self._dir.get(key)
+            if (
+                entry is not None
+                and (entry.segment_id, entry.offset) == block_id
+            ):
+                self.cache.put(block_id, postings)
         return postings
 
     def get_record(self, key: frozenset[str]) -> SegmentRecord | None:
         """Read the raw latest record of ``key`` (undecoded payload)."""
-        entry = self._dir.get(key)
-        if entry is None:
-            return None
-        return self._read_record(entry)
+        with self._lock:
+            entry = self._dir.get(key)
+            if entry is None:
+                return None
+            return self._read_record(entry)
 
     # -- compaction --------------------------------------------------------------
 
@@ -286,14 +341,15 @@ class SegmentStore:
 
     def maybe_compact(self) -> bool:
         """Compact when the dead-byte ratio passes the threshold."""
-        if (
-            self.compact_dead_ratio < 1.0
-            and self._dead_bytes > 0
-            and self.dead_ratio >= self.compact_dead_ratio
-        ):
-            self.compact()
-            return True
-        return False
+        with self._lock:
+            if (
+                self.compact_dead_ratio < 1.0
+                and self._dead_bytes > 0
+                and self.dead_ratio >= self.compact_dead_ratio
+            ):
+                self.compact()
+                return True
+            return False
 
     def compact(self) -> None:
         """Rewrite the live record set into fresh segments, dropping
@@ -301,73 +357,79 @@ class SegmentStore:
 
         Each old segment is scanned exactly once (one open + one
         sequential read per file, not one open per record)."""
-        if self._writer is not None:
-            self._writer.close()
-            self._writer = None
-        self._close_readers()
-        old_ids = self._segment_ids()
-        self._active_id = (old_ids[-1] + 1) if old_ids else 1
-        live_at = {
-            (entry.segment_id, entry.offset): key
-            for key, entry in self._dir.items()
-        }
-        survivors: dict[frozenset[str], SegmentRecord] = {}
-        for segment_id in old_ids:
-            scan = scan_segment(self._segment_path(segment_id))
-            for offset, _, record in scan.records:
-                key = live_at.get((segment_id, offset))
-                if key is not None:
-                    survivors[key] = record
-        self._dir = {}
-        self._live_bytes = 0
-        self._dead_bytes = 0
-        for key in sorted(survivors, key=sorted):
-            self._append(survivors[key])
-        if self._writer is not None:
-            self._writer.flush()
-        for segment_id in old_ids:
-            self._segment_path(segment_id).unlink()
-        self.cache.clear()
-        self._compactions += 1
+        # Reentrant lock: maybe_compact() calls this while holding it.
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            self._close_readers()
+            old_ids = self._segment_ids()
+            self._active_id = (old_ids[-1] + 1) if old_ids else 1
+            live_at = {
+                (entry.segment_id, entry.offset): key
+                for key, entry in self._dir.items()
+            }
+            survivors: dict[frozenset[str], SegmentRecord] = {}
+            for segment_id in old_ids:
+                scan = scan_segment(self._segment_path(segment_id))
+                for offset, _, record in scan.records:
+                    key = live_at.get((segment_id, offset))
+                    if key is not None:
+                        survivors[key] = record
+            self._dir = {}
+            self._live_bytes = 0
+            self._dead_bytes = 0
+            for key in sorted(survivors, key=sorted):
+                self._append(survivors[key])
+            if self._writer is not None:
+                self._writer.flush()
+            for segment_id in old_ids:
+                self._segment_path(segment_id).unlink()
+            self.cache.clear()
+            self._compactions += 1
 
     # -- lifecycle / inspection --------------------------------------------------
 
     def flush(self) -> None:
         """Flush the active segment to the OS."""
-        if self._writer is not None:
-            self._writer.flush()
+        with self._lock:
+            if self._writer is not None:
+                self._writer.flush()
 
     def close(self) -> None:
         """Flush and close the active segment and all read handles (the
         store stays usable; reads reopen lazily)."""
-        if self._writer is not None:
-            self._writer.close()
-            self._writer = None
-        self._close_readers()
+        with self._lock:
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            self._close_readers()
 
     def stored_postings_total(self) -> int:
         """Total postings across live records (directory metadata only)."""
-        return sum(e.meta.posting_count for e in self._dir.values())
+        with self._lock:
+            return sum(e.meta.posting_count for e in self._dir.values())
 
     @property
     def cache_stats(self) -> BlockCacheStats:
         return self.cache.stats
 
     def stats(self) -> dict[str, object]:
-        return {
-            "directory": str(self.directory),
-            "keys": len(self._dir),
-            "segments": len(self._segment_ids()),
-            "live_bytes": self._live_bytes,
-            "dead_bytes": self._dead_bytes,
-            "dead_ratio": round(self.dead_ratio, 4),
-            "compactions": self._compactions,
-            "truncated_tails_skipped": self._truncated_tails,
-            "cache_blocks": len(self.cache),
-            "cache_postings": self.cache.held_postings,
-            "cache_hits": self.cache.stats.hits,
-            "cache_misses": self.cache.stats.misses,
-        }
+        with self._lock:
+            return {
+                "directory": str(self.directory),
+                "keys": len(self._dir),
+                "segments": len(self._segment_ids()),
+                "live_bytes": self._live_bytes,
+                "dead_bytes": self._dead_bytes,
+                "dead_ratio": round(self.dead_ratio, 4),
+                "compactions": self._compactions,
+                "truncated_tails_skipped": self._truncated_tails,
+                "cache_blocks": len(self.cache),
+                "cache_postings": self.cache.held_postings,
+                "cache_hits": self.cache.stats.hits,
+                "cache_misses": self.cache.stats.misses,
+            }
 
     def __repr__(self) -> str:
         return (

@@ -91,3 +91,182 @@ class TestSnapshots:
         delta = diff_snapshots(before, acc.snapshot())
         assert delta.indexing_postings == 6
         assert delta.messages_by_phase[Phase.INDEXING] == 1
+
+
+class TestWindows:
+    def test_window_delta_counts_only_inside(self):
+        acc = TrafficAccounting()
+        acc.record(make_message(postings=4))
+        with acc.measure() as window:
+            acc.record(make_message(postings=6, hops=3))
+        delta = window.delta
+        assert delta.indexing_postings == 6
+        assert delta.messages_by_phase[Phase.INDEXING] == 1
+        assert delta.hops_by_phase[Phase.INDEXING] == 3
+
+    def test_delta_frozen_after_close(self):
+        acc = TrafficAccounting()
+        with acc.measure() as window:
+            acc.record(make_message(postings=2))
+        acc.record(make_message(postings=100))
+        assert window.delta.indexing_postings == 2
+
+    def test_live_delta_before_close(self):
+        acc = TrafficAccounting()
+        window = acc.measure()
+        acc.record(make_message(postings=2))
+        assert window.delta.indexing_postings == 2
+        acc.record(make_message(postings=3))
+        assert window.delta.indexing_postings == 5
+        window.close()
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficAccounting().measure(scope="process")
+
+    def test_nested_windows_both_count(self):
+        acc = TrafficAccounting()
+        with acc.measure() as outer:
+            acc.record(make_message(postings=1))
+            with acc.measure() as inner:
+                acc.record(make_message(postings=2))
+        assert outer.delta.indexing_postings == 3
+        assert inner.delta.indexing_postings == 2
+
+
+class TestConcurrency:
+    """Thread-scoped windows keep per-operation deltas exact while other
+    threads record into the same accounting — the property that lets
+    ``search_batch`` drop the serializing service lock."""
+
+    def test_thread_scoped_window_ignores_other_threads(self):
+        import threading
+
+        acc = TrafficAccounting()
+        start = threading.Barrier(2)
+        deltas = {}
+
+        def worker(name: str, postings: int, count: int) -> None:
+            start.wait()
+            with acc.measure(scope="thread") as window:
+                for _ in range(count):
+                    acc.record(make_message(postings=postings, hops=1))
+            deltas[name] = window.delta
+
+        threads = [
+            threading.Thread(target=worker, args=("a", 3, 400)),
+            threading.Thread(target=worker, args=("b", 7, 400)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Each window saw exactly its own thread's messages...
+        assert deltas["a"].indexing_postings == 3 * 400
+        assert deltas["b"].indexing_postings == 7 * 400
+        # ...while the global totals aggregate both.
+        assert acc.postings(Phase.INDEXING) == 3 * 400 + 7 * 400
+        assert acc.messages(Phase.INDEXING) == 800
+
+    def test_global_window_sees_every_thread(self):
+        import threading
+
+        acc = TrafficAccounting()
+        with acc.measure(scope="global") as window:
+            threads = [
+                threading.Thread(
+                    target=lambda: [
+                        acc.record(make_message(postings=1))
+                        for _ in range(250)
+                    ]
+                )
+                for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert window.delta.indexing_postings == 1000
+        assert window.delta.messages_by_phase[Phase.INDEXING] == 1000
+
+    def test_concurrent_records_never_lost(self):
+        import threading
+
+        acc = TrafficAccounting()
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    acc.record(make_message(postings=2, hops=3))
+                    for _ in range(500)
+                ]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert acc.messages(Phase.INDEXING) == 4000
+        assert acc.postings(Phase.INDEXING) == 8000
+        assert acc.hops(Phase.INDEXING) == 12000
+
+    def test_phase_scope_is_thread_local(self):
+        import threading
+
+        acc = TrafficAccounting()
+        acc.set_phase(Phase.RETRIEVAL)
+        inside = threading.Event()
+        proceed = threading.Event()
+
+        def maintenance_worker() -> None:
+            with acc.phase_scope(Phase.MAINTENANCE):
+                acc.record(make_message(postings=5, kind=MessageKind.HANDOFF))
+                inside.set()
+                proceed.wait()
+
+        thread = threading.Thread(target=maintenance_worker)
+        thread.start()
+        inside.wait()
+        # While the other thread is inside its maintenance scope, this
+        # thread still records into the shared retrieval phase.
+        acc.record(make_message(postings=11))
+        proceed.set()
+        thread.join()
+        assert acc.postings(Phase.MAINTENANCE) == 5
+        assert acc.postings(Phase.RETRIEVAL) == 11
+
+    def test_phase_scope_restores_previous_override(self):
+        acc = TrafficAccounting()
+        with acc.phase_scope(Phase.RETRIEVAL):
+            with acc.phase_scope(Phase.MAINTENANCE):
+                assert acc.phase is Phase.MAINTENANCE
+            assert acc.phase is Phase.RETRIEVAL
+        assert acc.phase is Phase.INDEXING
+
+    def test_phase_scope_type_checked(self):
+        acc = TrafficAccounting()
+        with pytest.raises(TypeError):
+            with acc.phase_scope("maintenance"):
+                pass
+
+    def test_abandoned_window_is_pruned_not_leaked(self):
+        """The old snapshot-diff windows cost nothing when never
+        closed; the accumulating windows must match that — an
+        abandoned window is collected and dropped from the registry
+        instead of taxing every later record() forever."""
+        acc = TrafficAccounting()
+        window = acc.measure(scope="global")
+        acc.record(make_message(postings=1))
+        assert len(acc._global_windows) == 1
+        del window  # abandoned without close()
+        acc.record(make_message(postings=1))
+        assert acc._global_windows == []
+
+    def test_abandoned_thread_window_is_pruned_too(self):
+        acc = TrafficAccounting()
+        window = acc.measure(scope="thread")
+        acc.record(make_message(postings=1))
+        assert len(acc._thread_windows()) == 1
+        del window
+        acc.record(make_message(postings=1))
+        assert acc._thread_windows() == []

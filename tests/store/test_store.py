@@ -47,6 +47,17 @@ class TestBlockCache:
         assert cache.get("big") is None
         assert cache.held_postings == 0
 
+    def test_oversized_block_does_not_flush_residents(self):
+        """An unadmittable block must be rejected up front, not paid
+        for by evicting every hot resident first."""
+        cache = BlockCache(10)
+        cache.put("a", make_postings(range(4)))
+        cache.put("b", make_postings(range(4)))
+        cache.put("big", make_postings(range(20)))
+        assert cache.get("big") is None
+        assert cache.get("a") is not None
+        assert cache.get("b") is not None
+
     def test_zero_capacity_disables(self):
         cache = BlockCache(0)
         cache.put("a", make_postings(range(2)))
@@ -84,6 +95,19 @@ class TestSegmentStore:
         assert store.get_postings(key_of(1)) == newer
         assert len(store) == 1
         assert store.dead_ratio > 0
+
+    def test_overwrite_invalidates_stale_cached_block(self, tmp_path):
+        """The superseded record's block must leave the cache: it is
+        unreachable, so leaving it would burn posting budget forever."""
+        store = SegmentStore(tmp_path, compact_dead_ratio=1.0)
+        for round_ in range(5):
+            store.put(
+                key_of(1), make_postings(range(round_, round_ + 3)),
+                3, STATUS_DK,
+            )
+        # Only the live block is resident; dead overwrites left no trace.
+        assert store.cache.held_postings == 3
+        assert len(store.cache) == 1
 
     def test_delete_tombstones(self, tmp_path):
         store = SegmentStore(tmp_path, compact_dead_ratio=1.0)
