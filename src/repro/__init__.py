@@ -61,9 +61,10 @@ from .errors import (
     RetrievalError,
     StoreError,
 )
+from .overlay import HierarchicalRouter, SuperPeerTopology
 from .store import SegmentStore, SpillingGlobalKeyIndex
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ExperimentParameters",
@@ -76,8 +77,10 @@ __all__ = [
     "GrowthExperiment",
     "GrowthStepResult",
     "EngineMode",
+    "HierarchicalRouter",
     "P2PSearchEngine",
     "RetrievalBackend",
+    "SuperPeerTopology",
     "SearchResponse",
     "SearchService",
     "SegmentStore",

@@ -9,9 +9,12 @@ Subcommands::
                       query or batch query-log replay (--batch); persist
                       an indexed collection with --save and serve it
                       again with --load (skipping indexing entirely);
-                      the hdk_disk backend takes --store-dir and
-                      --memory-budget
-    repro experiment  run the Section-5 growth experiment
+                      the hdk_disk backend takes --store-dir,
+                      --memory-budget, and --sync; the hdk_super
+                      backend takes --overlay-fanout and
+                      --path-cache-capacity
+    repro experiment  run the Section-5 growth experiment over any
+                      backend sweep (--backends)
     repro plan        adaptive parameter planning from a traffic budget
     repro traffic     the Figure-8 total-traffic model
 
@@ -146,6 +149,15 @@ def _cmd_search(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--memory-budget must be >= 0, got {args.memory_budget}"
         )
+    if args.overlay_fanout < 1:
+        raise SystemExit(
+            f"--overlay-fanout must be >= 1, got {args.overlay_fanout}"
+        )
+    if args.path_cache_capacity < 0:
+        raise SystemExit(
+            "--path-cache-capacity must be >= 0, got "
+            f"{args.path_cache_capacity}"
+        )
     if args.query is None and not args.batch:
         raise SystemExit("a query string is required unless --batch is given")
     if args.query is not None and args.batch:
@@ -162,6 +174,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             backend=args.backend,
             memory_budget=args.memory_budget,
             cache_capacity=None if args.no_cache else args.cache_capacity,
+            overlay_fanout=args.overlay_fanout,
+            path_cache_capacity=args.path_cache_capacity,
+            sync=args.sync,
         )
         collection = _build_collection(args) if args.batch else None
         print(
@@ -181,6 +196,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             cache_capacity=None if args.no_cache else args.cache_capacity,
             store_dir=args.store_dir,
             memory_budget=args.memory_budget,
+            overlay_fanout=args.overlay_fanout,
+            path_cache_capacity=args.path_cache_capacity,
+            sync=args.sync,
         )
         service.index()
         print(
@@ -267,6 +285,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         corpus_config=corpus,
         df_max_values=tuple(args.df_max_values),
         num_queries=args.queries,
+        backends=tuple(args.backends),
     ).run()
     print(render_growth_table(results))
     return 0
@@ -409,6 +428,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="RAM posting budget of the hdk_disk backend (default 50000)",
     )
     search.add_argument(
+        "--overlay-fanout",
+        type=int,
+        default=8,
+        metavar="N",
+        help="leaves per super-peer cluster for the hdk_super backend "
+        "(default 8)",
+    )
+    search.add_argument(
+        "--path-cache-capacity",
+        type=int,
+        default=128,
+        metavar="KEYS",
+        help="in-network result-cache size per super-peer for the "
+        "hdk_super backend (default 128; 0 disables path caching)",
+    )
+    search.add_argument(
+        "--sync",
+        action="store_true",
+        help="fsync segment files on rollover/close and the snapshot "
+        "manifest on --save (durability knob for disk-backed backends)",
+    )
+    search.add_argument(
         "--save",
         type=Path,
         default=None,
@@ -443,6 +484,16 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[8, 16],
         help="DF_max sweep values",
+    )
+    experiment.add_argument(
+        "--backends",
+        nargs="+",
+        choices=registry.names(),
+        default=["hdk"],
+        metavar="NAME",
+        help="registry backends to sweep alongside the ST baseline "
+        "(HDK-family names are measured at every DF_max value; "
+        f"choices: {', '.join(registry.names())})",
     )
     experiment.set_defaults(handler=_cmd_experiment)
 

@@ -18,6 +18,11 @@ core again.  This module turns the seam into a first-class API:
                       :class:`repro.store.SpillingGlobalKeyIndex`
                       (cold posting lists live in segment files under a
                       RAM budget; identical results to ``hdk``)
+  ``hdk_super``       the paper's model routed through the super-peer
+                      hierarchy (:mod:`repro.overlay`): bounded-hop
+                      paths, Bloom cluster summaries, and in-network
+                      DHT-path result caches at super-peers (identical
+                      results to ``hdk``; hops and traffic only improve)
   ``single_term``     naive distributed single-term baseline (Figure 6)
   ``single_term_bloom``  Bloom pre-intersection over the single-term
                       index (Reynolds & Vahdat's conjunctive protocol)
@@ -51,6 +56,7 @@ from ..hdk.indexer import (
 from ..index.global_index import GlobalKeyIndex
 from ..net.accounting import TrafficSnapshot
 from ..net.network import P2PNetwork
+from ..overlay import HierarchicalRouter, SuperPeerTopology
 from ..retrieval.centralized import CentralizedBM25Engine
 from ..retrieval.hdk_engine import HDKRetrievalEngine
 from ..retrieval.ranking import RankedResult
@@ -70,6 +76,7 @@ __all__ = [
     "DistributedTopKBackend",
     "HDKBackend",
     "HDKDiskBackend",
+    "HDKSuperBackend",
     "RetrievalBackend",
     "SearchResponse",
     "SingleTermBackend",
@@ -152,12 +159,20 @@ class BackendContext:
             ``None`` gives the store a private temporary directory.
         memory_budget: RAM posting budget for disk-backed backends;
             ``None`` uses the store default.
+        overlay_fanout: leaves per super-peer cluster (``hdk_super``).
+        path_cache_capacity: per-super-peer in-network result-cache
+            size in keys (``hdk_super``); ``0`` disables path caching.
+        sync: fsync segment files on rollover/close (disk-backed
+            backends) — the durability knob for real deployments.
     """
 
     network: P2PNetwork
     params: HDKParameters
     store_dir: str | Path | None = None
     memory_budget: int | None = None
+    overlay_fanout: int = 8
+    path_cache_capacity: int = 128
+    sync: bool = False
 
 
 @runtime_checkable
@@ -335,6 +350,56 @@ class HDKBackend:
         return self.global_index.stored_postings_total()
 
 
+@registry.backend("hdk_super")
+class HDKSuperBackend(HDKBackend):
+    """The paper's model served through a super-peer hierarchy.
+
+    Storage placement, the indexing protocol, and the lattice walk are
+    byte-identical to ``hdk`` — only *routing* changes: the backend
+    clusters the network's peers under super-peers
+    (:class:`repro.overlay.SuperPeerTopology`, ``overlay_fanout`` leaves
+    per cluster) and installs a
+    :class:`repro.overlay.HierarchicalRouter`, so every DHT message
+    takes a bounded-hop path (leaf → super-peer → home super-peer →
+    owner) instead of the flat O(log N) overlay walk, and the home
+    super-peer answers repeated term-sets from its bounded in-network
+    result cache (``path_cache_capacity`` keys, invalidated on insert)
+    and definitely-absent keys from its Bloom cluster summary.
+
+    Membership changes re-cluster and rebuild the routing state; that
+    traffic is accounted under the MAINTENANCE phase alongside the key
+    handoffs themselves.
+
+    Concurrency note: results and posting counts are deterministic at
+    any worker count, but per-query *hop* counts can vary with thread
+    interleaving — concurrent first lookups of a shared key may both
+    miss the path cache where a sequential run would hit on the second.
+    """
+
+    def __init__(self, context: BackendContext) -> None:
+        super().__init__(context)
+        topology = SuperPeerTopology(
+            context.network, fanout=context.overlay_fanout
+        )
+        self.router = HierarchicalRouter(
+            topology,
+            path_cache_capacity=context.path_cache_capacity,
+        )
+        self.router.install(context.network)
+
+    def restore(self) -> None:
+        # Snapshot loads place entries directly into storages without
+        # routing them, so the cluster summaries must be rebuilt before
+        # the first query can consult them.
+        self.router.refresh()
+        super().restore()
+
+    def stats(self) -> dict[str, Any]:
+        stats = super().stats()
+        stats["overlay"] = self.router.describe()
+        return stats
+
+
 @registry.backend("hdk_disk")
 class HDKDiskBackend(HDKBackend):
     """The paper's model over the disk-backed spilling index.
@@ -361,6 +426,7 @@ class HDKDiskBackend(HDKBackend):
             context.params,
             memory_budget=budget,
             store_dir=context.store_dir,
+            sync=context.sync,
         )
 
     def stats(self) -> dict[str, Any]:

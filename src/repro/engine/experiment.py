@@ -8,9 +8,13 @@ traffic per query (Figure 6), and the top-20 overlap with a centralized
 BM25 engine (Figure 7).
 
 :class:`GrowthExperiment` reproduces that protocol at configurable scale
-over the synthetic corpus, for any set of ``DF_max`` values plus the
-single-term baseline, producing one :class:`GrowthStepResult` per
-(network size, engine configuration).
+over the synthetic corpus.  It runs on the redesigned API — one
+:class:`~repro.engine.service.SearchService` per measured configuration —
+so any registry backend can be swept: the classic sweep is the ST
+baseline plus one HDK configuration per ``DF_max`` value, and the
+``backends`` argument adds further substrates (``hdk_disk``,
+``hdk_super``, ``topk``, ...) to the same growth protocol, producing one
+:class:`GrowthStepResult` per (network size, configuration).
 """
 
 from __future__ import annotations
@@ -24,24 +28,31 @@ from ..corpus.synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator
 from ..errors import ConfigurationError
 from ..retrieval.centralized import CentralizedBM25Engine
 from ..retrieval.metrics import mean_overlap, top_k_overlap
-from .p2p_engine import EngineMode, P2PSearchEngine
+from .backends import registry as default_registry
+from .service import SearchService
 
 __all__ = ["GrowthStepResult", "GrowthExperiment"]
+
+#: Backends that run the HDK model: they are swept across the
+#: ``DF_max`` values and report ``n_k`` (keys per query).
+_HDK_FAMILY = ("hdk", "hdk_disk", "hdk_super")
 
 
 @dataclass
 class GrowthStepResult:
-    """Measurements for one (network size, engine configuration) point.
+    """Measurements for one (network size, configuration) point.
 
     Attributes:
-        label: configuration label, e.g. ``"ST"`` or ``"HDK df_max=12"``.
+        label: configuration label, e.g. ``"ST"``, ``"HDK df_max=12"``,
+            or ``"hdk_super df_max=12"``.
         num_peers: network size at this step.
         num_documents: total collection size at this step.
         stored_postings_per_peer: Figure 3's y-value.
         inserted_postings_per_peer: Figure 4's y-value.
         is_ratio_by_size: key size -> inserted postings / D (Figure 5).
         retrieval_postings_per_query: Figure 6's y-value (mean).
-        keys_per_query: measured mean ``n_k`` (HDK only; 0 for ST).
+        keys_per_query: measured mean ``n_k`` (HDK family only; 0
+            otherwise).
         top20_overlap: Figure 7's y-value (mean % vs centralized BM25).
     """
 
@@ -61,6 +72,19 @@ class GrowthStepResult:
         return sum(self.is_ratio_by_size.values())
 
 
+@dataclass(frozen=True)
+class _Config:
+    """One measured configuration: a labelled (backend, params) pair."""
+
+    label: str
+    backend: str
+    params: HDKParameters
+
+    @property
+    def hdk_family(self) -> bool:
+        return self.backend in _HDK_FAMILY
+
+
 class GrowthExperiment:
     """Runs the full Section-5 protocol over the synthetic corpus.
 
@@ -68,11 +92,20 @@ class GrowthExperiment:
         experiment: growth protocol parameters (peer counts, docs/peer).
         corpus_config: synthetic corpus configuration.
         df_max_values: the DF_max sweep (the paper uses 400 and 500);
-            one HDK engine per value is measured at every step.
+            each HDK-family backend is measured at every value and step.
         include_single_term: also measure the ST baseline at every step.
         num_queries: queries sampled per step for Figures 6-7.
         top_k: ranking depth for the overlap metric (paper: 20).
         overlay: ``"chord"`` or ``"pgrid"``.
+        incremental: grow live services via the incremental join
+            protocol instead of rebuilding each step.
+        backends: registry backends to sweep (default ``("hdk",)``).
+            HDK-family names (``hdk``, ``hdk_disk``, ``hdk_super``) get
+            one configuration per ``DF_max`` value — plain ``hdk`` keeps
+            the classic ``"HDK df_max=N"`` label, the others are
+            labelled ``"<backend> df_max=N"``; any other registered
+            backend (``topk``, ``single_term_bloom``, ...) is measured
+            once per step under its own name with the base parameters.
     """
 
     def __init__(
@@ -85,11 +118,18 @@ class GrowthExperiment:
         top_k: int = 20,
         overlay: str = "chord",
         incremental: bool = False,
+        backends: tuple[str, ...] = ("hdk",),
     ) -> None:
         if num_queries < 1:
             raise ConfigurationError(
                 f"num_queries must be >= 1, got {num_queries}"
             )
+        for name in backends:
+            if name not in default_registry:
+                known = ", ".join(default_registry.names())
+                raise ConfigurationError(
+                    f"unknown backend {name!r}; registered backends: {known}"
+                )
         self.experiment = experiment
         self.corpus_config = corpus_config or SyntheticCorpusConfig()
         base = experiment.hdk
@@ -98,8 +138,9 @@ class GrowthExperiment:
         self.num_queries = num_queries
         self.top_k = top_k
         self.overlay = overlay
+        self.backends = tuple(backends)
         #: When True, each step joins the new peers into the *live*
-        #: engines via the incremental protocol (NDK notifications +
+        #: services via the incremental protocol (NDK notifications +
         #: expansion) instead of rebuilding from scratch — the paper's
         #: actual growth mechanism, and much cheaper for long sweeps.
         self.incremental = incremental
@@ -110,12 +151,34 @@ class GrowthExperiment:
             self.corpus_config, seed=experiment.seed
         ).generate(total_docs)
 
+    # -- configuration sweep --------------------------------------------------------
+
+    def _configs(self) -> list[_Config]:
+        configs: list[_Config] = []
+        base = self.experiment.hdk
+        if self.include_single_term:
+            configs.append(_Config("ST", "single_term", base))
+        for backend in self.backends:
+            if backend in _HDK_FAMILY:
+                for df_max in self.df_max_values:
+                    prefix = "HDK" if backend == "hdk" else backend
+                    configs.append(
+                        _Config(
+                            f"{prefix} df_max={df_max}",
+                            backend,
+                            base.with_df_max(df_max),
+                        )
+                    )
+            else:
+                configs.append(_Config(backend, backend, base))
+        return configs
+
     # -- execution ----------------------------------------------------------------
 
     def run(self) -> list[GrowthStepResult]:
         """Execute every step; returns all measurement rows."""
         results: list[GrowthStepResult] = []
-        live_engines: dict[str, P2PSearchEngine] = {}
+        live_services: dict[str, SearchService] = {}
         previous_docs = 0
         for num_peers in self.experiment.peer_counts():
             num_docs = num_peers * self.experiment.docs_per_peer
@@ -126,119 +189,115 @@ class GrowthExperiment:
                 query.query_id: centralized.search(query, self.top_k)
                 for query in queries
             }
-            configs: list[tuple[str, EngineMode, HDKParameters]] = []
-            if self.include_single_term:
-                configs.append(
-                    ("ST", EngineMode.SINGLE_TERM, self.experiment.hdk)
-                )
-            for df_max in self.df_max_values:
-                configs.append(
-                    (
-                        f"HDK df_max={df_max}",
-                        EngineMode.HDK,
-                        self.experiment.hdk.with_df_max(df_max),
-                    )
-                )
-            for label, mode, params in configs:
+            for config in self._configs():
                 if self.incremental:
-                    engine = self._grow_live_engine(
-                        live_engines,
-                        label,
-                        mode,
-                        params,
+                    service = self._grow_live_service(
+                        live_services,
+                        config,
                         step_collection,
                         num_peers,
                         previous_docs,
                     )
-                    step = self._measure_live(
-                        engine, label, num_peers, queries, reference, mode
-                    )
                 else:
-                    step = self._measure_engine(
-                        label=label,
-                        mode=mode,
-                        params=params,
-                        collection=step_collection,
-                        num_peers=num_peers,
-                        queries=queries,
-                        reference=reference,
+                    service = self._build_service(
+                        config, step_collection, num_peers
                     )
-                results.append(step)
+                results.append(
+                    self._measure(
+                        service, config, num_peers, queries, reference
+                    )
+                )
             previous_docs = num_docs
         return results
 
-    def _grow_live_engine(
+    def _build_service(
         self,
-        live_engines: dict[str, P2PSearchEngine],
-        label: str,
-        mode: EngineMode,
-        params: HDKParameters,
+        config: _Config,
+        collection: DocumentCollection,
+        num_peers: int,
+    ) -> SearchService:
+        """Build and index a fresh service for one configuration.
+
+        Cache-less on purpose: the experiment measures per-query
+        protocol traffic, which a result cache would hide.
+        """
+        service = SearchService.build(
+            collection,
+            num_peers=num_peers,
+            backend=config.backend,
+            params=config.params,
+            overlay=self.overlay,
+            cache_capacity=None,
+        )
+        service.index()
+        return service
+
+    def _grow_live_service(
+        self,
+        live_services: dict[str, SearchService],
+        config: _Config,
         step_collection: DocumentCollection,
         num_peers: int,
         previous_docs: int,
-    ) -> P2PSearchEngine:
-        """Create or incrementally grow the live engine for ``label``."""
-        engine = live_engines.get(label)
-        if engine is None:
-            engine = P2PSearchEngine.build(
-                step_collection,
-                num_peers=num_peers,
-                params=params,
-                mode=mode,
-                overlay=self.overlay,
+    ) -> SearchService:
+        """Create or incrementally grow the live service for ``config``."""
+        service = live_services.get(config.label)
+        if service is None:
+            service = self._build_service(
+                config, step_collection, num_peers
             )
-            engine.index()
-            live_engines[label] = engine
-            return engine
+            live_services[config.label] = service
+            return service
         ids = step_collection.doc_ids()[previous_docs:]
         new_docs = step_collection.subset(ids)
-        engine.add_peers(new_docs, num_peers - len(engine.peers))
-        return engine
+        service.add_peers(new_docs, num_peers - len(service.peers))
+        return service
 
-    def _measure_live(
+    def _measure(
         self,
-        engine: P2PSearchEngine,
-        label: str,
+        service: SearchService,
+        config: _Config,
         num_peers: int,
         queries: list[Query],
         reference: dict[int, list],
-        mode: EngineMode,
     ) -> GrowthStepResult:
-        """Measure a live (incrementally grown) engine at this step."""
+        """Measure one service at one step (Figures 3-7 rows)."""
         step = GrowthStepResult(
-            label=label,
+            label=config.label,
             num_peers=num_peers,
             num_documents=num_peers * self.experiment.docs_per_peer,
         )
-        step.stored_postings_per_peer = engine.stored_postings_per_peer()
+        step.stored_postings_per_peer = service.stored_postings_per_peer()
         step.inserted_postings_per_peer = (
-            engine.inserted_postings_per_peer()
+            service.inserted_postings_per_peer()
         )
-        sample_size = engine.collection_sample_size()
+        sample_size = service.collection_sample_size()
         if sample_size:
             step.is_ratio_by_size = {
                 size: postings / sample_size
                 for size, postings in sorted(
-                    engine.inserted_postings_by_key_size().items()
+                    service.inserted_postings_by_key_size().items()
                 )
             }
         transferred: list[float] = []
         lookups: list[float] = []
         overlaps: list[float] = []
         for query in queries:
-            result = engine.search(query, k=self.top_k)
-            transferred.append(result.postings_transferred)
-            lookups.append(result.keys_looked_up)
+            response = service.search(query, k=self.top_k)
+            transferred.append(response.postings_transferred)
+            lookups.append(response.keys_looked_up)
             overlaps.append(
                 top_k_overlap(
-                    result.results, reference[query.query_id], self.top_k
+                    response.results,
+                    reference[query.query_id],
+                    self.top_k,
                 )
             )
         step.retrieval_postings_per_query = sum(transferred) / len(
             transferred
         )
         step.keys_per_query = (
-            sum(lookups) / len(lookups) if mode is EngineMode.HDK else 0.0
+            sum(lookups) / len(lookups) if config.hdk_family else 0.0
         )
         step.top20_overlap = mean_overlap(overlaps)
         return step
@@ -257,57 +316,3 @@ class GrowthExperiment:
             seed=self.experiment.seed + len(collection),
         )
         return generator.generate(self.num_queries)
-
-    def _measure_engine(
-        self,
-        label: str,
-        mode: EngineMode,
-        params: HDKParameters,
-        collection: DocumentCollection,
-        num_peers: int,
-        queries: list[Query],
-        reference: dict[int, list],
-    ) -> GrowthStepResult:
-        engine = P2PSearchEngine.build(
-            collection,
-            num_peers=num_peers,
-            params=params,
-            mode=mode,
-            overlay=self.overlay,
-        )
-        engine.index()
-        step = GrowthStepResult(
-            label=label,
-            num_peers=num_peers,
-            num_documents=len(collection),
-        )
-        step.stored_postings_per_peer = engine.stored_postings_per_peer()
-        step.inserted_postings_per_peer = engine.inserted_postings_per_peer()
-        sample_size = engine.collection_sample_size()
-        if sample_size:
-            step.is_ratio_by_size = {
-                size: postings / sample_size
-                for size, postings in sorted(
-                    engine.inserted_postings_by_key_size().items()
-                )
-            }
-        transferred: list[float] = []
-        lookups: list[float] = []
-        overlaps: list[float] = []
-        for query in queries:
-            result = engine.search(query, k=self.top_k)
-            transferred.append(result.postings_transferred)
-            lookups.append(result.keys_looked_up)
-            overlaps.append(
-                top_k_overlap(
-                    result.results, reference[query.query_id], self.top_k
-                )
-            )
-        step.retrieval_postings_per_query = sum(transferred) / len(
-            transferred
-        )
-        step.keys_per_query = (
-            sum(lookups) / len(lookups) if mode is EngineMode.HDK else 0.0
-        )
-        step.top20_overlap = mean_overlap(overlaps)
-        return step

@@ -37,7 +37,7 @@ from ..corpus.querylog import Query
 from ..errors import ConfigurationError
 from ..hdk.indexer import IndexingReport
 from ..index.global_index import GlobalKeyIndex
-from ..net.accounting import Phase, TrafficAccounting
+from ..net.accounting import TrafficAccounting
 from ..net.chord import Overlay
 from ..net.network import P2PNetwork
 from ..retrieval.hdk_engine import HDKSearchResult
@@ -241,27 +241,23 @@ class P2PSearchEngine:
 
     def stored_postings_per_peer(self) -> float:
         """Average postings stored per peer (Figure 3's y-axis)."""
-        return self.stored_postings_total() / max(1, len(self.peers))
+        return self._service.stored_postings_per_peer()
 
     def inserted_postings_total(self) -> int:
         """Total postings inserted during indexing (Figure 4 numerator)."""
-        return self.network.accounting.postings(Phase.INDEXING)
+        return self._service.inserted_postings_total()
 
     def inserted_postings_per_peer(self) -> float:
         """Average postings inserted per peer (Figure 4's y-axis)."""
-        return self.inserted_postings_total() / max(1, len(self.peers))
+        return self._service.inserted_postings_per_peer()
 
     def inserted_postings_by_key_size(self) -> dict[int, int]:
         """Key size -> postings inserted across all peers (Figure 5)."""
-        totals: dict[int, int] = {}
-        for report in self.indexing_reports:
-            for size, postings in report.inserted_postings_by_size.items():
-                totals[size] = totals.get(size, 0) + postings
-        return totals
+        return self._service.inserted_postings_by_key_size()
 
     def collection_sample_size(self) -> int:
         """Global sample size ``D`` (Figure 5's denominator)."""
-        return sum(peer.sample_size for peer in self.peers)
+        return self._service.collection_sample_size()
 
     def stored_index_bytes(self) -> int:
         """Total wire size of the stored index in bytes (delta+varint

@@ -90,10 +90,12 @@ def spawn_peers(
     """Split ``collection`` across ``num_peers`` new peers registered
     with ``network``, named ``peer-NNN`` from index ``start``."""
     peers: list[Peer] = []
-    for offset, slice_ in enumerate(collection.split(num_peers)):
-        name = f"peer-{start + offset:03d}"
-        network.add_peer(name)
-        peers.append(Peer(name=name, collection=slice_))
+    # One router rebuild for the whole wave, not one per joiner.
+    with network.membership_batch():
+        for offset, slice_ in enumerate(collection.split(num_peers)):
+            name = f"peer-{start + offset:03d}"
+            network.add_peer(name)
+            peers.append(Peer(name=name, collection=slice_))
     return peers
 
 
@@ -186,6 +188,11 @@ class SearchService:
         store_dir: directory for disk-backed backends (``hdk_disk``);
             ``None`` gives the store a private temporary directory.
         memory_budget: RAM posting budget for disk-backed backends.
+        overlay_fanout: leaves per super-peer cluster (``hdk_super``).
+        path_cache_capacity: per-super-peer in-network result-cache
+            size (``hdk_super``); ``0`` disables path caching.
+        sync: fsync segment files on rollover/close and the snapshot
+            manifest on :meth:`save` (disk-backed durability knob).
     """
 
     def __init__(
@@ -199,6 +206,9 @@ class SearchService:
         backend_registry: BackendRegistry | None = None,
         store_dir: str | Path | None = None,
         memory_budget: int | None = None,
+        overlay_fanout: int = 8,
+        path_cache_capacity: int = 128,
+        sync: bool = False,
     ) -> None:
         if not peers:
             raise ConfigurationError("service needs at least one peer")
@@ -207,6 +217,7 @@ class SearchService:
         self.params = params or HDKParameters()
         self.pipeline = pipeline or TextPipeline(PipelineConfig())
         self.query_processor = QueryProcessor(self.pipeline)
+        self._sync = sync
         reg = backend_registry or default_registry
         if isinstance(backend, str):
             context = BackendContext(
@@ -214,6 +225,9 @@ class SearchService:
                 params=self.params,
                 store_dir=store_dir,
                 memory_budget=memory_budget,
+                overlay_fanout=overlay_fanout,
+                path_cache_capacity=path_cache_capacity,
+                sync=sync,
             )
             self.backend: RetrievalBackend = reg.create(backend, context)
         else:
@@ -249,6 +263,9 @@ class SearchService:
         backend_registry: BackendRegistry | None = None,
         store_dir: str | Path | None = None,
         memory_budget: int | None = None,
+        overlay_fanout: int = 8,
+        path_cache_capacity: int = 128,
+        sync: bool = False,
     ) -> "SearchService":
         """Build a service over ``collection`` split across ``num_peers``.
 
@@ -270,6 +287,11 @@ class SearchService:
             backend_registry: custom registry for name resolution.
             store_dir: segment-store directory for ``hdk_disk``.
             memory_budget: RAM posting budget for ``hdk_disk``.
+            overlay_fanout: super-peer cluster fanout (``hdk_super``).
+            path_cache_capacity: in-network result-cache size per
+                super-peer (``hdk_super``).
+            sync: fsync segments on rollover/close and the manifest on
+                :meth:`save`.
         """
         if not isinstance(backend, str):
             raise ConfigurationError(
@@ -295,6 +317,9 @@ class SearchService:
             backend_registry=backend_registry,
             store_dir=store_dir,
             memory_budget=memory_budget,
+            overlay_fanout=overlay_fanout,
+            path_cache_capacity=path_cache_capacity,
+            sync=sync,
         )
 
     # -- indexing ----------------------------------------------------------------
@@ -576,15 +601,22 @@ class SearchService:
 
     # -- persistence -------------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, sync: bool | None = None) -> None:
         """Persist the indexed collection as a snapshot directory.
 
         The snapshot (manifest + ranking statistics + a compacted
         segment store of every global-index entry) is self-contained:
         :meth:`load` rebuilds a queryable service from it without
         re-running the indexing protocol — the build-once / serve-many
-        workflow.  Only the HDK-family backends (``hdk``, ``hdk_disk``)
-        persist; the baselines raise.
+        workflow.  Only the HDK-family backends (``hdk``, ``hdk_disk``,
+        ``hdk_super``) persist; the baselines raise.
+
+        Args:
+            path: the snapshot directory (must not hold one already).
+            sync: fsync the snapshot's segment files as they close and
+                the manifest after it is written, so the completed save
+                survives power loss; ``None`` inherits the service's
+                construction-time ``sync`` setting.
 
         Raises:
             ConfigurationError: unindexed service or a backend without a
@@ -599,7 +631,7 @@ class SearchService:
         if not isinstance(global_index, GlobalKeyIndex):
             raise ConfigurationError(
                 f"backend {self.backend_name!r} does not support "
-                f"persistence; use 'hdk' or 'hdk_disk'"
+                f"persistence; use 'hdk', 'hdk_disk', or 'hdk_super'"
             )
         overlay_name = (
             "pgrid"
@@ -613,6 +645,7 @@ class SearchService:
             peer_names=[peer.name for peer in self.peers],
             params=self.params.as_dict(),
             global_index=global_index,
+            sync=self._sync if sync is None else sync,
         )
 
     @classmethod
@@ -624,6 +657,9 @@ class SearchService:
         cache_capacity: int | None = 256,
         pipeline: TextPipeline | None = None,
         backend_registry: BackendRegistry | None = None,
+        overlay_fanout: int = 8,
+        path_cache_capacity: int = 128,
+        sync: bool = False,
     ) -> "SearchService":
         """Rebuild a queryable service from a :meth:`save` snapshot.
 
@@ -640,12 +676,18 @@ class SearchService:
         Args:
             path: the snapshot directory.
             backend: override the backend recorded in the manifest
-                (``hdk`` loads eagerly into RAM, ``hdk_disk`` lazily).
+                (``hdk`` and ``hdk_super`` load eagerly into RAM,
+                ``hdk_disk`` lazily).
             memory_budget: RAM posting budget (``hdk_disk``).
             cache_capacity: LRU query-cache size for the new service.
             pipeline: query text pipeline (must match the one the
                 collection was built with).
             backend_registry: custom registry for name resolution.
+            overlay_fanout: super-peer cluster fanout (``hdk_super``).
+            path_cache_capacity: in-network result-cache size per
+                super-peer (``hdk_super``).
+            sync: durability knob for the loaded service's own writes
+                and later :meth:`save` calls.
 
         Note: peers of a loaded service carry empty local collections
         (the snapshot persists the *index*, not the documents), so a
@@ -674,13 +716,16 @@ class SearchService:
             backend_registry=backend_registry,
             store_dir=snapshot_io.segments_dir(path),
             memory_budget=memory_budget,
+            overlay_fanout=overlay_fanout,
+            path_cache_capacity=path_cache_capacity,
+            sync=sync,
         )
         global_index = getattr(service.backend, "global_index", None)
         restore = getattr(service.backend, "restore", None)
         if restore is None or not isinstance(global_index, GlobalKeyIndex):
             raise ConfigurationError(
                 f"backend {backend_name!r} cannot serve snapshots; "
-                f"use 'hdk' or 'hdk_disk'"
+                f"use 'hdk', 'hdk_disk', or 'hdk_super'"
             )
         if isinstance(global_index, SpillingGlobalKeyIndex):
             # Never let compaction unlink the snapshot's own segment
@@ -721,6 +766,35 @@ class SearchService:
 
     def stored_postings_total(self) -> int:
         return self.backend.stored_postings_total()
+
+    # -- figure measurements -------------------------------------------------------
+    # The per-peer / per-size aggregations the Section-5 growth
+    # experiment plots (previously on the legacy engine shim).
+
+    def stored_postings_per_peer(self) -> float:
+        """Average postings stored per peer (Figure 3's y-axis)."""
+        return self.stored_postings_total() / max(1, len(self.peers))
+
+    def inserted_postings_total(self) -> int:
+        """Total postings inserted during indexing (Figure 4 numerator,
+        from the network's INDEXING-phase accounting)."""
+        return self.network.accounting.postings(Phase.INDEXING)
+
+    def inserted_postings_per_peer(self) -> float:
+        """Average postings inserted per peer (Figure 4's y-axis)."""
+        return self.inserted_postings_total() / max(1, len(self.peers))
+
+    def inserted_postings_by_key_size(self) -> dict[int, int]:
+        """Key size -> postings inserted across all peers (Figure 5)."""
+        totals: dict[int, int] = {}
+        for report in self._reports:
+            for size, postings in report.inserted_postings_by_size.items():
+                totals[size] = totals.get(size, 0) + postings
+        return totals
+
+    def collection_sample_size(self) -> int:
+        """Global sample size ``D`` (Figure 5's denominator)."""
+        return sum(peer.sample_size for peer in self.peers)
 
     # -- internals ---------------------------------------------------------------
 

@@ -33,6 +33,12 @@ class MessageKind(Enum):
     #: Key-range handoff when a peer joins or leaves the overlay
     #: (maintenance; excluded from the paper's posting counts).
     HANDOFF = "handoff"
+    #: Leaf-to-super-peer registration when clusters are (re)formed
+    #: (maintenance; super-peer hierarchy, see :mod:`repro.overlay`).
+    CLUSTER_JOIN = "cluster_join"
+    #: Routing-index / cluster-summary exchange between super-peers and
+    #: their members (maintenance; super-peer hierarchy).
+    ROUTING_UPDATE = "routing_update"
 
 
 _message_counter = itertools.count()

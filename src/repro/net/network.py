@@ -13,7 +13,8 @@ analysis deliberately reports separately from indexing/retrieval postings.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Iterator
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Protocol, runtime_checkable
 
 from ..errors import NetworkError, PeerNotFoundError
 from .accounting import Phase, TrafficAccounting
@@ -22,7 +23,51 @@ from .messages import Message, MessageKind
 from .node_id import canonical_term_set, hash_to_id, peer_id_for
 from .storage import PeerStorage
 
-__all__ = ["P2PNetwork"]
+__all__ = ["P2PNetwork", "RoutingPolicy"]
+
+
+@runtime_checkable
+class RoutingPolicy(Protocol):
+    """Hop-level routing hook installed on a :class:`P2PNetwork`.
+
+    The flat network routes every message along the structured overlay
+    (``overlay.route_hops``).  A routing policy replaces that *path*
+    without touching *responsibility*: storage placement still follows
+    ``overlay.responsible_peer``, so results are identical — only hop
+    counts, message shapes, and mid-path answering (in-network caches,
+    summaries) change.  Install by assigning ``network.router``; the
+    super-peer hierarchy (:class:`repro.overlay.HierarchicalRouter`) is
+    the shipped implementation.
+    """
+
+    def route_lookup(
+        self,
+        network: "P2PNetwork",
+        source_id: int,
+        key: Any,
+        key_id: int,
+        response_size: Callable[[Any | None], int],
+        key_repr: str = "",
+    ) -> Any | None:
+        """Execute one lookup end to end: log the routed request and
+        response messages and return the value (which the policy may
+        serve from a mid-path cache instead of the responsible peer)."""
+        ...
+
+    def path_hops(self, source_id: int, key_id: int) -> int:
+        """Routed hop count from ``source_id`` to the peer responsible
+        for ``key_id`` (used for insert / stats-publication messages)."""
+        ...
+
+    def on_insert(self, key: Any, key_id: int) -> None:
+        """Called after an insert is applied at the responsible peer
+        (freshness hook: invalidate mid-path caches, update summaries)."""
+        ...
+
+    def on_membership_change(self) -> None:
+        """Called after a peer joined or left and its handoff completed
+        (re-cluster, rebuild routing state)."""
+        ...
 
 
 class P2PNetwork:
@@ -56,14 +101,56 @@ class P2PNetwork:
         self.overlay: Overlay = overlay if overlay is not None else ChordOverlay()
         self.accounting = accounting or TrafficAccounting()
         self.link_latency_s = link_latency_s
+        #: Optional hop-level routing hook (see :class:`RoutingPolicy`).
+        #: ``None`` routes every message along the structured overlay.
+        self.router: RoutingPolicy | None = None
         self._storage: dict[int, PeerStorage] = {}
         self._names: dict[str, int] = {}
+        # Membership-batch state: depth of open membership_batch()
+        # scopes and whether a join/leave happened inside one.
+        self._membership_batch_depth = 0
+        self._membership_changed_in_batch = False
 
     def _send(self, message: Message) -> None:
         """Log ``message`` and pay its simulated transmission latency."""
         self.accounting.record(message)
         if self.link_latency_s > 0.0 and message.hops > 0:
             time.sleep(self.link_latency_s * message.hops)
+
+    def log_message(
+        self,
+        kind: MessageKind,
+        source: int,
+        destination: int,
+        postings: int = 0,
+        hops: int = 1,
+        key_repr: str = "",
+    ) -> None:
+        """Log one protocol message into the traffic accounting.
+
+        The public form of :meth:`_send` for layers that route messages
+        themselves (a :class:`RoutingPolicy`, the super-peer topology's
+        maintenance protocol) instead of going through the insert/lookup
+        primitives.
+        """
+        self._send(
+            Message(
+                kind=kind,
+                source=source,
+                destination=destination,
+                postings=postings,
+                hops=hops,
+                key_repr=key_repr,
+            )
+        )
+
+    def _route_hops(self, source_id: int, key_id: int) -> int:
+        """Routed hops from ``source_id`` to the responsible peer —
+        through the installed router when present, the overlay walk
+        otherwise."""
+        if self.router is not None:
+            return self.router.path_hops(source_id, key_id)
+        return self.overlay.route_hops(source_id, key_id)
 
     # -- membership ---------------------------------------------------------------
 
@@ -105,6 +192,7 @@ class P2PNetwork:
         self._names[peer_name] = peer_id
         if handoff_source != peer_id:
             self._handoff_on_join(handoff_source, peer_id)
+        self._notify_membership_change()
         return peer_id
 
     def remove_peer(self, peer_name: str) -> None:
@@ -120,6 +208,42 @@ class P2PNetwork:
             target_storage.put(entry.key, entry.key_id, entry.value)
             postings += self._payload_size(entry.value)
         self._record_maintenance(peer_id, inheritor, postings)
+        self._notify_membership_change()
+
+    def _notify_membership_change(self) -> None:
+        """Tell the installed router the population changed — deferred
+        to scope exit inside a :meth:`membership_batch`."""
+        if self.router is None:
+            return
+        if self._membership_batch_depth > 0:
+            self._membership_changed_in_batch = True
+            return
+        self.router.on_membership_change()
+
+    @contextmanager
+    def membership_batch(self) -> Iterator[None]:
+        """Coalesce router membership notifications over a batch of
+        joins/leaves into one ``on_membership_change`` at scope exit.
+
+        A routed network rebuilds clusters, drops path caches, and
+        rescans every storage into fresh summaries on each membership
+        change; growing by k peers one notification at a time would pay
+        that k times (and charge k rounds of maintenance messages) for
+        routing state only the final population needs.  Key handoffs
+        still run per join/leave — only the router rebuild is deferred.
+        Nestable; no-op when no router is installed.
+        """
+        self._membership_batch_depth += 1
+        try:
+            yield
+        finally:
+            self._membership_batch_depth -= 1
+            if (
+                self._membership_batch_depth == 0
+                and self._membership_changed_in_batch
+            ):
+                self._membership_changed_in_batch = False
+                self._notify_membership_change()
 
     def _handoff_on_join(self, source_peer: int, new_peer: int) -> None:
         """Move entries now owned by ``new_peer`` out of ``source_peer``."""
@@ -176,7 +300,7 @@ class P2PNetwork:
         source_id = self.id_of(source_peer_name)
         key_id = self._key_id(key)
         target_id = self.overlay.responsible_peer(key_id)
-        hops = self.overlay.route_hops(source_id, key_id)
+        hops = self._route_hops(source_id, key_id)
         self._send(
             Message(
                 kind=MessageKind.INSERT,
@@ -187,7 +311,12 @@ class P2PNetwork:
                 key_repr=key_repr or repr(key),
             )
         )
-        return self._storage[target_id].update(key, key_id, merge)
+        merged = self._storage[target_id].update(key, key_id, merge)
+        if self.router is not None:
+            # After the write, so a racing lookup can never re-cache the
+            # superseded value past this invalidation.
+            self.router.on_insert(key, key_id)
+        return merged
 
     def lookup(
         self,
@@ -200,10 +329,23 @@ class P2PNetwork:
 
         Two messages are logged: the request (no postings) and the
         response carrying ``response_size(value)`` postings back to the
-        requester — the quantity Figure 6 plots per query.
+        requester — the quantity Figure 6 plots per query.  With a
+        :class:`RoutingPolicy` installed the whole lookup is delegated
+        to it (hierarchical paths, mid-path cache answers); the returned
+        value is identical either way because responsibility and storage
+        are untouched by routing.
         """
         source_id = self.id_of(source_peer_name)
         key_id = self._key_id(key)
+        if self.router is not None:
+            return self.router.route_lookup(
+                self,
+                source_id,
+                key,
+                key_id,
+                response_size,
+                key_repr=key_repr or repr(key),
+            )
         target_id = self.overlay.responsible_peer(key_id)
         hops = self.overlay.route_hops(source_id, key_id)
         self._send(
@@ -284,7 +426,7 @@ class P2PNetwork:
         source_id = self.id_of(source_peer_name)
         key_id = self._key_id(key)
         target_id = self.overlay.responsible_peer(key_id)
-        hops = self.overlay.route_hops(source_id, key_id)
+        hops = self._route_hops(source_id, key_id)
         self._send(
             Message(
                 kind=MessageKind.STATS_PUBLISH,

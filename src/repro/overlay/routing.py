@@ -1,0 +1,428 @@
+"""Hierarchical routing with in-network DHT-path result caching.
+
+:class:`HierarchicalRouter` implements the
+:class:`repro.net.network.RoutingPolicy` hook over a
+:class:`~repro.overlay.topology.SuperPeerTopology`.  A lookup for key K
+issued by leaf S travels::
+
+    S --> SP(S) --> SP(K)  [the *home* super-peer] --> owner(K)
+
+and the response retraces ``owner -> SP(K) -> S`` — the classic
+DHT-path-caching shape: the home super-peer sees every response for the
+keys in its range and keeps a bounded
+:class:`~repro.retrieval.cache.QueryResultCache` of them (*and* of
+definitive absences), so repeated term-sets are answered mid-path
+without involving the responsible peer.  Freshness is
+invalidate-on-insert: every insert for K also routes through SP(K),
+which evicts K before the write returns, so a cached answer is never
+stale and results stay byte-identical to flat routing.
+
+Two mid-path short-circuits answer at the home super-peer:
+
+- **path-cache hit** — the key's last response (or absence) is cached;
+- **summary skip** — the cluster's Bloom summary proves the key was
+  never stored in its range (no false negatives; see
+  :mod:`repro.overlay.summaries`).
+
+Every hop count is bounded by the hierarchy depth (≤ 3 request hops,
+≤ 2 response hops) instead of Chord's O(log N) walk, and each message's
+posting payload is identical to flat routing — traffic in the paper's
+cost unit can only improve.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+from ..index.bloom import optimal_bits_per_element
+from ..net.accounting import Phase
+from ..net.messages import MessageKind
+from ..net.network import P2PNetwork
+from ..retrieval.cache import QueryResultCache
+from .summaries import DEFAULT_SUMMARY_CAPACITY, ClusterSummary
+from .topology import Cluster, SuperPeerTopology
+
+__all__ = ["HierarchicalRouter", "RouterStats"]
+
+#: Cached marker for "the responsible peer stores nothing under this
+#: key" — distinct from a cache miss (no entry at all).
+_ABSENT = object()
+
+#: Path-cache payloads are depth-independent stored values, so every
+#: cache call uses one nominal depth.
+_CACHE_DEPTH = 1
+
+
+class _KeyProbe:
+    """Adapter giving a raw DHT key the ``.term_set`` attribute the
+    query-result cache keys by."""
+
+    __slots__ = ("term_set",)
+
+    def __init__(self, key: Any) -> None:
+        self.term_set = key
+
+
+@dataclass
+class RouterStats:
+    """Counters over the router's lifetime (monotonic; survive
+    re-clustering even though the caches themselves are dropped)."""
+
+    lookups: int = 0
+    inserts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    summary_skips: int = 0
+    rebuilds: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class HierarchicalRouter:
+    """Routes DHT messages through the super-peer hierarchy.
+
+    Args:
+        topology: the cluster map (owns re-clustering + its traffic).
+        path_cache_capacity: per-super-peer result-cache size in keys;
+            ``0`` disables in-network caching.
+        use_summaries: keep Bloom key summaries at super-peers and
+            answer definitely-absent keys mid-path.
+
+    Install on the topology's network with :meth:`install`; the network
+    then delegates every lookup, and hop counts for inserts and stats
+    publications, to this object.
+    """
+
+    def __init__(
+        self,
+        topology: SuperPeerTopology,
+        path_cache_capacity: int = 128,
+        use_summaries: bool = True,
+    ) -> None:
+        if path_cache_capacity < 0:
+            raise ConfigurationError(
+                "path_cache_capacity must be >= 0, got "
+                f"{path_cache_capacity}"
+            )
+        self.topology = topology
+        self.path_cache_capacity = path_cache_capacity
+        self.use_summaries = use_summaries
+        self.stats = RouterStats()
+        #: cluster index -> bounded result cache at that super-peer.
+        self._caches: dict[int, QueryResultCache] = {}
+        #: cluster index -> Bloom summary at that super-peer.
+        self._summaries: dict[int, ClusterSummary] = {}
+        #: cluster index -> insert generation; a fill is valid only if
+        #: no insert hit the cluster between the owner read and the
+        #: fill (see :meth:`_cache_fill`).
+        self._insert_gens: dict[int, int] = {}
+        # Guards stats, the cache/summary maps, and filter mutation
+        # (Bloom add is read-modify-write); the caches themselves are
+        # internally locked.
+        self._lock = threading.Lock()
+        self._rebuild_summaries()
+
+    def install(self, network: P2PNetwork) -> None:
+        """Attach this router to ``network`` (its topology's network).
+
+        Raises:
+            ConfigurationError: the network already routes through a
+                different policy, or belongs to another topology.
+        """
+        if network is not self.topology.network:
+            raise ConfigurationError(
+                "router must be installed on the network its topology "
+                "was built over"
+            )
+        if network.router is not None and network.router is not self:
+            raise ConfigurationError(
+                "network already has a routing policy installed; one "
+                "super-peer hierarchy per network"
+            )
+        network.router = self
+
+    # -- RoutingPolicy: lookups ----------------------------------------------------
+
+    def route_lookup(
+        self,
+        network: P2PNetwork,
+        source_id: int,
+        key: Any,
+        key_id: int,
+        response_size: Callable[[Any | None], int],
+        key_repr: str = "",
+    ) -> Any | None:
+        with self._lock:
+            self.stats.lookups += 1
+        owner = network.overlay.responsible_peer(key_id)
+        if owner == source_id:
+            # Self-owned key: answered locally, same message shape as
+            # flat routing (request + response, one hop each).
+            network.log_message(
+                MessageKind.LOOKUP, source_id, owner, 0, 1, key_repr
+            )
+            value = network.storage_by_id(owner).get(key)
+            network.log_message(
+                MessageKind.RESPONSE,
+                owner,
+                source_id,
+                response_size(value),
+                1,
+                key_repr,
+            )
+            return value
+        home = self.topology.cluster_of_peer(owner)
+        home_sp = home.super_peer
+        local_sp = self.topology.super_peer_of(source_id)
+        to_home = (source_id != local_sp) + (local_sp != home_sp)
+
+        cached = self._cache_probe(home.index, key)
+        if cached is not None:
+            value = None if cached is _ABSENT else cached
+            self._answer_at_home(
+                network, source_id, home_sp, to_home,
+                response_size(value), key_repr,
+            )
+            return value
+        if self.use_summaries and not self._may_contain(home.index, key_id):
+            with self._lock:
+                self.stats.summary_skips += 1
+            self._answer_at_home(
+                network, source_id, home_sp, to_home,
+                response_size(None), key_repr,
+            )
+            return None
+
+        # Full path: forward to the responsible peer; the response
+        # retraces through the home super-peer, filling its cache.
+        request_hops = max(1, to_home + (home_sp != owner))
+        network.log_message(
+            MessageKind.LOOKUP, source_id, owner, 0, request_hops, key_repr
+        )
+        with self._lock:
+            generation = self._insert_gens.get(home.index, 0)
+        value = network.storage_by_id(owner).get(key)
+        response_hops = max(1, (owner != home_sp) + (home_sp != source_id))
+        network.log_message(
+            MessageKind.RESPONSE,
+            owner,
+            source_id,
+            response_size(value),
+            response_hops,
+            key_repr,
+        )
+        self._cache_fill(home.index, key, value, generation)
+        return value
+
+    def _answer_at_home(
+        self,
+        network: P2PNetwork,
+        source_id: int,
+        home_sp: int,
+        to_home: int,
+        postings: int,
+        key_repr: str,
+    ) -> None:
+        """Log the message pair of a lookup answered at the home
+        super-peer (cache hit or summary skip)."""
+        network.log_message(
+            MessageKind.LOOKUP,
+            source_id,
+            home_sp,
+            0,
+            max(1, to_home),
+            key_repr,
+        )
+        network.log_message(
+            MessageKind.RESPONSE, home_sp, source_id, postings, 1, key_repr
+        )
+
+    # -- RoutingPolicy: inserts / generic hops ---------------------------------------
+
+    def path_hops(self, source_id: int, key_id: int) -> int:
+        """Request-path hops source -> local SP -> home SP -> owner."""
+        owner = self.topology.network.overlay.responsible_peer(key_id)
+        if owner == source_id:
+            return 1
+        home_sp = self.topology.super_peer_of(owner)
+        local_sp = self.topology.super_peer_of(source_id)
+        return max(
+            1,
+            (source_id != local_sp)
+            + (local_sp != home_sp)
+            + (home_sp != owner),
+        )
+
+    def on_insert(self, key: Any, key_id: int) -> None:
+        """Freshness hook: the insert just routed through the home
+        super-peer, which evicts any cached answer for the key and adds
+        it to the cluster summary."""
+        home = self.topology.home_cluster(key_id)
+        with self._lock:
+            self.stats.inserts += 1
+            # Bump the generation and evict under the same lock the
+            # fill path checks the generation under, so a lookup that
+            # read the pre-insert value can never re-cache it after
+            # this invalidation.
+            self._insert_gens[home.index] = (
+                self._insert_gens.get(home.index, 0) + 1
+            )
+            cache = self._caches.get(home.index)
+            if cache is not None:
+                cache.remove(key)
+            summary = self._summaries.get(home.index)
+            if summary is not None:
+                summary.add(key_id)
+                saturated = summary.saturated
+            else:
+                saturated = False
+        if saturated:
+            # The filter outgrew its sizing: the super-peer asks its
+            # members to re-send summaries and rebuilds at 2x capacity.
+            self._rebuild_cluster_summary(home)
+
+    # -- RoutingPolicy: membership -------------------------------------------------
+
+    def on_membership_change(self) -> None:
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-cluster and rebuild all routing state.
+
+        Key ranges may have moved between clusters (churn handoffs), so
+        the in-network caches are dropped wholesale and every summary is
+        rebuilt from the member storages.  Also the restore hook after a
+        snapshot load placed entries directly into storages.
+        """
+        self.topology.rebuild()
+        with self._lock:
+            self._caches = {}
+            self.stats.rebuilds += 1
+        self._rebuild_summaries()
+
+    # -- path caches -----------------------------------------------------------------
+
+    def _cache_probe(self, cluster_index: int, key: Any) -> Any | None:
+        """The cached payload for ``key`` at the home super-peer
+        (possibly :data:`_ABSENT`), or ``None`` on a miss."""
+        if self.path_cache_capacity < 1:
+            return None
+        with self._lock:
+            cache = self._caches.get(cluster_index)
+        payload = (
+            cache.try_hit(_KeyProbe(key), _CACHE_DEPTH)
+            if cache is not None
+            else None
+        )
+        with self._lock:
+            if payload is None:
+                self.stats.cache_misses += 1
+            else:
+                self.stats.cache_hits += 1
+        return payload
+
+    def _cache_fill(
+        self,
+        cluster_index: int,
+        key: Any,
+        value: Any | None,
+        generation: int,
+    ) -> None:
+        """Cache the response that just retraced through the home
+        super-peer (absences included — repeated lattice probes of
+        never-indexed subsets are the common case).
+
+        ``generation`` is the cluster's insert generation sampled
+        before the owner's storage was read; if any insert hit the
+        cluster since, the read may predate it and the fill is dropped
+        (the put runs under the router lock so it is atomic with
+        :meth:`on_insert`'s bump-and-evict)."""
+        if self.path_cache_capacity < 1:
+            return
+        payload = _ABSENT if value is None else value
+        with self._lock:
+            if self._insert_gens.get(cluster_index, 0) != generation:
+                return
+            cache = self._caches.get(cluster_index)
+            if cache is None:
+                cache = QueryResultCache(self.path_cache_capacity)
+                self._caches[cluster_index] = cache
+            cache.put(_KeyProbe(key), _CACHE_DEPTH, payload)
+
+    # -- summaries ---------------------------------------------------------------------
+
+    def _may_contain(self, cluster_index: int, key_id: int) -> bool:
+        with self._lock:
+            summary = self._summaries.get(cluster_index)
+            # A missing summary claims nothing: forward the lookup.
+            return summary is None or key_id in summary
+
+    def _rebuild_summaries(self) -> None:
+        if not self.use_summaries:
+            with self._lock:
+                self._summaries = {}
+            return
+        for cluster in self.topology.clusters:
+            self._rebuild_cluster_summary(cluster)
+
+    def _rebuild_cluster_summary(self, cluster: Cluster) -> None:
+        """Scan the cluster members' storages into a fresh summary and
+        charge the members' summary shipments to maintenance."""
+        network = self.topology.network
+        member_key_ids: list[list[int]] = []
+        total = 0
+        for member in cluster.members:
+            key_ids = [
+                entry.key_id for entry in network.storage_by_id(member)
+            ]
+            member_key_ids.append(key_ids)
+            total += len(key_ids)
+        summary = ClusterSummary(
+            capacity=max(DEFAULT_SUMMARY_CAPACITY, 2 * total)
+        )
+        with network.accounting.phase_scope(Phase.MAINTENANCE):
+            for member, key_ids in zip(cluster.members, member_key_ids):
+                for key_id in key_ids:
+                    summary.add(key_id)
+                if key_ids and member != cluster.super_peer:
+                    network.log_message(
+                        MessageKind.ROUTING_UPDATE,
+                        member,
+                        cluster.super_peer,
+                        postings=_summary_posting_equivalents(len(key_ids)),
+                    )
+        with self._lock:
+            self._summaries[cluster.index] = summary
+
+    # -- inspection --------------------------------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        """Topology shape + routing/caching counters (backend stats)."""
+        stats = self.stats
+        info: dict[str, object] = dict(self.topology.describe())
+        info.update(
+            {
+                "path_cache_capacity": self.path_cache_capacity,
+                "lookups": stats.lookups,
+                "inserts": stats.inserts,
+                "path_cache_hits": stats.cache_hits,
+                "path_cache_misses": stats.cache_misses,
+                "path_cache_hit_rate": round(stats.cache_hit_rate, 4),
+                "summary_skips": stats.summary_skips,
+            }
+        )
+        return info
+
+
+def _summary_posting_equivalents(num_keys: int) -> int:
+    """Wire size, in postings, of one member's key summary — the same
+    bits-per-element sizing rule as the Bloom baseline's filters."""
+    bits = max(8.0, num_keys * optimal_bits_per_element(0.01))
+    return max(1, math.ceil(bits / 8 / 8))

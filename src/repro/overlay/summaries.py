@@ -1,0 +1,87 @@
+"""Bloom-compressed cluster key summaries.
+
+Each super-peer holds a summary of the key ids stored inside its
+cluster's key range, reusing the Bloom machinery of the
+``single_term_bloom`` baseline (:class:`repro.index.bloom.BloomFilter`
+hashes integers — posting doc ids there, hashed key ids here).  A
+summary answers "might this cluster store key K?":
+
+- **no** is definitive — the home super-peer replies *not found*
+  without the final hop to the responsible peer (the HDK lattice walk
+  probes many never-indexed subsets, so this path is hot);
+- **yes** may be a false positive — the lookup is simply forwarded, so
+  correctness never depends on the filter.
+
+No false negatives by construction: every insert routes through the
+home super-peer, which adds the key id before any later lookup can
+consult the filter, and re-clustering rebuilds summaries from the
+member storages (covering churn handoffs that move keys between
+ranges).  Bloom filters cannot be resized in place, so a summary that
+outgrows its capacity reports :attr:`saturated` and the router rebuilds
+it at double capacity.
+"""
+
+from __future__ import annotations
+
+from ..index.bloom import BloomFilter
+
+__all__ = ["ClusterSummary", "DEFAULT_SUMMARY_CAPACITY"]
+
+#: Fresh-cluster filter sizing (keys); doubled on saturation.
+DEFAULT_SUMMARY_CAPACITY = 1024
+
+
+class ClusterSummary:
+    """A bounded-size membership summary over hashed key ids.
+
+    Args:
+        capacity: element count the filter is sized for.
+        target_fpr: false-positive rate at ``capacity`` elements.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_SUMMARY_CAPACITY,
+        target_fpr: float = 0.01,
+    ) -> None:
+        self.capacity = max(1, capacity)
+        self._filter = BloomFilter.for_capacity(
+            self.capacity, target_fpr=target_fpr
+        )
+
+    def add(self, key_id: int) -> None:
+        """Record that the cluster stores ``key_id``.
+
+        Idempotent: a key id the filter already claims is skipped, so
+        the element count tracks *distinct* keys — every HDK key is
+        inserted once per contributing peer, and counting repeats would
+        saturate the filter (triggering rebuilds) without adding any
+        information.  On a false positive the skip is still sound: the
+        membership test already answers "may contain" for the id.
+        """
+        if key_id not in self._filter:
+            self._filter.add(key_id)
+
+    def __contains__(self, key_id: int) -> bool:
+        """May-contain test (false positives possible, negatives not)."""
+        return key_id in self._filter
+
+    def __len__(self) -> int:
+        """Number of key ids added."""
+        return len(self._filter)
+
+    @property
+    def saturated(self) -> bool:
+        """True once more keys were added than the filter was sized
+        for — the false-positive rate is degrading and the owner should
+        rebuild at a larger capacity."""
+        return len(self._filter) > self.capacity
+
+    def posting_equivalents(self) -> int:
+        """Wire size in postings (the traffic unit maintenance exchange
+        of this summary is charged at)."""
+        return self._filter.posting_equivalents()
+
+    def expected_fpr(self) -> float:
+        """Expected false-positive rate at the current load."""
+        return self._filter.expected_fpr()

@@ -1,0 +1,163 @@
+"""Cluster leaf peers under super-peers by key-range affinity.
+
+Peers are sorted by overlay id and chunked into runs of ``fanout``
+consecutive peers; each run is one *cluster* and its lowest-id member is
+promoted to super-peer.  Because DHT responsibility is the ring
+successor, the peer responsible for any key id lies inside the cluster
+whose id range covers it — so the cluster doubles as the key-range
+routing unit: the super-peers' shared routing index is simply the
+sorted list of cluster boundaries, and the *home* cluster of a key is
+the cluster of its responsible peer.
+
+Membership changes re-cluster from scratch (the peer population is the
+input, not an incremental structure); the registration and
+routing-index-exchange messages this costs are logged under the
+MAINTENANCE phase via a thread-local :meth:`phase_scope`, exactly like
+churn key handoffs — the paper's analysis reports maintenance
+separately from indexing/retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, NetworkError, PeerNotFoundError
+from ..net.accounting import Phase
+from ..net.messages import MessageKind
+from ..net.network import P2PNetwork
+
+__all__ = ["Cluster", "SuperPeerTopology"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One super-peer cluster: a run of consecutive peers on the ring.
+
+    Attributes:
+        index: position in the topology's cluster list.
+        super_peer: overlay id of the promoted member (lowest id).
+        members: all member overlay ids, ascending (includes the
+            super-peer).
+    """
+
+    index: int
+    super_peer: int
+    members: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class SuperPeerTopology:
+    """The cluster map and its maintenance protocol.
+
+    Args:
+        network: the simulated network whose peers are clustered.
+        fanout: maximum leaves per cluster (>= 1).  ``fanout=1`` makes
+            every peer its own super-peer (the degenerate flat-ish
+            case); larger fanouts trade shorter super-peer routing
+            tables against larger clusters.
+
+    Thread-safety: the cluster map is swapped atomically on
+    :meth:`rebuild` (readers see the old or the new map, never a
+    half-built one); rebuilds themselves are driven by membership
+    changes, which the simulator performs sequentially.
+    """
+
+    def __init__(self, network: P2PNetwork, fanout: int = 8) -> None:
+        if fanout < 1:
+            raise ConfigurationError(
+                f"overlay fanout must be >= 1, got {fanout}"
+            )
+        self.network = network
+        self.fanout = fanout
+        self.rebuilds = 0
+        #: (clusters, peer id -> cluster index), swapped as one object.
+        self._state: tuple[tuple[Cluster, ...], dict[int, int]] = ((), {})
+        self.rebuild()
+
+    # -- construction / maintenance ----------------------------------------------
+
+    def rebuild(self) -> None:
+        """Re-cluster the current peer population and account the
+        maintenance traffic (member registrations + the super-peers'
+        routing-index exchange)."""
+        peer_ids = sorted(self.network.overlay.peer_ids())
+        if not peer_ids:
+            raise NetworkError("cannot cluster an empty network")
+        clusters: list[Cluster] = []
+        cluster_of: dict[int, int] = {}
+        for index, start in enumerate(
+            range(0, len(peer_ids), self.fanout)
+        ):
+            members = tuple(peer_ids[start : start + self.fanout])
+            clusters.append(
+                Cluster(
+                    index=index, super_peer=members[0], members=members
+                )
+            )
+            for member in members:
+                cluster_of[member] = index
+        # Thread-local phase override: a rebuild racing with queries in
+        # other threads must not re-attribute their messages.
+        with self.network.accounting.phase_scope(Phase.MAINTENANCE):
+            for cluster in clusters:
+                for member in cluster.members:
+                    if member != cluster.super_peer:
+                        self.network.log_message(
+                            MessageKind.CLUSTER_JOIN,
+                            member,
+                            cluster.super_peer,
+                        )
+            # Every super-peer learns every cluster boundary (the
+            # routing index is tiny: one id per cluster, zero postings).
+            super_peers = [c.super_peer for c in clusters]
+            for source in super_peers:
+                for target in super_peers:
+                    if source != target:
+                        self.network.log_message(
+                            MessageKind.ROUTING_UPDATE, source, target
+                        )
+        self._state = (tuple(clusters), cluster_of)
+        self.rebuilds += 1
+
+    # -- the routing index -------------------------------------------------------
+
+    @property
+    def clusters(self) -> tuple[Cluster, ...]:
+        return self._state[0]
+
+    def cluster_of_peer(self, peer_id: int) -> Cluster:
+        """The cluster ``peer_id`` belongs to."""
+        clusters, cluster_of = self._state
+        try:
+            return clusters[cluster_of[peer_id]]
+        except KeyError:
+            raise PeerNotFoundError(
+                f"peer id {peer_id} not in any cluster"
+            ) from None
+
+    def super_peer_of(self, peer_id: int) -> int:
+        """Overlay id of the super-peer serving ``peer_id``."""
+        return self.cluster_of_peer(peer_id).super_peer
+
+    def home_cluster(self, key_id: int) -> Cluster:
+        """The cluster whose key range covers ``key_id`` — by
+        construction the cluster of the key's responsible peer."""
+        return self.cluster_of_peer(
+            self.network.overlay.responsible_peer(key_id)
+        )
+
+    def super_peers(self) -> list[int]:
+        """Overlay ids of all current super-peers, in cluster order."""
+        return [cluster.super_peer for cluster in self.clusters]
+
+    def describe(self) -> dict[str, int]:
+        """Topology shape counters (for stats/reports)."""
+        clusters = self.clusters
+        return {
+            "fanout": self.fanout,
+            "clusters": len(clusters),
+            "peers": sum(len(c) for c in clusters),
+            "rebuilds": self.rebuilds,
+        }

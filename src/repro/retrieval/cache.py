@@ -133,6 +133,18 @@ class QueryResultCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def remove(self, term_set: frozenset[str]) -> bool:
+        """Drop the single entry cached under ``term_set``, if any.
+
+        The targeted form of :meth:`invalidate`: in-network path caches
+        (:mod:`repro.overlay`) evict exactly the key an insert just
+        superseded instead of flushing everything.
+
+        Returns True when an entry was removed.
+        """
+        with self._lock:
+            return self._entries.pop(term_set, None) is not None
+
     def invalidate(self) -> None:
         """Drop every cached entry (call after the index changes)."""
         with self._lock:

@@ -22,6 +22,7 @@ tombstone records mark deletions until compaction drops them.
 
 from __future__ import annotations
 
+import os
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -229,10 +230,20 @@ class SegmentWriter:
     Creates the file with its header when absent; appending to an
     existing segment resumes at its current end (the store only does this
     for the active segment it itself wrote).
+
+    Args:
+        path: the segment file.
+        sync: fsync on :meth:`close` — the durability knob.  The format
+            is crash-safe either way (a torn tail is detected and
+            skipped on reopen); syncing additionally guarantees that
+            once a segment is *closed* — rollover, store close, snapshot
+            completion — its records survive power loss, not just a
+            process crash.
     """
 
-    def __init__(self, path: Path) -> None:
+    def __init__(self, path: Path, sync: bool = False) -> None:
         self.path = Path(path)
+        self.sync = sync
         existing = self.path.exists()
         self._file: BinaryIO = open(self.path, "ab")
         if not existing or self._file.tell() == 0:
@@ -258,6 +269,8 @@ class SegmentWriter:
     def close(self) -> None:
         if not self._file.closed:
             self._file.flush()
+            if self.sync:
+                os.fsync(self._file.fileno())
             self._file.close()
 
     def __enter__(self) -> "SegmentWriter":

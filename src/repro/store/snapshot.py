@@ -25,6 +25,7 @@ placement used here.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -85,8 +86,14 @@ def save_index_snapshot(
     peer_names: list[str],
     params: dict,
     global_index: GlobalKeyIndex,
+    sync: bool = False,
 ) -> SnapshotManifest:
     """Write a snapshot of ``global_index`` under ``path``.
+
+    With ``sync=True`` every segment file is fsynced as it is closed
+    and the manifest (the snapshot's commit point — :func:`read_manifest`
+    refuses a directory without one) is fsynced after it is written, so
+    a completed save survives power loss, not just a process crash.
 
     Raises:
         StoreError: when ``path`` already holds a snapshot.
@@ -102,7 +109,9 @@ def save_index_snapshot(
         if isinstance(global_index, SpillingGlobalKeyIndex)
         else None
     )
-    out = SegmentStore(target / SEGMENTS_DIRNAME, cache_postings=0)
+    out = SegmentStore(
+        target / SEGMENTS_DIRNAME, cache_postings=0, sync=sync
+    )
     entries = sorted(
         global_index.entries(), key=lambda entry: sorted(entry.key)
     )
@@ -145,6 +154,13 @@ def save_index_snapshot(
         stored_postings += len(postings)
     out.close()
     _write_statistics(target / TERMSTATS_NAME, global_index)
+    if sync:
+        # Everything the manifest will point at must be durable before
+        # the manifest itself is: the statistics file, and the
+        # segments/ directory entries naming the (already-fsynced)
+        # segment files.
+        _fsync_file(target / TERMSTATS_NAME)
+        _fsync_dir(target / SEGMENTS_DIRNAME)
     # Imported here: repro/__init__ pulls in the engine (and through it
     # this module) before it defines __version__.
     from .. import __version__ as repro_version
@@ -162,7 +178,33 @@ def save_index_snapshot(
         json.dumps(asdict(manifest), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
+    if sync:
+        _fsync_file(target / MANIFEST_NAME)
+        _fsync_dir(target)
     return manifest
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush the directory entry itself (best effort: some platforms
+    reject fsync on directory descriptors)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def read_manifest(path: str | Path) -> SnapshotManifest:

@@ -186,6 +186,8 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
             ``0`` spills everything immediately (all reads go through
             the store's block cache).
         store_dir: directory for an implicitly created store.
+        sync: fsync segment files on rollover/close (forwarded to an
+            implicitly created store; ignored when ``store`` is given).
     """
 
     def __init__(
@@ -195,6 +197,7 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         store: SegmentStore | None = None,
         memory_budget: int = DEFAULT_MEMORY_BUDGET,
         store_dir: str | Path | None = None,
+        sync: bool = False,
     ) -> None:
         super().__init__(network, params)
         if memory_budget < 0:
@@ -202,7 +205,7 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
                 f"memory_budget must be >= 0, got {memory_budget}"
             )
         self.store = store or SegmentStore(
-            store_dir, cache_postings=memory_budget
+            store_dir, cache_postings=memory_budget, sync=sync
         )
         self.memory_budget = memory_budget
         # Hot-set bookkeeping is shared by every thread whose reads

@@ -76,6 +76,11 @@ class SegmentStore:
         compact_dead_ratio: trigger compaction when at least this
             fraction of on-disk record bytes is superseded/tombstoned
             (checked after every write; ``1.0`` disables auto-compaction).
+        sync: opt-in durability — fsync every segment file when it is
+            closed (rollover, compaction, :meth:`close`), so completed
+            segments survive power loss.  Off by default: the format is
+            already crash-safe against process kills, and fsync costs
+            milliseconds per rollover.
     """
 
     def __init__(
@@ -85,6 +90,7 @@ class SegmentStore:
         cache_postings: int = 50_000,
         segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
         compact_dead_ratio: float = 0.5,
+        sync: bool = False,
     ) -> None:
         if segment_max_bytes < 1:
             raise StoreError(
@@ -110,6 +116,7 @@ class SegmentStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.segment_max_bytes = segment_max_bytes
         self.compact_dead_ratio = compact_dead_ratio
+        self.sync = sync
         self.cache = BlockCache(cache_postings)
         self._dir: dict[frozenset[str], _DirEntry] = {}
         self._live_bytes = 0
@@ -179,11 +186,17 @@ class SegmentStore:
 
     def _active_writer(self) -> SegmentWriter:
         if self._writer is None:
-            self._writer = SegmentWriter(self._segment_path(self._active_id))
+            self._writer = SegmentWriter(
+                self._segment_path(self._active_id), sync=self.sync
+            )
         elif self._writer.offset >= self.segment_max_bytes:
+            # Rollover: close() fsyncs the retiring segment when the
+            # store's sync knob is on.
             self._writer.close()
             self._active_id += 1
-            self._writer = SegmentWriter(self._segment_path(self._active_id))
+            self._writer = SegmentWriter(
+                self._segment_path(self._active_id), sync=self.sync
+            )
         return self._writer
 
     def _append(self, record: SegmentRecord) -> None:
@@ -418,6 +431,7 @@ class SegmentStore:
         with self._lock:
             return {
                 "directory": str(self.directory),
+                "sync": self.sync,
                 "keys": len(self._dir),
                 "segments": len(self._segment_ids()),
                 "live_bytes": self._live_bytes,

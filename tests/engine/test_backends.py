@@ -20,6 +20,7 @@ from tests.conftest import SMALL_PARAMS
 ALL_BACKENDS = (
     "hdk",
     "hdk_disk",
+    "hdk_super",
     "single_term",
     "single_term_bloom",
     "topk",

@@ -102,7 +102,64 @@ class TestPaperShapes:
         )
 
 
+class TestBackendSweep:
+    """The experiment now runs on SearchService and sweeps arbitrary
+    registry backends alongside the classic ST/HDK pair."""
+
+    @pytest.fixture(scope="class")
+    def sweep_results(self):
+        return GrowthExperiment(
+            TINY_EXPERIMENT,
+            corpus_config=TINY_CORPUS,
+            df_max_values=(6,),
+            include_single_term=False,
+            num_queries=6,
+            backends=("hdk", "hdk_super"),
+        ).run()
+
+    def test_labels_cover_the_sweep(self, sweep_results):
+        labels = {r.label for r in sweep_results}
+        assert labels == {"HDK df_max=6", "hdk_super df_max=6"}
+
+    def test_super_peer_rows_match_hdk_exactly(self, sweep_results):
+        series = series_by_label(sweep_results)
+        for flat, sup in zip(
+            series["HDK df_max=6"], series["hdk_super df_max=6"]
+        ):
+            assert sup.num_peers == flat.num_peers
+            assert (
+                sup.stored_postings_per_peer
+                == flat.stored_postings_per_peer
+            )
+            assert (
+                sup.inserted_postings_per_peer
+                == flat.inserted_postings_per_peer
+            )
+            assert (
+                sup.retrieval_postings_per_query
+                == flat.retrieval_postings_per_query
+            )
+            assert sup.keys_per_query == flat.keys_per_query
+            assert sup.top20_overlap == flat.top20_overlap
+
+    def test_non_hdk_backend_measured_under_its_own_name(self):
+        results = GrowthExperiment(
+            TINY_EXPERIMENT,
+            corpus_config=TINY_CORPUS,
+            df_max_values=(6,),
+            include_single_term=False,
+            num_queries=4,
+            backends=("topk",),
+        ).run()
+        assert {r.label for r in results} == {"topk"}
+        assert all(r.keys_per_query == 0.0 for r in results)
+
+
 class TestValidation:
     def test_bad_num_queries(self):
         with pytest.raises(ConfigurationError):
             GrowthExperiment(TINY_EXPERIMENT, num_queries=0)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            GrowthExperiment(TINY_EXPERIMENT, backends=("kademlia",))

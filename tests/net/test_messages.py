@@ -39,4 +39,6 @@ def test_kind_values_cover_protocol():
         "ndk_notify",
         "stats_publish",
         "handoff",
+        "cluster_join",
+        "routing_update",
     }

@@ -113,7 +113,7 @@ class TestSearchBackends:
 
     @pytest.mark.parametrize(
         "backend",
-        ["hdk", "single_term", "single_term_bloom", "centralized"],
+        ["hdk", "hdk_super", "single_term", "single_term_bloom", "centralized"],
     )
     def test_every_backend_end_to_end(self, backend, capsys):
         code = main(
@@ -155,6 +155,99 @@ class TestSearchBackends:
             main(self.BASE + ["--batch", "-5"])
 
 
+class TestLinkLatencyFlag:
+    BASE = TestSearchBackends.BASE
+
+    def test_latency_end_to_end(self, capsys):
+        code = main(
+            self.BASE
+            + ["t00001 t00002", "--link-latency", "0.0002"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "n_k=" in out
+
+    def test_latency_applies_to_batch_workers(self, capsys):
+        code = main(
+            self.BASE
+            + ["--batch", "6", "--link-latency", "0.0002", "--workers", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache hit rate" in out
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.BASE + ["t00001", "--link-latency", "-0.5"])
+        assert "--link-latency" in str(excinfo.value)
+
+
+class TestOverlayFlags:
+    BASE = TestSearchBackends.BASE + ["--backend", "hdk_super"]
+
+    def test_super_backend_end_to_end(self, capsys):
+        code = main(
+            self.BASE
+            + [
+                "t00001 t00002",
+                "--overlay-fanout",
+                "2",
+                "--path-cache-capacity",
+                "16",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend=hdk_super" in out
+
+    def test_path_cache_disabled(self, capsys):
+        code = main(
+            self.BASE + ["t00001", "--path-cache-capacity", "0"]
+        )
+        assert code == 0
+
+    def test_batch_through_the_hierarchy(self, capsys):
+        code = main(self.BASE + ["--batch", "8", "--overlay-fanout", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "postings transferred" in out
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.BASE + ["t00001", "--overlay-fanout", "0"])
+        assert "--overlay-fanout" in str(excinfo.value)
+
+    def test_negative_path_cache_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.BASE + ["t00001", "--path-cache-capacity", "-1"])
+        assert "--path-cache-capacity" in str(excinfo.value)
+
+
+class TestSyncFlag:
+    def test_sync_save_and_reload(self, tmp_path, capsys):
+        snap = tmp_path / "snap"
+        code = main(
+            TestSearchBackends.BASE
+            + [
+                "t00001 t00002",
+                "--backend",
+                "hdk_disk",
+                "--sync",
+                "--store-dir",
+                str(tmp_path / "store"),
+                "--memory-budget",
+                "100",
+                "--save",
+                str(snap),
+            ]
+        )
+        assert code == 0
+        assert "saved snapshot" in capsys.readouterr().out
+        code = main(["search", "t00001 t00002", "--load", str(snap)])
+        assert code == 0
+        assert "loaded snapshot" in capsys.readouterr().out
+
+
 class TestVersion:
     def test_version_flag(self, capsys):
         from repro import __version__
@@ -166,34 +259,45 @@ class TestVersion:
 
 
 class TestExperiment:
+    TINY = [
+        "experiment",
+        "--docs-per-peer",
+        "20",
+        "--max-peers",
+        "2",
+        "--initial-peers",
+        "2",
+        "--vocabulary",
+        "150",
+        "--doc-length",
+        "25",
+        "--df-max-values",
+        "5",
+        "--df-max",
+        "5",
+        "--window",
+        "6",
+        "--queries",
+        "4",
+    ]
+
     def test_tiny_experiment(self, capsys):
-        code = main(
-            [
-                "experiment",
-                "--docs-per-peer",
-                "20",
-                "--max-peers",
-                "2",
-                "--initial-peers",
-                "2",
-                "--vocabulary",
-                "150",
-                "--doc-length",
-                "25",
-                "--df-max-values",
-                "5",
-                "--df-max",
-                "5",
-                "--window",
-                "6",
-                "--queries",
-                "4",
-            ]
-        )
+        code = main(self.TINY)
         out = capsys.readouterr().out
         assert code == 0
         assert "top-20 overlap %" in out
         assert "ST" in out
+
+    def test_backend_sweep(self, capsys):
+        code = main(self.TINY + ["--backends", "hdk", "hdk_super"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HDK df_max=5" in out
+        assert "hdk_super df_max=5" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.TINY + ["--backends", "kademlia"])
 
 
 class TestPlan:
