@@ -61,10 +61,11 @@ from .errors import (
     RetrievalError,
     StoreError,
 )
+from .indexing import IndexingPipeline
 from .overlay import HierarchicalRouter, SuperPeerTopology
 from .store import SegmentStore, SpillingGlobalKeyIndex
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ExperimentParameters",
@@ -78,6 +79,7 @@ __all__ = [
     "GrowthStepResult",
     "EngineMode",
     "HierarchicalRouter",
+    "IndexingPipeline",
     "P2PSearchEngine",
     "RetrievalBackend",
     "SuperPeerTopology",

@@ -12,7 +12,8 @@ Subcommands::
                       the hdk_disk backend takes --store-dir,
                       --memory-budget, and --sync; the hdk_super
                       backend takes --overlay-fanout and
-                      --path-cache-capacity
+                      --path-cache-capacity; --index-workers builds
+                      the index on the sharded parallel pipeline
     repro experiment  run the Section-5 growth experiment over any
                       backend sweep (--backends)
     repro plan        adaptive parameter planning from a traffic budget
@@ -141,6 +142,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
         )
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.index_workers < 1:
+        raise SystemExit(
+            f"--index-workers must be >= 1, got {args.index_workers}"
+        )
     if args.link_latency < 0.0:
         raise SystemExit(
             f"--link-latency must be >= 0, got {args.link_latency}"
@@ -199,6 +204,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             overlay_fanout=args.overlay_fanout,
             path_cache_capacity=args.path_cache_capacity,
             sync=args.sync,
+            index_workers=args.index_workers,
         )
         service.index()
         print(
@@ -402,6 +408,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="thread-pool width for --batch execution (the backend "
         "section of each query runs genuinely concurrent)",
+    )
+    search.add_argument(
+        "--index-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="thread-pool width of the sharded indexing pipeline used "
+        "to build the index (extraction and message transmission run "
+        "per shard; merges stay ordered, so the built index is "
+        "byte-identical at any value)",
     )
     search.add_argument(
         "--link-latency",

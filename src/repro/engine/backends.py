@@ -47,13 +47,9 @@ from ..config import HDKParameters
 from ..corpus.collection import DocumentCollection
 from ..corpus.querylog import Query
 from ..errors import ConfigurationError, RetrievalError
-from ..hdk.indexer import (
-    IndexingReport,
-    PeerIndexer,
-    run_distributed_indexing,
-    run_incremental_join,
-)
+from ..hdk.indexer import IndexingReport, PeerIndexer
 from ..index.global_index import GlobalKeyIndex
+from ..indexing.pipeline import IndexingPipeline
 from ..net.accounting import TrafficSnapshot
 from ..net.network import P2PNetwork
 from ..overlay import HierarchicalRouter, SuperPeerTopology
@@ -164,6 +160,10 @@ class BackendContext:
             size in keys (``hdk_super``); ``0`` disables path caching.
         sync: fsync segment files on rollover/close (disk-backed
             backends) — the durability knob for real deployments.
+        index_workers: thread-pool width of the sharded indexing
+            pipeline the backend builds with (``repro.indexing``);
+            ``1`` is the sequential reference build, any value is
+            byte-identical to it.
     """
 
     network: P2PNetwork
@@ -173,6 +173,7 @@ class BackendContext:
     overlay_fanout: int = 8
     path_cache_capacity: int = 128
     sync: bool = False
+    index_workers: int = 1
 
 
 @runtime_checkable
@@ -276,6 +277,24 @@ class BackendRegistry:
 registry = BackendRegistry()
 
 
+def _guard_double_index(
+    backend: "RetrievalBackend", indexed: bool
+) -> None:
+    """Make double-build explicit: ``index()`` *starts* at most once per
+    backend instance.  Re-running it — after success or after a failed
+    attempt — would replay the publication protocol into an already
+    (partially) populated index: duplicate inserts, double-counted
+    statistics, silent corruption.  Growth goes through ``add_peers()``;
+    recovery from a failed build goes through a fresh backend."""
+    if indexed:
+        raise ConfigurationError(
+            f"backend {backend.name!r} already ran index(); it runs once "
+            "per backend (even a failed run leaves partial state) — grow "
+            "the population with add_peers(), or construct a fresh "
+            "backend to rebuild"
+        )
+
+
 # -- HDK ------------------------------------------------------------------------
 
 
@@ -286,19 +305,28 @@ class HDKBackend:
     def __init__(self, context: BackendContext) -> None:
         self.context = context
         self.global_index = self._make_index(context)
+        #: The shared build path: initial builds and incremental joins
+        #: both run through this sharded pipeline (sequential when
+        #: ``context.index_workers == 1``, byte-identical either way).
+        self.pipeline = IndexingPipeline(workers=context.index_workers)
         self._indexers: list[PeerIndexer] = []
         self._engine: HDKRetrievalEngine | None = None
+        self._index_started = False
 
     def _make_index(self, context: BackendContext) -> GlobalKeyIndex:
         return GlobalKeyIndex(context.network, context.params)
 
     def index(self, peers: list[Peer]) -> list[IndexingReport]:
+        # Guard on *started*, not succeeded: a failed build leaves
+        # partial state a retry would double-publish into.
+        _guard_double_index(self, self._index_started)
+        self._index_started = True
         params = self.context.params
         self._indexers = [
             PeerIndexer(peer.name, peer.collection, self.global_index, params)
             for peer in peers
         ]
-        reports = run_distributed_indexing(self._indexers, params)
+        reports = self.pipeline.build(self._indexers, params)
         self._engine = HDKRetrievalEngine(self.global_index, params)
         return reports
 
@@ -308,7 +336,7 @@ class HDKBackend:
             PeerIndexer(peer.name, peer.collection, self.global_index, params)
             for peer in new_peers
         ]
-        reports = run_incremental_join(self._indexers, joining, params)
+        reports = self.pipeline.join(self._indexers, joining, params)
         self._indexers.extend(joining)
         return reports
 
@@ -334,6 +362,7 @@ class HDKBackend:
         """Mark the backend queryable after its global index was
         populated externally (snapshot load): builds the retrieval
         engine without running the indexing protocol."""
+        self._index_started = True  # index() must not replay onto it
         self._engine = HDKRetrievalEngine(
             self.global_index, self.context.params
         )
@@ -456,10 +485,13 @@ class _SingleTermIndexedBackend:
         self._peers: list[Peer] = []
         self._indexers: list[SingleTermIndexer] = []
         self._engine: Any = None
+        self._index_started = False
 
     # -- indexing (shared) ------------------------------------------------------
 
     def index(self, peers: list[Peer]) -> list[IndexingReport]:
+        _guard_double_index(self, self._index_started)
+        self._index_started = True
         return self._index_new(peers)
 
     def add_peers(self, new_peers: list[Peer]) -> list[IndexingReport]:
@@ -638,8 +670,11 @@ class CentralizedBackend:
         self.context = context
         self._peers: list[Peer] = []
         self._engine: CentralizedBM25Engine | None = None
+        self._index_started = False
 
     def index(self, peers: list[Peer]) -> list[IndexingReport]:
+        _guard_double_index(self, self._index_started)
+        self._index_started = True
         return self._absorb(peers)
 
     def add_peers(self, new_peers: list[Peer]) -> list[IndexingReport]:

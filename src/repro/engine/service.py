@@ -44,7 +44,12 @@ from ..corpus.querylog import Query
 from ..errors import ConfigurationError, RetrievalError
 from ..hdk.indexer import IndexingReport
 from ..index.global_index import GlobalKeyIndex
-from ..net.accounting import Phase, TrafficAccounting, TrafficSnapshot
+from ..net.accounting import (
+    Phase,
+    TrafficAccounting,
+    TrafficSnapshot,
+    empty_snapshot,
+)
 from ..net.chord import ChordOverlay, Overlay
 from ..net.network import P2PNetwork
 from ..net.pgrid import PGridOverlay
@@ -193,6 +198,9 @@ class SearchService:
             size (``hdk_super``); ``0`` disables path caching.
         sync: fsync segment files on rollover/close and the snapshot
             manifest on :meth:`save` (disk-backed durability knob).
+        index_workers: thread-pool width of the sharded indexing
+            pipeline (:mod:`repro.indexing`) the backend builds with;
+            the build outcome is byte-identical at any value.
     """
 
     def __init__(
@@ -209,6 +217,7 @@ class SearchService:
         overlay_fanout: int = 8,
         path_cache_capacity: int = 128,
         sync: bool = False,
+        index_workers: int = 1,
     ) -> None:
         if not peers:
             raise ConfigurationError("service needs at least one peer")
@@ -228,6 +237,7 @@ class SearchService:
                 overlay_fanout=overlay_fanout,
                 path_cache_capacity=path_cache_capacity,
                 sync=sync,
+                index_workers=index_workers,
             )
             self.backend: RetrievalBackend = reg.create(backend, context)
         else:
@@ -266,6 +276,7 @@ class SearchService:
         overlay_fanout: int = 8,
         path_cache_capacity: int = 128,
         sync: bool = False,
+        index_workers: int = 1,
     ) -> "SearchService":
         """Build a service over ``collection`` split across ``num_peers``.
 
@@ -292,6 +303,9 @@ class SearchService:
                 super-peer (``hdk_super``).
             sync: fsync segments on rollover/close and the manifest on
                 :meth:`save`.
+            index_workers: worker threads for the sharded indexing
+                pipeline :meth:`index` (and :meth:`add_peers`) runs on;
+                byte-identical results at any value.
         """
         if not isinstance(backend, str):
             raise ConfigurationError(
@@ -320,14 +334,26 @@ class SearchService:
             overlay_fanout=overlay_fanout,
             path_cache_capacity=path_cache_capacity,
             sync=sync,
+            index_workers=index_workers,
         )
 
     # -- indexing ----------------------------------------------------------------
 
     def index(self) -> list[IndexingReport]:
-        """Run the backend's indexing protocol over the initial peers."""
+        """Run the backend's indexing protocol over the initial peers.
+
+        Runs exactly once per service: a second call would replay the
+        whole publication protocol into the already-populated index
+        (duplicate inserts, double-counted statistics), so double-build
+        is an explicit :class:`ConfigurationError` — both here and at
+        the backend seam — rather than a silent re-run.  Grow an indexed
+        service with :meth:`add_peers`.
+        """
         if self._indexed:
-            raise ConfigurationError("service is already indexed")
+            raise ConfigurationError(
+                "service is already indexed; index() runs once — grow "
+                "with add_peers() or build a fresh service to rebuild"
+            )
         self.network.accounting.set_phase(Phase.INDEXING)
         self._reports = self.backend.index(self.peers)
         self._indexed = True
@@ -467,7 +493,7 @@ class SearchService:
         response.keys_found = 0
         response.dk_keys = 0
         response.ndk_keys = 0
-        response.traffic = _empty_snapshot()
+        response.traffic = empty_snapshot()
         response.elapsed_ms = _ms_since(started)
         return response
 
@@ -807,15 +833,6 @@ class SearchService:
         if self.cache is None:
             return 0, 0
         return self.cache.stats.hits, self.cache.stats.misses
-
-
-def _empty_snapshot() -> TrafficSnapshot:
-    return TrafficSnapshot(
-        postings_by_phase={},
-        messages_by_phase={},
-        hops_by_phase={},
-        messages_by_kind={},
-    )
 
 
 def _ms_since(started: float) -> float:

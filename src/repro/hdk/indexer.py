@@ -9,6 +9,28 @@ non-discriminative, and expands those in the next round.
 The driver operates on *sets of peers* (the paper's peers index
 collaboratively): statuses discovered globally in round ``s`` feed every
 peer's round ``s+1``, exactly like the prototype's NDK notification flow.
+
+Each protocol step a peer takes is split into three phases so the
+sharded pipeline (:mod:`repro.indexing`) can parallelize the build
+without changing a single byte of its outcome:
+
+- **extract** (:meth:`PeerIndexer.extract_statistics`,
+  :meth:`PeerIndexer.extract_round`) — pure CPU over the peer's local
+  documents; touches neither the network nor shared state, so shard
+  workers run it concurrently;
+- **stage** (:meth:`PeerIndexer.send_statistics`,
+  :meth:`PeerIndexer.stage_round`) — transmission: logs the routed
+  messages and pays their simulated link latency, without mutating the
+  index; safe to overlap across peers;
+- **apply** (:meth:`PeerIndexer.aggregate_statistics`,
+  :meth:`PeerIndexer.apply_round`) — the order-sensitive part (merges,
+  NDK transitions, notification fan-out), always executed in the
+  sequential protocol's deterministic peer order.
+
+The classic one-shot surfaces (:meth:`PeerIndexer.publish_statistics`,
+:meth:`PeerIndexer.run_round`, :func:`run_distributed_indexing`,
+:func:`run_incremental_join`) compose the phases in place and remain the
+reference sequential protocol.
 """
 
 from __future__ import annotations
@@ -18,13 +40,29 @@ from dataclasses import dataclass, field
 from ..config import HDKParameters
 from ..corpus.collection import DocumentCollection
 from ..errors import KeyGenerationError
-from ..index.global_index import GlobalKeyIndex, KeyStatus
+from ..index.global_index import GlobalKeyIndex, KeyStatus, StagedInsert
 from ..index.postings import PostingList
-from ..net.accounting import Phase
+from ..net.accounting import TrafficSnapshot, merge_snapshots
 from .generator import LocalHDKGenerator
 from .semantic import filter_candidates_by_pmi
 
-__all__ = ["IndexingReport", "PeerIndexer", "run_distributed_indexing"]
+__all__ = [
+    "IndexingReport",
+    "PeerIndexer",
+    "PeerStatistics",
+    "run_distributed_indexing",
+    "run_incremental_join",
+]
+
+
+@dataclass(frozen=True)
+class PeerStatistics:
+    """One peer's extracted local statistics (the stats-publication
+    payload): term -> (df, cf), plus document count and total length."""
+
+    term_stats: dict[str, tuple[int, int]]
+    num_documents: int
+    total_doc_length: int
 
 
 @dataclass
@@ -38,12 +76,20 @@ class IndexingReport:
         candidate_keys_by_size: key size -> number of proposed keys.
         ndk_keys_by_size: key size -> how many of the peer's proposals were
             (or became) globally non-discriminative.
+        traffic: the per-phase traffic window this peer's publication
+            activity generated (statistics publication, key inserts with
+            their transition notifications, and any NDK-expansion
+            cascades) — measured through thread-scoped windows, so it is
+            exact at any pipeline worker count and byte-identical to the
+            sequential build's attribution.  ``None`` until a driver
+            (:mod:`repro.indexing`) attaches it.
     """
 
     peer_name: str
     inserted_postings_by_size: dict[int, int] = field(default_factory=dict)
     candidate_keys_by_size: dict[int, int] = field(default_factory=dict)
     ndk_keys_by_size: dict[int, int] = field(default_factory=dict)
+    traffic: TrafficSnapshot | None = None
 
     @property
     def total_inserted_postings(self) -> int:
@@ -52,6 +98,13 @@ class IndexingReport:
     @property
     def total_candidate_keys(self) -> int:
         return sum(self.candidate_keys_by_size.values())
+
+    def add_traffic(self, snapshot: TrafficSnapshot) -> None:
+        """Fold another measured window into this report's traffic."""
+        if self.traffic is None:
+            self.traffic = snapshot
+        else:
+            self.traffic = merge_snapshots(self.traffic, snapshot)
 
 
 class PeerIndexer:
@@ -106,8 +159,9 @@ class PeerIndexer:
 
     # -- statistics publication --------------------------------------------------
 
-    def publish_statistics(self) -> None:
-        """Publish local term df/cf plus document-count statistics."""
+    def extract_statistics(self) -> PeerStatistics:
+        """Compute local term df/cf plus document-count statistics (pure
+        CPU; no network, no shared state)."""
         term_stats: dict[str, tuple[int, int]] = {}
         total_length = 0
         for doc in self.collection:
@@ -115,18 +169,46 @@ class PeerIndexer:
             for term, tf in doc.term_frequencies().items():
                 df, cf = term_stats.get(term, (0, 0))
                 term_stats[term] = (df + 1, cf + tf)
-        self.global_index.publish_term_stats(
-            self.peer_name,
-            term_stats,
+        return PeerStatistics(
+            term_stats=term_stats,
             num_documents=len(self.collection),
             total_doc_length=total_length,
         )
 
+    def send_statistics(self, statistics: PeerStatistics) -> None:
+        """Transmission phase: log/pay the STATS_PUBLISH message."""
+        self.global_index.send_term_stats(
+            self.peer_name, statistics.term_stats
+        )
+
+    def aggregate_statistics(self, statistics: PeerStatistics) -> None:
+        """Application phase: fold the statistics into the global
+        directory (run in deterministic peer order by the pipeline)."""
+        self.global_index.aggregate_term_stats(
+            statistics.term_stats,
+            num_documents=statistics.num_documents,
+            total_doc_length=statistics.total_doc_length,
+        )
+
+    def publish_statistics(self) -> None:
+        """Publish local term df/cf plus document-count statistics (the
+        one-shot sequential composition of the three phases)."""
+        statistics = self.extract_statistics()
+        self.aggregate_statistics(statistics)
+        self.send_statistics(statistics)
+
     # -- indexing rounds --------------------------------------------------------------
 
-    def run_round(self, key_size: int) -> dict[frozenset[str], KeyStatus]:
-        """Run one generation+insertion round; returns the statuses of the
-        keys this peer proposed in the round."""
+    def extract_round(
+        self, key_size: int
+    ) -> dict[frozenset[str], PostingList]:
+        """Run one round's candidate generation (pure CPU).
+
+        Reads only this peer's own learned statuses and the global
+        statistics directory (stable between rounds), so shard workers
+        extract different peers' rounds concurrently; returns the
+        semantically filtered candidate -> local posting list map.
+        """
         if key_size == 1:
             very_frequent = frozenset(self.global_index.very_frequent_terms())
             round_ = self.generator.round_one(very_frequent)
@@ -145,24 +227,50 @@ class PeerIndexer:
             round_ = self.generator.next_round(
                 key_size, ndk_terms, previous_ndk
             )
-        candidates = self._apply_semantic_filter(round_.candidates)
+        return self._apply_semantic_filter(round_.candidates)
+
+    def stage_round(
+        self, candidates: dict[frozenset[str], PostingList]
+    ) -> list[StagedInsert]:
+        """Transmission phase: log/pay one INSERT message per candidate
+        (NDK posting-list policy applied) without touching the index."""
+        return [
+            self.global_index.stage_insert(
+                self.peer_name,
+                key,
+                self._insertion_payload(posting_list),
+                local_df=len(posting_list),
+            )
+            for key, posting_list in candidates.items()
+        ]
+
+    def apply_round(
+        self, key_size: int, staged: list[StagedInsert]
+    ) -> dict[frozenset[str], KeyStatus]:
+        """Application phase: merge the staged inserts (in staging
+        order), learn the acknowledged statuses, and update the report.
+        Order-sensitive — the pipeline serializes calls across peers."""
         statuses: dict[frozenset[str], KeyStatus] = {}
         inserted_postings = 0
-        for key, posting_list in candidates.items():
-            payload = self._insertion_payload(posting_list)
-            status = self.global_index.insert(
-                self.peer_name, key, payload, local_df=len(posting_list)
-            )
-            statuses[key] = status
-            self._known_status[key] = status
-            self._submitted.add(key)
-            inserted_postings += len(payload)
-        self.report.candidate_keys_by_size[key_size] = len(candidates)
+        for staged_insert in staged:
+            status = self.global_index.apply_staged(staged_insert)
+            statuses[staged_insert.key] = status
+            self._known_status[staged_insert.key] = status
+            self._submitted.add(staged_insert.key)
+            inserted_postings += len(staged_insert.payload)
+        self.report.candidate_keys_by_size[key_size] = len(staged)
         self.report.inserted_postings_by_size[key_size] = (
             self.report.inserted_postings_by_size.get(key_size, 0)
             + inserted_postings
         )
         return statuses
+
+    def run_round(self, key_size: int) -> dict[frozenset[str], KeyStatus]:
+        """Run one generation+insertion round; returns the statuses of the
+        keys this peer proposed in the round."""
+        return self.apply_round(
+            key_size, self.stage_round(self.extract_round(key_size))
+        )
 
     def _insertion_payload(self, posting_list: PostingList) -> PostingList:
         """Locally non-discriminative keys only publish their local
@@ -281,27 +389,19 @@ def run_incremental_join(
     exactly on status, df, and postings.  Retiring such keys is the
     "adaptive parameters" future work the paper's conclusion sketches.
 
+    Delegates to a single-worker :class:`repro.indexing.IndexingPipeline`
+    (the sequential reference execution of the shared build path).
+
     Returns the reports of the joining peers.
     """
-    if not joining_indexers:
-        raise KeyGenerationError("no joining peers")
-    global_index = joining_indexers[0].global_index
-    global_index.set_phase(Phase.INDEXING)
-    # Discard transitions from the original build: its reconciliation
-    # already delivered them.
-    global_index.drain_transitions()
-    for indexer in joining_indexers:
-        indexer.publish_statistics()
-    for key_size in range(1, params.s_max + 1):
-        for indexer in joining_indexers:
-            indexer.run_round(key_size)
-    _run_expansion_cascade(
-        existing_indexers + joining_indexers, global_index, params
+    from ..indexing.pipeline import IndexingPipeline
+
+    return IndexingPipeline().join(
+        existing_indexers, joining_indexers, params
     )
-    return [indexer.report for indexer in joining_indexers]
 
 
-def _run_expansion_cascade(
+def run_expansion_cascade(
     indexers: list[PeerIndexer],
     global_index: GlobalKeyIndex,
     params: HDKParameters,
@@ -313,7 +413,16 @@ def _run_expansion_cascade(
     then each contributor expands its transitioned keys.  Expansions that
     come back NDK enter the next batch implicitly through the index's
     transition log; already-NDK acks are cascaded explicitly.
+
+    Deliberately sequential at any pipeline worker count: within a batch
+    one peer's expansion extraction can depend on its own earlier
+    expansions (same-size sub-key checks across mixed-size batches), so
+    the cascade is ordered work by construction — and it is small, since
+    only transitioned keys enter it.  Each expansion runs under a
+    thread-scoped traffic window attributed to the expanding peer's
+    report.
     """
+    accounting = global_index.network.accounting
     by_overlay_id = {indexer.overlay_id: indexer for indexer in indexers}
     pending = global_index.drain_transitions()
     # Acked-NDK expansions that never transition (inserted already-NDK).
@@ -343,13 +452,19 @@ def _run_expansion_cascade(
                 indexer = by_overlay_id.get(overlay_id)
                 if indexer is None:
                     continue
-                statuses = indexer.expand_transitioned_key(key)
+                with accounting.measure(scope="thread") as window:
+                    statuses = indexer.expand_transitioned_key(key)
+                indexer.report.add_traffic(window.delta)
                 for candidate, status in statuses.items():
                     if status is KeyStatus.NON_DISCRIMINATIVE:
                         extra.append(
                             (candidate, frozenset((overlay_id,)))
                         )
         pending = global_index.drain_transitions()
+
+
+#: Back-compat alias (pre-pipeline private name).
+_run_expansion_cascade = run_expansion_cascade
 
 
 def run_distributed_indexing(
@@ -364,39 +479,20 @@ def run_distributed_indexing(
     whose proposed key became NDK through a later peer's insert are brought
     up to date, standing in for asynchronous NDK notifications.
 
+    Delegates to a single-worker :class:`repro.indexing.IndexingPipeline`
+    (the sequential reference execution of the shared build path; pass a
+    pipeline with ``workers > 1`` for the sharded multi-core build,
+    which is byte-identical by construction).
+
     Returns each peer's :class:`IndexingReport`.
     """
-    if not indexers:
-        raise KeyGenerationError("no peers to index with")
-    global_index = indexers[0].global_index
-    global_index.set_phase(Phase.INDEXING)
-    for indexer in indexers:
-        indexer.publish_statistics()
-    for key_size in range(1, params.s_max + 1):
-        proposed: dict[frozenset[str], set[int]] = {}
-        for position, indexer in enumerate(indexers):
-            statuses = indexer.run_round(key_size)
-            for key in statuses:
-                proposed.setdefault(key, set()).add(position)
-            indexer.report.ndk_keys_by_size[key_size] = sum(
-                1
-                for status in statuses.values()
-                if status is KeyStatus.NON_DISCRIMINATIVE
-            )
-        # Reconciliation: a key inserted early in the round may have turned
-        # NDK after later inserts; deliver the final statuses to all
-        # proposers (the notification path already logged the messages).
-        for key, proposer_positions in proposed.items():
-            entry = _entry_of(global_index, key)
-            if entry is None:
-                continue
-            for position in proposer_positions:
-                indexers[position].learn_status(key, entry.status)
-    return [indexer.report for indexer in indexers]
+    from ..indexing.pipeline import IndexingPipeline
+
+    return IndexingPipeline().build(indexers, params)
 
 
-def _entry_of(global_index: GlobalKeyIndex, key: frozenset[str]):
-    """Read a stored entry without logging retrieval traffic (the
+def entry_of(global_index: GlobalKeyIndex, key: frozenset[str]):
+    """Read a stored entry without logging retrieval traffic (round
     reconciliation piggybacks on the already-logged notifications)."""
     network = global_index.network
     target = network.responsible_peer_for(key)
@@ -404,3 +500,7 @@ def _entry_of(global_index: GlobalKeyIndex, key: frozenset[str]):
         if storage.peer_id == target:
             return storage.get(key)
     return None
+
+
+#: Back-compat alias (pre-pipeline private name).
+_entry_of = entry_of

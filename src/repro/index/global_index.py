@@ -30,7 +30,7 @@ from ..net.network import P2PNetwork
 from .bm25 import TermStats
 from .postings import PostingList
 
-__all__ = ["KeyStatus", "GlobalEntry", "GlobalKeyIndex"]
+__all__ = ["KeyStatus", "GlobalEntry", "GlobalKeyIndex", "StagedInsert"]
 
 #: Logical keys are canonical term sets.
 Key = frozenset
@@ -77,6 +77,32 @@ class GlobalEntry:
     def posting_count(self) -> int:
         """Stored posting count (drives handoff payload accounting)."""
         return len(self.postings)
+
+
+@dataclass(frozen=True)
+class StagedInsert:
+    """An insert whose transmission has been paid but whose merge has
+    not yet been applied.
+
+    Produced by :meth:`GlobalKeyIndex.stage_insert` (which validates the
+    payload and logs the routed INSERT message) and consumed by
+    :meth:`GlobalKeyIndex.apply_staged` (which runs the merge at the
+    responsible peer).  The split is what lets the parallel indexing
+    pipeline pay transmission latency concurrently across shard workers
+    while merges — the order-sensitive part of the protocol — are
+    applied in one deterministic sequence.
+
+    Attributes:
+        source_peer_name: the inserting peer.
+        key: the term set.
+        payload: the published (possibly locally truncated) postings.
+        local_df: the peer's true local document frequency for the key.
+    """
+
+    source_peer_name: str
+    key: frozenset[str]
+    payload: PostingList
+    local_df: int
 
 
 class GlobalKeyIndex:
@@ -130,6 +156,22 @@ class GlobalKeyIndex:
         Returns the key's status after the insert (what the inserting peer
         learns from the acknowledgement).
         """
+        return self.apply_staged(
+            self.stage_insert(source_peer_name, key, local_postings, local_df)
+        )
+
+    def stage_insert(
+        self,
+        source_peer_name: str,
+        key: frozenset[str],
+        local_postings: PostingList,
+        local_df: int | None = None,
+    ) -> StagedInsert:
+        """Transmission phase of :meth:`insert`: validate the payload and
+        log/pay the routed INSERT message, without touching the stored
+        entry.  Safe to run concurrently across peers; the returned
+        :class:`StagedInsert` must then go through :meth:`apply_staged`
+        in the protocol's deterministic order."""
         if not key:
             raise IndexError_("cannot insert the empty key")
         if len(local_postings) == 0:
@@ -143,7 +185,30 @@ class GlobalKeyIndex:
                 f"local_df ({local_df}) below published postings "
                 f"({len(local_postings)}) for {key_repr(key)}"
             )
-        source_id = self.network.id_of(source_peer_name)
+        self.network.send_insert(
+            source_peer_name,
+            key,
+            payload_postings=len(local_postings),
+            key_repr=key_repr(key),
+        )
+        return StagedInsert(
+            source_peer_name=source_peer_name,
+            key=key,
+            payload=local_postings,
+            local_df=local_df,
+        )
+
+    def apply_staged(self, staged: StagedInsert) -> KeyStatus:
+        """Application phase of :meth:`insert`: merge the staged payload
+        into the global entry at the responsible peer, update the global
+        df, truncate NDK lists, and send NDK notifications on a DK->NDK
+        transition.  Merge order determines NDK truncation contents,
+        transition timing, and notification fan-out, so the parallel
+        pipeline serializes calls in the sequential build's order."""
+        key = staged.key
+        local_postings = staged.payload
+        local_df = staged.local_df
+        source_id = self.network.id_of(staged.source_peer_name)
         params = self.params
         transition: list[GlobalEntry] = []
 
@@ -181,13 +246,7 @@ class GlobalKeyIndex:
                 transition.append(entry)
             return entry
 
-        entry = self.network.insert(
-            source_peer_name,
-            key,
-            merge,
-            payload_postings=len(local_postings),
-            key_repr=key_repr(key),
-        )
+        entry = self.network.apply_insert(key, merge)
         if transition:
             self._notify_contributors(entry)
             self._transition_log.append(
@@ -263,8 +322,40 @@ class GlobalKeyIndex:
         """Publish a peer's local term statistics: term -> (df, cf).
 
         Aggregated into the global directory; one STATS_PUBLISH message per
-        term batch is logged (metadata, zero postings).
+        term batch is logged (metadata, zero postings).  Composition of
+        :meth:`aggregate_term_stats` (directory mutation) and
+        :meth:`send_term_stats` (the message) — the parallel pipeline
+        drives the phases separately, paying transmission on shard
+        workers and aggregating in deterministic peer order.
         """
+        self.aggregate_term_stats(
+            term_frequencies, num_documents, total_doc_length
+        )
+        self.send_term_stats(source_peer_name, term_frequencies)
+
+    def send_term_stats(
+        self,
+        source_peer_name: str,
+        term_frequencies: dict[str, tuple[int, int]],
+    ) -> None:
+        """Transmission phase of a statistics publication: log/pay the
+        STATS_PUBLISH message without touching the directory."""
+        if term_frequencies:
+            self.network.publish_stats(
+                source_peer_name, next(iter(term_frequencies)), postings=0
+            )
+
+    def aggregate_term_stats(
+        self,
+        term_frequencies: dict[str, tuple[int, int]],
+        num_documents: int,
+        total_doc_length: int,
+    ) -> None:
+        """Aggregation phase of a statistics publication: fold a peer's
+        local statistics into the global directory (no message).  The
+        sums are commutative, but the directory's iteration order — and
+        therefore snapshot bytes — follows aggregation order, so the
+        pipeline aggregates in peer order at any worker count."""
         for term, (df, cf) in term_frequencies.items():
             existing = self._term_stats.get(term)
             if existing is None:
@@ -281,10 +372,6 @@ class GlobalKeyIndex:
                 )
         self._num_documents += num_documents
         self._total_doc_length += total_doc_length
-        if term_frequencies:
-            self.network.publish_stats(
-                source_peer_name, next(iter(term_frequencies)), postings=0
-            )
 
     def term_stats(self, term: str) -> TermStats | None:
         """Global statistics of ``term`` (None when never published)."""

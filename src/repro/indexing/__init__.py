@@ -1,0 +1,34 @@
+"""Sharded, multi-worker index construction (`repro.indexing`).
+
+The subsystem behind ``SearchService.build(..., index_workers=N)`` and
+the CLI's ``--index-workers``: a deterministic three-stage pipeline
+(extract per shard → stage transmission per shard → apply merges in
+sequential order) that parallelizes the build path while keeping every
+byte of the outcome — index contents, statistics directory, per-peer
+reports, traffic totals — identical to the sequential protocol.  See
+:mod:`repro.indexing.pipeline` for the stage contract and
+:mod:`repro.indexing.verify` for the fingerprints that enforce it.
+"""
+
+from .pipeline import IndexingPipeline
+from .shards import Shard, plan_shards
+from .verify import (
+    build_fingerprint,
+    entries_fingerprint,
+    postings_fingerprint,
+    reports_fingerprint,
+    termstats_fingerprint,
+    traffic_fingerprint,
+)
+
+__all__ = [
+    "IndexingPipeline",
+    "Shard",
+    "build_fingerprint",
+    "entries_fingerprint",
+    "plan_shards",
+    "postings_fingerprint",
+    "reports_fingerprint",
+    "termstats_fingerprint",
+    "traffic_fingerprint",
+]

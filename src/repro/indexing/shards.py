@@ -1,0 +1,66 @@
+"""Deterministic peer-shard planning for the parallel build pipeline.
+
+A *shard* is a contiguous run of peer positions processed as one unit of
+work by a pipeline worker.  The plan depends only on ``(num_items,
+num_shards)`` — never on thread timing — so the work decomposition, and
+therefore every per-shard extraction input, is identical from run to run
+and from worker count to worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["Shard", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of pipeline work: a contiguous run of item positions.
+
+    Attributes:
+        index: the shard's position in the plan (0-based).
+        members: the item positions this shard covers, ascending.
+    """
+
+    index: int
+    members: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def plan_shards(num_items: int, num_shards: int) -> list[Shard]:
+    """Partition ``range(num_items)`` into at most ``num_shards``
+    contiguous, balanced shards.
+
+    Shard sizes differ by at most one (the first ``num_items mod
+    num_shards`` shards take the extra item); empty shards are never
+    produced, so with fewer items than shards the plan shrinks.
+
+    Raises:
+        ConfigurationError: ``num_items < 0`` or ``num_shards < 1``.
+    """
+    if num_items < 0:
+        raise ConfigurationError(
+            f"num_items must be >= 0, got {num_items}"
+        )
+    if num_shards < 1:
+        raise ConfigurationError(
+            f"num_shards must be >= 1, got {num_shards}"
+        )
+    count = min(num_shards, num_items)
+    if count == 0:
+        return []
+    base, extra = divmod(num_items, count)
+    shards: list[Shard] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        shards.append(
+            Shard(index=index, members=tuple(range(start, start + size)))
+        )
+        start += size
+    return shards

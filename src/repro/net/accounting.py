@@ -43,6 +43,8 @@ __all__ = [
     "TrafficSnapshot",
     "TrafficWindow",
     "diff_snapshots",
+    "empty_snapshot",
+    "merge_snapshots",
 ]
 
 
@@ -342,6 +344,40 @@ class TrafficWindow:
             with self._accounting._lock:
                 return self._materialize()
         return self._materialize()
+
+
+def empty_snapshot() -> TrafficSnapshot:
+    """An all-zero snapshot (cache hits, unmeasured operations)."""
+    return TrafficSnapshot(
+        postings_by_phase={},
+        messages_by_phase={},
+        hops_by_phase={},
+        messages_by_kind={},
+    )
+
+
+def merge_snapshots(*snapshots: TrafficSnapshot) -> TrafficSnapshot:
+    """Sum every counter across ``snapshots``.
+
+    Used to accumulate one logical operation's traffic out of several
+    measurement windows — e.g. a peer's per-phase indexing windows
+    opened round by round on whichever shard worker staged its inserts.
+    """
+    postings: Counter[Phase] = Counter()
+    messages: Counter[Phase] = Counter()
+    hops: Counter[Phase] = Counter()
+    by_kind: Counter[MessageKind] = Counter()
+    for snapshot in snapshots:
+        postings.update(snapshot.postings_by_phase)
+        messages.update(snapshot.messages_by_phase)
+        hops.update(snapshot.hops_by_phase)
+        by_kind.update(snapshot.messages_by_kind)
+    return TrafficSnapshot(
+        postings_by_phase=dict(postings),
+        messages_by_phase=dict(messages),
+        hops_by_phase=dict(hops),
+        messages_by_kind=dict(by_kind),
+    )
 
 
 def diff_snapshots(

@@ -295,8 +295,31 @@ class P2PNetwork:
         the insert message carries (local posting list size), which is what
         the paper's indexing-cost figures count.
 
+        The operation is the composition of its two phases —
+        :meth:`send_insert` (transmission: message logging + simulated
+        latency) and :meth:`apply_insert` (the merge at the responsible
+        peer).  The parallel indexing pipeline drives the phases
+        separately: shard workers pay transmission concurrently while
+        the merges are applied in one deterministic order.
+
         Returns the merged stored value.
         """
+        self.send_insert(
+            source_peer_name, key, payload_postings, key_repr=key_repr
+        )
+        return self.apply_insert(key, merge)
+
+    def send_insert(
+        self,
+        source_peer_name: str,
+        key: Any,
+        payload_postings: int,
+        key_repr: str = "",
+    ) -> None:
+        """Transmission phase of an insert: log the routed INSERT message
+        and pay its simulated link latency.  Touches no storage, so
+        concurrent sends for different peers are safe; the insert
+        completes when :meth:`apply_insert` runs its merge."""
         source_id = self.id_of(source_peer_name)
         key_id = self._key_id(key)
         target_id = self.overlay.responsible_peer(key_id)
@@ -311,6 +334,17 @@ class P2PNetwork:
                 key_repr=key_repr or repr(key),
             )
         )
+
+    def apply_insert(
+        self, key: Any, merge: Callable[[Any | None], Any]
+    ) -> Any:
+        """Application phase of an insert: run ``merge`` against the
+        stored value at the responsible peer (no message is logged — the
+        transmission was paid by :meth:`send_insert`).  Merge order is
+        what the index's contents depend on, so callers that stage sends
+        concurrently must apply in a deterministic order."""
+        key_id = self._key_id(key)
+        target_id = self.overlay.responsible_peer(key_id)
         merged = self._storage[target_id].update(key, key_id, merge)
         if self.router is not None:
             # After the write, so a racing lookup can never re-cache the

@@ -294,27 +294,26 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
 
     # -- overridden protocol surfaces --------------------------------------------
 
-    def insert(
-        self,
-        source_peer_name: str,
-        key: frozenset[str],
-        local_postings: PostingList,
-        local_df: int | None = None,
-    ) -> KeyStatus:
-        # super().insert() runs OUTSIDE _hot_lock: merging into a cold
-        # entry materializes its stub, which takes the stub's load lock
-        # and then (via on_load) _hot_lock — the same order readers use.
-        # Holding _hot_lock across the merge would invert that order and
-        # deadlock against a reader mid-materialize.  Writes themselves
-        # are externally serialized (indexing precedes serving); the
-        # lock below only covers hot-set bookkeeping.
+    def apply_staged(self, staged) -> KeyStatus:
+        # Hooking apply_staged (not insert) covers both entry points:
+        # the classic one-shot insert() and the parallel pipeline's
+        # staged path — residency bookkeeping belongs to the merge, and
+        # spills flush through the SegmentStore on the applying thread,
+        # serialized with every other merge.
+        #
+        # super().apply_staged() runs OUTSIDE _hot_lock: merging into a
+        # cold entry materializes its stub, which takes the stub's load
+        # lock and then (via on_load) _hot_lock — the same order readers
+        # use.  Holding _hot_lock across the merge would invert that
+        # order and deadlock against a reader mid-materialize.  Writes
+        # themselves are externally serialized (indexing precedes
+        # serving); the lock below only covers hot-set bookkeeping.
         self._op_local.in_operation = True
         try:
-            status = super().insert(
-                source_peer_name, key, local_postings, local_df
-            )
+            status = super().apply_staged(staged)
         finally:
             self._op_local.in_operation = False
+        key = staged.key
         with self._hot_lock:
             entry = self._entry_at_responsible(key)
             if entry is not None:

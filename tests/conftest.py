@@ -7,7 +7,16 @@ for the expensive builds (indexing) that many tests only read from.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Make the shared test harness (tests/harness/) importable as
+# ``harness.*`` from every test module, wherever pytest was invoked.
+_TESTS_DIR = str(Path(__file__).resolve().parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 from repro import EngineMode, HDKParameters, P2PSearchEngine
 from repro.corpus import (

@@ -1,0 +1,2 @@
+"""Shared test harnesses (importable as ``harness.*`` via the path
+setup in ``tests/conftest.py``)."""

@@ -1,0 +1,150 @@
+"""Cross-backend + cross-worker-count differential equivalence.
+
+One parametrized suite (through ``tests/harness/equivalence.py``)
+replacing the ad-hoc pairwise checks previously scattered across the
+backend tests:
+
+- every HDK-family backend at every indexing worker count must be
+  *byte-identical* to its own sequential build (index contents,
+  statistics directory, per-peer reports incl. traffic windows, global
+  traffic counters, top-k, per-query traffic);
+- across backends (``hdk`` vs ``hdk_disk`` vs ``hdk_super``) the
+  routing-independent view must be identical: entries, statistics,
+  report posting costs, indexing/retrieval posting totals, top-k, and
+  per-query posting transfers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness.equivalence import (
+    assert_fingerprints_equal,
+    build_indexed_service,
+    make_querylog,
+    query_fingerprint,
+    service_fingerprint,
+)
+from repro.config import HDKParameters
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+)
+
+PARAMS = HDKParameters(df_max=8, window_size=8, s_max=3, ff=3_000, fr=3)
+
+NUM_PEERS = 6
+
+#: Per-backend build kwargs; hdk_disk gets a tight budget so the run
+#: genuinely exercises spilled entries, hdk_super a small fanout so the
+#: hierarchy has several clusters.
+BACKENDS: dict[str, dict] = {
+    "hdk": {},
+    "hdk_disk": {"memory_budget": 400},
+    "hdk_super": {"overlay_fanout": 2},
+}
+
+WORKER_SWEEP = (2, 8)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    config = SyntheticCorpusConfig(
+        vocabulary_size=600,
+        mean_doc_length=40,
+        num_topics=8,
+        zipf_skew=1.2,
+    )
+    return SyntheticCorpusGenerator(config, seed=5).generate(150)
+
+
+@pytest.fixture(scope="module")
+def querylog(collection):
+    return make_querylog(collection, PARAMS, num_queries=12)
+
+
+@pytest.fixture(scope="module")
+def reference(collection, querylog):
+    """The canonical world: ``hdk``, sequential build."""
+    service = build_indexed_service(
+        collection, "hdk", PARAMS, NUM_PEERS, index_workers=1
+    )
+    return {
+        "strict": service_fingerprint(service, strict=True),
+        "results": service_fingerprint(service, strict=False),
+        "queries_strict": query_fingerprint(
+            service, querylog, strict=True
+        ),
+        "queries": query_fingerprint(service, querylog, strict=False),
+    }
+
+
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_worker_count_is_byte_identical(
+    collection, querylog, backend, workers
+):
+    """``index_workers=N`` vs ``index_workers=1``, same backend: every
+    byte of build state and query behaviour must match."""
+    kwargs = BACKENDS[backend]
+    sequential = build_indexed_service(
+        collection, backend, PARAMS, NUM_PEERS, index_workers=1, **kwargs
+    )
+    parallel = build_indexed_service(
+        collection,
+        backend,
+        PARAMS,
+        NUM_PEERS,
+        index_workers=workers,
+        **kwargs,
+    )
+    assert_fingerprints_equal(
+        service_fingerprint(sequential, strict=True),
+        service_fingerprint(parallel, strict=True),
+        context=f"{backend} workers={workers} build",
+    )
+    assert_fingerprints_equal(
+        query_fingerprint(sequential, querylog, strict=True),
+        query_fingerprint(parallel, querylog, strict=True),
+        context=f"{backend} workers={workers} queries",
+    )
+
+
+@pytest.mark.parametrize("workers", (1,) + WORKER_SWEEP)
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_cross_backend_equivalence(reference, collection, querylog, backend, workers):
+    """Every backend x worker count against the canonical ``hdk``
+    world: the routing-independent view must be identical."""
+    service = build_indexed_service(
+        collection,
+        backend,
+        PARAMS,
+        NUM_PEERS,
+        index_workers=workers,
+        **BACKENDS[backend],
+    )
+    assert_fingerprints_equal(
+        reference["results"],
+        service_fingerprint(service, strict=False),
+        context=f"{backend} workers={workers} vs hdk",
+    )
+    assert_fingerprints_equal(
+        reference["queries"],
+        query_fingerprint(service, querylog, strict=False),
+        context=f"{backend} workers={workers} queries vs hdk",
+    )
+
+
+def test_strict_equals_itself_across_runs(collection, querylog, reference):
+    """Rebuilding the reference world from scratch reproduces it bit
+    for bit (the corpus/seed contract the harness rests on)."""
+    service = build_indexed_service(
+        collection, "hdk", PARAMS, NUM_PEERS, index_workers=1
+    )
+    assert_fingerprints_equal(
+        reference["strict"], service_fingerprint(service, strict=True)
+    )
+    assert_fingerprints_equal(
+        reference["queries_strict"],
+        query_fingerprint(service, querylog, strict=True),
+    )

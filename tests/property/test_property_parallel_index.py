@@ -1,0 +1,133 @@
+"""Property tests: the parallel build is indistinguishable from the
+sequential protocol for *any* corpus, peer split, worker count, and
+shard plan Hypothesis can dream up — and incremental ``add_peers``
+commutes with the shard plan.
+
+These are the randomized counterpart of the fixed-seed differential
+suite in ``tests/integration/test_backend_equivalence.py``, exercising
+the same fingerprints over generated worlds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import HDKParameters
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+)
+from repro.engine.service import spawn_peers
+from repro.hdk.indexer import PeerIndexer
+from repro.index.global_index import GlobalKeyIndex
+from repro.indexing import IndexingPipeline, build_fingerprint
+from repro.net.chord import ChordOverlay
+from repro.net.network import P2PNetwork
+
+#: Small parameters so generated corpora produce NDK transitions (the
+#: order-sensitive part of the protocol) within a few dozen documents.
+PARAMS = HDKParameters(df_max=5, window_size=6, s_max=3, ff=1_500, fr=2)
+
+CORPUS = SyntheticCorpusConfig(
+    vocabulary_size=300,
+    mean_doc_length=30,
+    num_topics=6,
+    zipf_skew=1.2,
+)
+
+
+def _make_collection(seed: int, docs: int):
+    return SyntheticCorpusGenerator(CORPUS, seed=seed).generate(docs)
+
+
+def _build_world(collection, num_peers, pipeline):
+    """A fresh network + peers + indexers, built through ``pipeline``;
+    returns (fingerprint, indexers, global_index, network)."""
+    network = P2PNetwork(overlay=ChordOverlay())
+    peers = spawn_peers(network, collection, num_peers)
+    global_index = GlobalKeyIndex(network, PARAMS)
+    indexers = [
+        PeerIndexer(peer.name, peer.collection, global_index, PARAMS)
+        for peer in peers
+    ]
+    reports = pipeline.build(indexers, PARAMS)
+    fingerprint = build_fingerprint(
+        global_index, reports, network.accounting.snapshot(), strict=True
+    )
+    return fingerprint, indexers, global_index, network
+
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    docs=st.integers(min_value=24, max_value=80),
+    num_peers=st.integers(min_value=2, max_value=6),
+    workers=st.integers(min_value=2, max_value=6),
+    num_shards=st.integers(min_value=1, max_value=9),
+)
+def test_parallel_build_equals_sequential(
+    seed, docs, num_peers, workers, num_shards
+):
+    collection = _make_collection(seed, docs)
+    sequential, *_ = _build_world(
+        collection, num_peers, IndexingPipeline(workers=1)
+    )
+    parallel, *_ = _build_world(
+        collection,
+        num_peers,
+        IndexingPipeline(workers=workers, num_shards=num_shards),
+    )
+    assert parallel == sequential
+
+
+@SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    base_docs=st.integers(min_value=24, max_value=60),
+    join_docs=st.integers(min_value=12, max_value=40),
+    num_peers=st.integers(min_value=2, max_value=4),
+    num_joiners=st.integers(min_value=1, max_value=3),
+    workers=st.integers(min_value=2, max_value=6),
+    num_shards=st.integers(min_value=1, max_value=7),
+)
+def test_incremental_join_commutes_with_shard_plan(
+    seed, base_docs, join_docs, num_peers, num_joiners, workers, num_shards
+):
+    """``add_peers`` over any worker/shard plan produces the same grown
+    index (and the same per-peer reports, including the cascades at
+    existing contributors) as the sequential join."""
+    base = _make_collection(seed, base_docs)
+    growth = _make_collection(seed + 100_000, join_docs)
+
+    def grown_fingerprint(pipeline):
+        _, indexers, global_index, network = _build_world(
+            base, num_peers, IndexingPipeline(workers=1)
+        )
+        joiners = spawn_peers(
+            network, growth, num_joiners, start=num_peers
+        )
+        joining = [
+            PeerIndexer(peer.name, peer.collection, global_index, PARAMS)
+            for peer in joiners
+        ]
+        pipeline.join(indexers, joining, PARAMS)
+        return build_fingerprint(
+            global_index,
+            [indexer.report for indexer in indexers + joining],
+            network.accounting.snapshot(),
+            strict=True,
+        )
+
+    sequential = grown_fingerprint(IndexingPipeline(workers=1))
+    parallel = grown_fingerprint(
+        IndexingPipeline(workers=workers, num_shards=num_shards)
+    )
+    assert parallel == sequential
