@@ -24,7 +24,7 @@ from repro.corpus.synthetic import SyntheticCorpusGenerator
 from repro.engine.service import SearchService
 from repro.utils import format_table
 
-from .conftest import BENCH_CORPUS, BENCH_EXPERIMENT, publish
+from .conftest import BENCH_CORPUS, BENCH_EXPERIMENT, publish, publish_json
 
 #: Simulated one-hop link latency (seconds) for the serving phase.
 LINK_LATENCY_S = 0.0005
@@ -63,6 +63,7 @@ def test_parallel_batch_worker_sweep(benchmark):
         return service
 
     rows = []
+    series = []
     speedups = {}
     for backend, kwargs in (
         ("hdk", {}),
@@ -93,6 +94,17 @@ def test_parallel_batch_worker_sweep(benchmark):
                 )
             speedup = base_ms / report.elapsed_ms
             speedups[(backend, workers)] = speedup
+            series.append(
+                {
+                    "backend": backend,
+                    "workers": workers,
+                    "batch_ms": round(report.elapsed_ms, 3),
+                    "qps": round(
+                        report.num_queries / (report.elapsed_ms / 1e3), 2
+                    ),
+                    "speedup": round(speedup, 3),
+                }
+            )
             rows.append(
                 [
                     backend,
@@ -108,6 +120,16 @@ def test_parallel_batch_worker_sweep(benchmark):
         rows,
     )
     publish("parallel_batch_worker_sweep", table)
+    publish_json(
+        "parallel_batch",
+        {
+            "bench": "parallel_batch",
+            "num_queries": len(queries),
+            "link_latency_s": LINK_LATENCY_S,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "sweep": series,
+        },
+    )
 
     # The acceptance bar: 8 workers must beat 1 worker by > 1.5x on
     # both backends (in practice the win is far larger: the sweep is

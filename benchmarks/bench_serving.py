@@ -1,0 +1,191 @@
+"""Serving-path throughput — the PR-6 process-pool payoff.
+
+Builds a 256-peer ``hdk_disk`` world (one document per peer, the
+paper's many-peers regime in miniature), saves a snapshot, then boots
+the full serving stack over it — a :class:`repro.serving.WorkerPool` of
+snapshot-loaded ``SearchService`` processes behind the asyncio HTTP
+gateway — and drives it with the closed-loop load generator at pool
+sizes 1 and 4.
+
+The sweep asserts two things:
+
+- the gateway's rankings are **byte-identical** to a direct in-process
+  ``SearchService.search`` on the same snapshot (full-precision floats
+  survive both the pickle and the JSON boundary exactly);
+- 4 worker processes beat 1 by at least the QPS acceptance floor, with
+  exact p50/p95/p99 latency percentiles reported per pool size.
+
+Latency note (same regime as ``bench_parallel_batch``): a query's cost
+is dominated by its simulated overlay round-trips (``link_latency_s``
+on the serving phase), which worker *processes* overlap — so the pool
+scales even where the GIL would serialize threads.  Zero failed
+requests are tolerated: a closed-loop client only ever sees 200s from a
+healthy pool, and sheds are design behaviour, not errors.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI benchmark-smoke job) to shrink the
+corpus so the bench finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.config import HDKParameters
+from repro.corpus.querylog import QueryLogGenerator
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+)
+from repro.engine.service import SearchService
+from repro.serving import Gateway, GatewayConfig, WorkerPool, WorkerSpec
+from repro.serving.loadgen import http_request, run_load
+from repro.serving.pool import response_payload
+from repro.utils import format_table
+
+from .conftest import publish, publish_json
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: One document per peer (the bench_parallel_index regime): query cost
+#: is dominated by overlay round-trips, which is what the pool overlaps.
+NUM_PEERS = 32 if _SMOKE else 256
+
+DOCS = NUM_PEERS
+
+#: Simulated one-hop link latency (seconds) on the serving phase.
+LINK_LATENCY_S = 0.002
+
+POOL_SIZES = (1, 4)
+
+#: 4 workers must beat 1 worker by at least this QPS ratio.  The full
+#: run is strongly latency-dominated; the smoke run's smaller overlay
+#: (fewer hops per lookup) leaves less sleep to overlap, so its floor
+#: is correspondingly lower.
+QPS_FLOOR = 1.3 if _SMOKE else 2.0
+
+CLIENTS = 8
+
+REQUESTS_PER_CLIENT = 4 if _SMOKE else 12
+
+K = 10
+
+PARAMS = HDKParameters(df_max=10, window_size=8, s_max=3, ff=6_000, fr=3)
+
+CORPUS = SyntheticCorpusConfig(
+    vocabulary_size=3_000,
+    mean_doc_length=20,
+    num_topics=12,
+    zipf_skew=1.0,
+)
+
+
+def test_serving_pool_scaling(tmp_path):
+    collection = SyntheticCorpusGenerator(CORPUS, seed=7).generate(DOCS)
+    service = SearchService.build(
+        collection,
+        num_peers=NUM_PEERS,
+        backend="hdk_disk",
+        params=PARAMS,
+        cache_capacity=None,
+    )
+    service.index()
+    snapshot = tmp_path / "snapshot"
+    service.save(snapshot)
+
+    queries = [
+        " ".join(q.terms)
+        for q in QueryLogGenerator(
+            collection,
+            window_size=PARAMS.window_size,
+            min_hits=2,
+            seed=29,
+            size_weights={2: 0.6, 3: 0.4},
+        ).generate(12)
+    ]
+
+    # The in-process reference every gateway response must match.
+    direct = SearchService.load(snapshot, cache_capacity=None)
+    reference = {
+        q: response_payload(direct.search(q, k=K))["results"]
+        for q in queries
+    }
+
+    spec = WorkerSpec(
+        snapshot=str(snapshot),
+        cache_capacity=None,  # every query pays its overlay round-trips
+        link_latency_s=LINK_LATENCY_S,
+    )
+    rows = []
+    series = {}
+    for size in POOL_SIZES:
+        with WorkerPool(spec, size=size) as pool:
+            gateway = Gateway(
+                pool, GatewayConfig(port=0, max_inflight=2 * CLIENTS)
+            )
+            gateway.start_in_thread()
+            url = f"http://127.0.0.1:{gateway.port}"
+
+            if size == POOL_SIZES[-1]:
+                mismatched = []
+                for query in queries:
+                    status, body = http_request(
+                        url, "POST", "/search", {"query": query, "k": K}
+                    )
+                    assert status == 200, body
+                    if body["results"] != reference[query]:
+                        mismatched.append(query)
+                assert not mismatched, (
+                    f"gateway rankings diverged from the direct service "
+                    f"for {len(mismatched)} queries: {mismatched[:3]}"
+                )
+
+            report = run_load(
+                url,
+                queries,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                k=K,
+            )
+            gateway.initiate_drain()
+            assert gateway.wait_finished(10.0), "gateway failed to drain"
+            assert report.failed == 0, report.errors
+            series[size] = report
+            rows.append(
+                [
+                    str(size),
+                    str(report.ok),
+                    f"{report.qps:,.1f}",
+                    f"{report.percentile_ms(0.50):,.1f}",
+                    f"{report.percentile_ms(0.95):,.1f}",
+                    f"{report.percentile_ms(0.99):,.1f}",
+                ]
+            )
+
+    table = format_table(
+        ["workers", "ok", "qps", "p50 ms", "p95 ms", "p99 ms"], rows
+    )
+    publish("serving_pool_scaling", table)
+
+    speedup = series[POOL_SIZES[-1]].qps / series[POOL_SIZES[0]].qps
+    publish_json(
+        "serving_scaling",
+        {
+            "bench": "serving_scaling",
+            "mode": "smoke" if _SMOKE else "full",
+            "num_peers": NUM_PEERS,
+            "link_latency_s": LINK_LATENCY_S,
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "qps_floor": QPS_FLOOR,
+            "qps_speedup": round(speedup, 3),
+            "byte_identical": True,
+            "pool_sizes": {
+                str(size): report.as_dict()
+                for size, report in series.items()
+            },
+        },
+    )
+    assert speedup >= QPS_FLOOR, (
+        f"{POOL_SIZES[-1]} workers gave only {speedup:.2f}x the QPS of "
+        f"{POOL_SIZES[0]} worker (floor {QPS_FLOOR}x)"
+    )

@@ -17,13 +17,16 @@ with ``pytest -s`` or ``-rA``).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
+from typing import Mapping
 
 import pytest
 
 from repro.config import ExperimentParameters, HDKParameters
 from repro.corpus.synthetic import SyntheticCorpusConfig, SyntheticCorpusGenerator
 from repro.engine.experiment import GrowthExperiment
+from repro.utils import write_bench_json
 
 #: The DF_max sweep: 12 and 20 play the role of the paper's 400 and 500
 #: (the smaller value stores more postings but retrieves fewer).
@@ -81,3 +84,17 @@ def publish(name: str, text: str) -> None:
     print(f"\n=== {name} ===\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def publish_json(name: str, payload: Mapping[str, object]) -> Path:
+    """Write the machine-readable ``BENCH_<name>.json`` twin of a bench.
+
+    Rendered tables are for eyes; these artifacts are for diffing runs
+    across PRs.  ``REPRO_BENCH_JSON_DIR`` overrides the destination
+    (the CI jobs point it at their artifact directory), defaulting to
+    ``benchmarks/results/`` next to the rendered tables.
+    """
+    target = os.environ.get("REPRO_BENCH_JSON_DIR") or RESULTS_DIR
+    path = write_bench_json(name, payload, path=target)
+    print(f"wrote {path}")
+    return path

@@ -65,7 +65,7 @@ from .indexing import IndexingPipeline
 from .overlay import HierarchicalRouter, SuperPeerTopology
 from .store import SegmentStore, SpillingGlobalKeyIndex
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ExperimentParameters",

@@ -14,6 +14,10 @@ Subcommands::
                       backend takes --overlay-fanout and
                       --path-cache-capacity; --index-workers builds
                       the index on the sharded parallel pipeline
+    repro serve       boot the asyncio HTTP gateway over a pool of
+                      snapshot-loaded SearchService worker processes
+                      (--snapshot --port --pool-size --max-inflight
+                      --rate-limit); drains gracefully on SIGTERM
     repro experiment  run the Section-5 growth experiment over any
                       backend sweep (--backends)
     repro plan        adaptive parameter planning from a traffic budget
@@ -271,6 +275,71 @@ def _run_batch(args: argparse.Namespace, service, collection) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Deferred import: the serving stack (asyncio, multiprocessing) is
+    # only paid for by the subcommand that uses it.
+    from .serving import Gateway, GatewayConfig, WorkerPool, WorkerSpec
+
+    if args.pool_size < 1:
+        raise SystemExit(f"--pool-size must be >= 1, got {args.pool_size}")
+    if args.max_inflight < 1:
+        raise SystemExit(
+            f"--max-inflight must be >= 1, got {args.max_inflight}"
+        )
+    if args.rate_limit < 0:
+        raise SystemExit(
+            f"--rate-limit must be >= 0, got {args.rate_limit}"
+        )
+    if args.cache_capacity < 0:
+        raise SystemExit(
+            f"--cache-capacity must be >= 0, got {args.cache_capacity}"
+        )
+    if not args.snapshot.is_dir():
+        raise SystemExit(f"snapshot directory not found: {args.snapshot}")
+    spec = WorkerSpec(
+        snapshot=str(args.snapshot),
+        backend=args.backend,
+        memory_budget=args.memory_budget,
+        cache_capacity=args.cache_capacity or None,
+        link_latency_s=args.link_latency,
+    )
+    pool = WorkerPool(spec, size=args.pool_size)
+    config = GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        rate_limit=args.rate_limit,
+    )
+    gateway = Gateway(pool, config)
+    gateway.on_ready = lambda: print(
+        f"serving on http://{config.host}:{gateway.port} "
+        f"(pool={args.pool_size}, max_inflight={config.max_inflight}, "
+        f"rate_limit={config.rate_limit or 'off'}); "
+        "SIGTERM drains gracefully",
+        flush=True,
+    )
+    print(
+        f"loading snapshot {args.snapshot} into "
+        f"{args.pool_size} worker process(es)...",
+        flush=True,
+    )
+    with pool:
+        try:
+            gateway.run(install_signal_handlers=True)
+        except KeyboardInterrupt:
+            gateway.initiate_drain()
+            gateway.wait_finished(30.0)
+        snapshot = gateway.metrics.snapshot()
+        print(
+            f"drained: {snapshot['completed']} requests served "
+            f"({snapshot['qps']} qps lifetime), "
+            f"shed {snapshot['shed_overload']} overload / "
+            f"{snapshot['shed_rate_limited']} rate-limited / "
+            f"{snapshot['shed_draining']} draining"
+        )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     experiment = ExperimentParameters(
         initial_peers=args.initial_peers,
@@ -483,6 +552,80 @@ def build_parser() -> argparse.ArgumentParser:
         "sampling; --backend may override the snapshot's backend)",
     )
     search.set_defaults(handler=_cmd_search)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP gateway over a pool of snapshot-loaded worker "
+        "processes",
+    )
+    serve.add_argument(
+        "--snapshot",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="snapshot directory saved with 'repro search --save' "
+        "(every worker process loads it)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--pool-size",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes, each loading the snapshot (true "
+        "multi-core: one SearchService per process)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-control window; requests beyond this many "
+        "simultaneously in the pool are shed with 503 (default 64)",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="QPS",
+        help="per-client token-bucket rate limit in requests/second "
+        "(clients are keyed by X-Client-Id header, else source IP; "
+        "0 disables)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=registry.names(),
+        default=None,
+        help="override the snapshot manifest's backend for the workers",
+    )
+    serve.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="POSTINGS",
+        help="per-worker RAM posting budget (hdk_disk backend)",
+    )
+    serve.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        help="per-worker LRU query-cache capacity (0 disables)",
+    )
+    serve.add_argument(
+        "--link-latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="simulated per-hop link latency inside each worker's "
+        "network (the WAN-shaped serving regime of the benches)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     experiment = subparsers.add_parser(
         "experiment", help="Section-5 growth experiment"

@@ -782,12 +782,21 @@ class SearchService:
 
     def stats(self) -> dict[str, object]:
         """Service-level statistics: backend index stats, peer count,
-        cache counters, and the cumulative traffic snapshot."""
+        cache counters, and the cumulative traffic snapshot.
+
+        Returns *plain data only* — scalars, strings, and nested dicts
+        of the same — snapshotting every counter instead of exposing
+        live internals.  That keeps the call cheap and the result
+        picklable/JSON-able as-is, which is what lets the serving
+        workers (:mod:`repro.serving.pool`) report service statistics
+        across the process boundary and the gateway publish them
+        verbatim on ``GET /stats``.
+        """
         stats: dict[str, object] = dict(self.backend.stats())
         stats["num_peers"] = len(self.peers)
         stats["cache_hits"] = self.cache_stats.hits
         stats["cache_misses"] = self.cache_stats.misses
-        stats["traffic"] = self.network.accounting.snapshot()
+        stats["traffic"] = self.network.accounting.snapshot().as_dict()
         return stats
 
     def stored_postings_total(self) -> int:

@@ -91,6 +91,43 @@ class TrafficSnapshot:
     def total_hops(self) -> int:
         return sum(self.hops_by_phase.values())
 
+    def as_dict(self) -> dict[str, object]:
+        """Plain-data view: string keys, int values — picklable without
+        importing this module and JSON-serializable as-is (the shape
+        service ``stats()`` ships across process and HTTP boundaries)."""
+        return {
+            "postings_by_phase": {
+                phase.value: count
+                for phase, count in sorted(
+                    self.postings_by_phase.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "messages_by_phase": {
+                phase.value: count
+                for phase, count in sorted(
+                    self.messages_by_phase.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "hops_by_phase": {
+                phase.value: count
+                for phase, count in sorted(
+                    self.hops_by_phase.items(), key=lambda kv: kv[0].value
+                )
+            },
+            "messages_by_kind": {
+                kind.name.lower(): count
+                for kind, count in sorted(
+                    self.messages_by_kind.items(), key=lambda kv: kv[0].name
+                )
+            },
+            "indexing_postings": self.indexing_postings,
+            "retrieval_postings": self.retrieval_postings,
+            "maintenance_postings": self.maintenance_postings,
+            "total_postings": self.total_postings,
+            "total_messages": self.total_messages,
+            "total_hops": self.total_hops,
+        }
+
 
 class TrafficAccounting:
     """Mutable counters fed by the network simulator.

@@ -1,0 +1,362 @@
+"""Closed-loop HTTP load generator for the serving gateway.
+
+Closed-loop means each client thread keeps exactly one request
+outstanding: it sends, waits for the response, records the latency, and
+immediately sends the next.  Offered load therefore adapts to the
+server's capacity (N clients ≈ concurrency N), which is the right model
+for measuring pool scaling — QPS grows with worker processes until the
+pool saturates, instead of an open-loop generator drowning the gateway
+in queued requests.
+
+Usable as a library (:func:`run_load`, returning a :class:`LoadReport`
+with exact p50/p95/p99 over every recorded sample) and as a CLI::
+
+    python -m repro.serving.loadgen --url http://127.0.0.1:8080 \
+        --clients 8 --requests 400 --query "t00042 t00137"
+
+``--smoke`` mode is the CI surface: wait for readiness, hit all four
+endpoints (``/healthz``, ``/stats``, ``/search``, ``/search_batch``),
+run a short closed loop, and write the machine-readable
+``BENCH_serving.json`` artifact via :func:`repro.utils.write_bench_json`.
+
+Status accounting: 200 is ``ok``; 429/503 are ``shed`` (the gateway
+refusing load by design — the client backs off briefly and retries);
+anything else, including transport errors, is ``failed``.  A graceful
+drain must therefore show ``failed == 0``: in-flight requests complete
+with 200 and post-drain requests are shed, never dropped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+from urllib.parse import urlsplit
+
+from ..errors import ConfigurationError
+from ..utils import write_bench_json
+
+__all__ = [
+    "LoadReport",
+    "http_request",
+    "run_load",
+    "run_smoke",
+    "wait_ready",
+    "main",
+]
+
+#: Back-off applied by a closed-loop client after a shed (429/503).
+SHED_BACKOFF_S = 0.02
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one closed-loop run.
+
+    ``latencies_ms`` holds one sample per *successful* request, so the
+    percentiles describe served traffic; shed and failed requests are
+    counted separately.
+    """
+
+    clients: int = 0
+    elapsed_s: float = 0.0
+    ok: int = 0
+    shed: int = 0
+    failed: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile_ms(self, fraction: float) -> float:
+        """Exact sample percentile (nearest-rank)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = max(1, round(fraction * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "clients": self.clients,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "ok": self.ok,
+            "shed": self.shed,
+            "failed": self.failed,
+            "qps": round(self.qps, 2),
+            "p50_ms": round(self.percentile_ms(0.50), 3),
+            "p95_ms": round(self.percentile_ms(0.95), 3),
+            "p99_ms": round(self.percentile_ms(0.99), 3),
+            "errors": self.errors[:5],
+        }
+
+
+def _split_url(url: str) -> tuple[str, int]:
+    parts = urlsplit(url)
+    if parts.scheme != "http" or not parts.hostname:
+        raise ConfigurationError(
+            f"loadgen needs an http://host:port URL, got {url!r}"
+        )
+    return parts.hostname, parts.port or 80
+
+
+def http_request(
+    url: str,
+    method: str,
+    path: str,
+    body: dict[str, Any] | None = None,
+    headers: dict[str, str] | None = None,
+    timeout_s: float = 30.0,
+) -> tuple[int, dict[str, Any]]:
+    """One-shot JSON request; returns ``(status, parsed_body)``."""
+    host, port = _split_url(url)
+    connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        connection.request(
+            method,
+            path,
+            body=payload,
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw.decode("utf-8") or "null")
+    finally:
+        connection.close()
+
+
+def wait_ready(url: str, timeout_s: float = 30.0) -> None:
+    """Poll ``/healthz`` until the gateway answers 200."""
+    deadline = time.monotonic() + timeout_s
+    last = "no response"
+    while time.monotonic() < deadline:
+        try:
+            status, _body = http_request(url, "GET", "/healthz", timeout_s=2.0)
+            if status == 200:
+                return
+            last = f"healthz={status}"
+        except OSError as exc:
+            last = repr(exc)
+        time.sleep(0.1)
+    raise ConfigurationError(
+        f"gateway at {url} not ready within {timeout_s}s ({last})"
+    )
+
+
+def run_load(
+    url: str,
+    queries: Sequence[str],
+    clients: int = 4,
+    requests_per_client: int = 50,
+    k: int = 10,
+    timeout_s: float = 60.0,
+    client_id_prefix: str = "loadgen",
+) -> LoadReport:
+    """Drive the gateway with ``clients`` closed-loop threads.
+
+    Each client keeps one persistent keep-alive connection, walks the
+    query list round-robin from a per-client offset, and issues exactly
+    ``requests_per_client`` requests.  Each client presents a distinct
+    ``X-Client-Id``, so per-client token buckets see ``clients``
+    separate principals.
+    """
+    if clients < 1:
+        raise ConfigurationError(f"clients must be >= 1, got {clients}")
+    if not queries:
+        raise ConfigurationError("queries must be non-empty")
+    host, port = _split_url(url)
+    report = LoadReport(clients=clients)
+    lock = threading.Lock()
+
+    def client_loop(index: int) -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+        ok = shed = failed = 0
+        latencies: list[float] = []
+        errors: list[str] = []
+        headers = {
+            "Content-Type": "application/json",
+            "X-Client-Id": f"{client_id_prefix}-{index}",
+        }
+        try:
+            for n in range(requests_per_client):
+                query = queries[(index + n * clients) % len(queries)]
+                body = json.dumps({"query": query, "k": k}).encode()
+                started = time.perf_counter()
+                try:
+                    connection.request("POST", "/search", body, headers)
+                    response = connection.getresponse()
+                    response.read()
+                    status = response.status
+                except (OSError, http.client.HTTPException) as exc:
+                    failed += 1
+                    errors.append(repr(exc))
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout_s
+                    )
+                    continue
+                latency_ms = (time.perf_counter() - started) * 1000.0
+                if status == 200:
+                    ok += 1
+                    latencies.append(latency_ms)
+                elif status in (429, 503):
+                    shed += 1
+                    time.sleep(SHED_BACKOFF_S)
+                else:
+                    failed += 1
+                    errors.append(f"status {status}")
+        finally:
+            connection.close()
+        with lock:
+            report.ok += ok
+            report.shed += shed
+            report.failed += failed
+            report.latencies_ms.extend(latencies)
+            report.errors.extend(errors)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def run_smoke(
+    url: str,
+    queries: Sequence[str],
+    clients: int = 2,
+    requests_per_client: int = 10,
+    k: int = 10,
+) -> dict[str, Any]:
+    """The CI smoke: exercise all four endpoints, then a short closed
+    loop; returns the combined plain-data summary."""
+    endpoint_checks: dict[str, int] = {}
+    status, health = http_request(url, "GET", "/healthz")
+    endpoint_checks["/healthz"] = status
+    if status != 200 or health.get("status") != "ok":
+        raise ConfigurationError(f"healthz not ok: {status} {health}")
+    status, single = http_request(
+        url, "POST", "/search", {"query": queries[0], "k": k}
+    )
+    endpoint_checks["/search"] = status
+    if status != 200 or "results" not in single:
+        raise ConfigurationError(f"/search failed: {status} {single}")
+    status, batch = http_request(
+        url,
+        "POST",
+        "/search_batch",
+        {"queries": list(queries[: min(4, len(queries))]), "k": k},
+    )
+    endpoint_checks["/search_batch"] = status
+    if status != 200 or "responses" not in batch:
+        raise ConfigurationError(f"/search_batch failed: {status} {batch}")
+    report = run_load(
+        url,
+        queries,
+        clients=clients,
+        requests_per_client=requests_per_client,
+        k=k,
+    )
+    status, stats = http_request(url, "GET", "/stats")
+    endpoint_checks["/stats"] = status
+    if status != 200 or "gateway" not in stats:
+        raise ConfigurationError(f"/stats failed: {status} {stats}")
+    return {
+        "bench": "serving",
+        "mode": "smoke",
+        "url": url,
+        "endpoints": endpoint_checks,
+        "pool": stats.get("pool", {}),
+        "gateway_qps": stats["gateway"].get("qps"),
+        **report.as_dict(),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.loadgen",
+        description="closed-loop load generator for the repro gateway",
+    )
+    parser.add_argument("--url", default="http://127.0.0.1:8080")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=100,
+        help="requests per client (closed loop)",
+    )
+    parser.add_argument("--top", type=int, default=10, metavar="K")
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        metavar="TERMS",
+        help="query string; repeat for a mixed workload "
+        "(default: 't00042 t00137')",
+    )
+    parser.add_argument(
+        "--wait-ready",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="poll /healthz this long before starting",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: hit all four endpoints, run a short closed "
+        "loop, fail on any non-shed error",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH_OR_NAME",
+        help="write the run summary as a BENCH json artifact "
+        "(a bare name goes through repro.utils.write_bench_json)",
+    )
+    args = parser.parse_args(argv)
+    queries = args.query or ["t00042 t00137"]
+    if args.wait_ready > 0:
+        wait_ready(args.url, args.wait_ready)
+    if args.smoke:
+        summary = run_smoke(
+            args.url,
+            queries,
+            clients=min(args.clients, 4),
+            requests_per_client=min(args.requests, 25),
+            k=args.top,
+        )
+    else:
+        report = run_load(
+            args.url,
+            queries,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            k=args.top,
+        )
+        summary = {"bench": "serving", "mode": "load", **report.as_dict()}
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.json_out:
+        path = write_bench_json("serving", summary, path=args.json_out)
+        print(f"wrote {path}")
+    if summary["failed"]:
+        print(f"FAIL: {summary['failed']} requests failed")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,209 @@
+"""Serving-side metrics: latency histograms and a QPS registry.
+
+The gateway records one observation per completed request —
+``(endpoint, status, latency_ms)`` — into a :class:`MetricsRegistry`,
+which the ``GET /stats`` endpoint renders as plain JSON.  Latencies go
+into fixed log-spaced buckets (:class:`LatencyHistogram`), so the
+registry costs O(1) memory per endpoint regardless of traffic volume and
+percentiles are read straight off the cumulative bucket counts.
+
+The histogram percentiles are bucket-resolution estimates (each bucket's
+upper bound); exact percentiles over a bounded run come from the
+closed-loop load generator (:mod:`repro.serving.loadgen`), which keeps
+every sample.  The two agree to within one bucket width.
+
+Everything here is plain data + a lock: the registry is shared between
+the asyncio gateway loop and any thread that wants a snapshot (the CLI's
+drain summary, tests), so mutation is guarded even though the gateway
+itself is single-threaded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Sequence
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS_MS",
+    "LatencyHistogram",
+    "MetricsRegistry",
+]
+
+#: Upper bounds (milliseconds) of the latency buckets; the last bucket
+#: is unbounded.  Log-spaced from sub-millisecond cache hits up to the
+#: multi-second tail a draining or overloaded gateway can produce.
+DEFAULT_BUCKET_BOUNDS_MS: tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+    256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimates.
+
+    Args:
+        bounds_ms: ascending bucket upper bounds in milliseconds; an
+            implicit overflow bucket catches everything beyond the last
+            bound.
+    """
+
+    def __init__(
+        self, bounds_ms: Sequence[float] = DEFAULT_BUCKET_BOUNDS_MS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds_ms)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"bucket bounds must be ascending and non-empty: {bounds!r}"
+            )
+        self.bounds_ms = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self._total = 0
+        self._sum_ms = 0.0
+        self._max_ms = 0.0
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one latency sample (negative values clamp to 0)."""
+        latency_ms = max(0.0, float(latency_ms))
+        index = len(self.bounds_ms)  # overflow unless a bound catches it
+        for i, bound in enumerate(self.bounds_ms):
+            if latency_ms <= bound:
+                index = i
+                break
+        self._counts[index] += 1
+        self._total += 1
+        self._sum_ms += latency_ms
+        if latency_ms > self._max_ms:
+            self._max_ms = latency_ms
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean_ms(self) -> float:
+        return self._sum_ms / self._total if self._total else 0.0
+
+    def percentile_ms(self, fraction: float) -> float:
+        """Estimate the ``fraction`` percentile (0 < fraction <= 1) as
+        the upper bound of the bucket holding that rank; the overflow
+        bucket reports the maximum observed sample."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not self._total:
+            return 0.0
+        rank = fraction * self._total
+        cumulative = 0
+        for i, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= rank:
+                if i < len(self.bounds_ms):
+                    return self.bounds_ms[i]
+                return self._max_ms
+        return self._max_ms
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-data view (JSON-ready)."""
+        return {
+            "count": self._total,
+            "mean_ms": round(self.mean_ms, 3),
+            "max_ms": round(self._max_ms, 3),
+            "p50_ms": self.percentile_ms(0.50),
+            "p95_ms": self.percentile_ms(0.95),
+            "p99_ms": self.percentile_ms(0.99),
+            "buckets": {
+                f"le_{bound:g}ms": count
+                for bound, count in zip(self.bounds_ms, self._counts)
+            }
+            | {"overflow": self._counts[-1]},
+        }
+
+
+class _EndpointMetrics:
+    """Per-endpoint counters: status breakdown + latency histogram."""
+
+    def __init__(self) -> None:
+        self.by_status: dict[int, int] = {}
+        self.latency = LatencyHistogram()
+
+    def observe(self, status: int, latency_ms: float) -> None:
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+        self.latency.observe(latency_ms)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "requests": self.latency.count,
+            "by_status": {
+                str(status): count
+                for status, count in sorted(self.by_status.items())
+            },
+            "latency": self.latency.as_dict(),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe request metrics keyed by endpoint.
+
+    Tracks, per endpoint, a status-code breakdown and a latency
+    histogram, plus gateway-level shed counters (requests refused by
+    admission control or rate limiting before reaching a worker) and a
+    cumulative QPS figure over the registry's lifetime.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, _EndpointMetrics] = {}
+        self._started = time.monotonic()
+        self._completed = 0
+        self._shed_overload = 0
+        self._shed_rate_limited = 0
+        self._shed_draining = 0
+
+    def observe(
+        self, endpoint: str, status: int, latency_ms: float
+    ) -> None:
+        """Record one completed request."""
+        with self._lock:
+            metrics = self._endpoints.get(endpoint)
+            if metrics is None:
+                metrics = self._endpoints[endpoint] = _EndpointMetrics()
+            metrics.observe(status, latency_ms)
+            self._completed += 1
+            if status == 429:
+                self._shed_rate_limited += 1
+
+    def note_shed(self, reason: str) -> None:
+        """Count a request refused before any worker was involved
+        (``reason`` is ``"overload"`` or ``"draining"``)."""
+        with self._lock:
+            if reason == "overload":
+                self._shed_overload += 1
+            elif reason == "draining":
+                self._shed_draining += 1
+            else:
+                raise ValueError(f"unknown shed reason {reason!r}")
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-data view of every counter (JSON-ready)."""
+        with self._lock:
+            uptime = max(self.uptime_s, 1e-9)
+            return {
+                "uptime_s": round(uptime, 3),
+                "completed": self._completed,
+                "qps": round(self._completed / uptime, 3),
+                "shed_overload": self._shed_overload,
+                "shed_rate_limited": self._shed_rate_limited,
+                "shed_draining": self._shed_draining,
+                "endpoints": {
+                    endpoint: metrics.as_dict()
+                    for endpoint, metrics in sorted(
+                        self._endpoints.items()
+                    )
+                },
+            }

@@ -3,8 +3,11 @@
 from __future__ import annotations
 
 import itertools
+import json
 import math
-from typing import Iterable, Iterator, Sequence, TypeVar
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence, TypeVar
 
 __all__ = [
     "binomial",
@@ -15,6 +18,7 @@ __all__ = [
     "generalized_harmonic",
     "format_count",
     "format_table",
+    "write_bench_json",
 ]
 
 T = TypeVar("T")
@@ -115,6 +119,39 @@ def format_table(
     lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in str_rows)
     return "\n".join(lines)
+
+
+def write_bench_json(
+    name: str,
+    payload: Mapping[str, object],
+    path: str | os.PathLike[str] | None = None,
+) -> Path:
+    """Write a machine-readable benchmark artifact ``BENCH_<name>.json``.
+
+    The perf trajectory across PRs is tracked through these files:
+    every ``benchmarks/`` run (and the load generator's smoke mode)
+    emits one, so a regression is a diff between two JSON artifacts
+    instead of a by-eye comparison of rendered tables.
+
+    Args:
+        name: the bench name; the file is ``BENCH_<name>.json``.
+        payload: JSON-serializable summary (plain scalars/lists/dicts).
+        path: explicit output file or directory; when omitted, the
+            ``REPRO_BENCH_JSON_DIR`` environment variable names the
+            output directory, defaulting to the working directory.
+
+    Returns the path written.
+    """
+    if path is None:
+        target = Path(os.environ.get("REPRO_BENCH_JSON_DIR", "."))
+    else:
+        target = Path(path)
+    if target.is_dir() or not target.suffix:
+        target.mkdir(parents=True, exist_ok=True)
+        target = target / f"BENCH_{name}.json"
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    target.write_text(text + "\n", encoding="utf-8")
+    return target
 
 
 def take(iterable: Iterable[T], n: int) -> list[T]:

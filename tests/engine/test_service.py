@@ -216,4 +216,17 @@ class TestStats:
         assert stats["cache_hits"] == 1
         assert stats["cache_misses"] == 1
         assert stats["num_peers"] == 4
-        assert stats["traffic"].retrieval_postings > 0
+        assert stats["traffic"]["retrieval_postings"] > 0
+
+    def test_service_stats_are_plain_data(self, small_collection):
+        """stats() must snapshot counters into plain picklable and
+        JSON-serializable data — the contract the serving workers rely
+        on to report cross-process (no live backend internals)."""
+        import json
+        import pickle
+
+        service = build_service(small_collection, cache_capacity=8)
+        service.search("t00042 t00137")
+        stats = service.stats()
+        assert pickle.loads(pickle.dumps(stats)) == stats
+        assert json.loads(json.dumps(stats)) == stats

@@ -1,0 +1,62 @@
+"""Shared fixtures for the serving tests.
+
+Worker processes are spawned (fresh interpreters) and each loads the
+session snapshot, so the expensive pieces — building the snapshot and
+starting pools — are session/module scoped and shared across tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HDKParameters
+from repro.corpus.querylog import QueryLogGenerator
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+)
+from repro.engine.service import SearchService
+
+PARAMS = HDKParameters(df_max=10, window_size=8, s_max=3, ff=3_000, fr=3)
+
+CORPUS = SyntheticCorpusConfig(
+    vocabulary_size=800,
+    mean_doc_length=40,
+    num_topics=8,
+    zipf_skew=1.2,
+)
+
+
+@pytest.fixture(scope="session")
+def serving_collection():
+    return SyntheticCorpusGenerator(CORPUS, seed=17).generate(160)
+
+
+@pytest.fixture(scope="session")
+def snapshot_dir(tmp_path_factory, serving_collection):
+    """A saved hdk_disk snapshot every worker process loads."""
+    service = SearchService.build(
+        serving_collection, num_peers=4, backend="hdk_disk", params=PARAMS
+    )
+    service.index()
+    path = tmp_path_factory.mktemp("serving") / "snapshot"
+    service.save(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def direct_service(snapshot_dir):
+    """The in-process reference the gateway must match byte-for-byte."""
+    return SearchService.load(snapshot_dir, cache_capacity=None)
+
+
+@pytest.fixture(scope="session")
+def query_log(serving_collection):
+    queries = QueryLogGenerator(
+        serving_collection,
+        window_size=PARAMS.window_size,
+        min_hits=2,
+        seed=31,
+        size_weights={2: 0.7, 3: 0.3},
+    ).generate(12)
+    return [" ".join(q.terms) for q in queries]

@@ -1,0 +1,161 @@
+"""Worker pool tests: correctness vs the direct service, pickle-safe
+stats, lifecycle errors, and crash → respawn fault injection."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.serving.pool import (
+    PoolShutdownError,
+    WorkerCrashError,
+    WorkerPool,
+    WorkerSpec,
+    response_payload,
+)
+
+
+def _comparable(payload):
+    """Everything deterministic in a search payload (timing excluded)."""
+    return {k: v for k, v in payload.items() if k != "elapsed_ms"}
+
+
+@pytest.fixture(scope="module")
+def pool(snapshot_dir):
+    spec = WorkerSpec(snapshot=str(snapshot_dir), cache_capacity=None)
+    with WorkerPool(spec, size=2) as running:
+        yield running
+
+
+class TestPoolServing:
+    def test_search_matches_direct_service(
+        self, pool, direct_service, query_log
+    ):
+        for query in query_log[:6]:
+            got = pool.submit(
+                "search", {"query": query, "k": 10}
+            ).result(timeout=30)
+            expected = response_payload(direct_service.search(query, k=10))
+            assert _comparable(got) == _comparable(expected)
+
+    def test_search_batch_matches_direct_service(
+        self, pool, direct_service, query_log
+    ):
+        got = pool.submit(
+            "search_batch", {"queries": list(query_log), "k": 5}
+        ).result(timeout=60)
+        assert len(got["responses"]) == len(query_log)
+        for query, payload in zip(query_log, got["responses"]):
+            expected = response_payload(direct_service.search(query, k=5))
+            assert _comparable(payload) == _comparable(expected)
+
+    def test_parallel_submissions_all_complete(self, pool, query_log):
+        futures = [
+            pool.submit("search", {"query": query, "k": 5})
+            for query in query_log * 3
+        ]
+        payloads = [f.result(timeout=60) for f in futures]
+        assert all(p["results"] for p in payloads)
+        stats = pool.stats()
+        # least-loaded dispatch spreads work over both workers
+        assert all(w["served"] > 0 for w in stats["per_worker"])
+
+    def test_worker_stats_are_plain_data(self, pool):
+        gathered = pool.worker_stats()
+        assert len(gathered) == pool.size
+        for stats in gathered:
+            assert "error" not in stats, stats
+            assert stats["backend"]
+            assert pickle.loads(pickle.dumps(stats)) == stats
+            assert json.loads(json.dumps(stats)) == stats
+
+    def test_pool_stats_counters(self, pool):
+        stats = pool.stats()
+        assert stats["size"] == 2
+        assert stats["alive"] == 2
+        assert stats["completed"] > 0
+        assert len(stats["per_worker"]) == 2
+        assert json.loads(json.dumps(stats)) == stats
+
+    def test_unknown_method_reports_worker_error(self, pool):
+        with pytest.raises(ReproError, match="unknown method"):
+            pool.submit("bogus", {}).result(timeout=30)
+
+
+class TestPoolLifecycle:
+    def test_size_must_be_positive(self, snapshot_dir):
+        spec = WorkerSpec(snapshot=str(snapshot_dir))
+        with pytest.raises(ConfigurationError, match="pool size"):
+            WorkerPool(spec, size=0)
+
+    def test_missing_snapshot_rejected(self, tmp_path):
+        spec = WorkerSpec(snapshot=str(tmp_path / "nowhere"))
+        with pytest.raises(ConfigurationError, match="snapshot"):
+            WorkerPool(spec, size=1)
+
+    def test_submit_before_start_rejected(self, snapshot_dir):
+        pool = WorkerPool(WorkerSpec(snapshot=str(snapshot_dir)), size=1)
+        with pytest.raises(PoolShutdownError):
+            pool.submit("search", {"query": "a", "k": 1})
+
+
+def test_crash_respawns_without_dropping_other_inflight(
+    snapshot_dir, direct_service, query_log
+):
+    """Kill worker 0 while worker 1 has a long batch in flight: only
+    worker 0's requests fail, the batch completes untouched, and the
+    respawned worker 0 serves again."""
+    spec = WorkerSpec(
+        snapshot=str(snapshot_dir),
+        cache_capacity=None,
+        link_latency_s=0.002,  # keeps the batch genuinely in flight
+    )
+    with WorkerPool(spec, size=2) as pool:
+        inflight = pool.submit_to(
+            1, "search_batch", {"queries": list(query_log) * 3, "k": 5}
+        )
+        # Occupy worker 0 for a few hundred ms so the crash and the
+        # doomed request both sit queued behind it — otherwise a slow
+        # test thread could lose the race against the monitor's respawn
+        # and the "doomed" request would be served by the replacement.
+        occupy = pool.submit_to(
+            0, "search_batch", {"queries": list(query_log) * 2, "k": 5}
+        )
+        crashed = pool.submit_to(0, "crash", {})
+        doomed = pool.submit_to(0, "search", {"query": query_log[0], "k": 5})
+
+        # the request running before the crash completes normally...
+        assert len(occupy.result(timeout=60)["responses"]) == 2 * len(
+            query_log
+        )
+        # ...both requests behind the crash fail fast...
+        with pytest.raises(WorkerCrashError):
+            crashed.result(timeout=30)
+        with pytest.raises(WorkerCrashError):
+            doomed.result(timeout=30)
+
+        # ...while the other worker's batch is untouched
+        batch = inflight.result(timeout=60)
+        assert len(batch["responses"]) == len(query_log) * 3
+        expected = response_payload(direct_service.search(query_log[0], k=5))
+        assert batch["responses"][0]["results"] == expected["results"]
+
+        # the monitor respawns a replacement into slot 0, which serves
+        deadline = time.monotonic() + 30
+        while pool.alive_workers < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert pool.alive_workers == 2
+        after = pool.submit_to(
+            0, "search", {"query": query_log[1], "k": 5}
+        ).result(timeout=30)
+        expected = response_payload(direct_service.search(query_log[1], k=5))
+        assert after["results"] == expected["results"]
+        assert pool.stats()["respawns"] >= 1
+
+    # once shut down, the pool refuses new work
+    with pytest.raises(PoolShutdownError):
+        pool.submit("search", {"query": query_log[0], "k": 5})
