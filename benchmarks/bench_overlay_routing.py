@@ -33,7 +33,7 @@ from repro.engine.service import SearchService
 from repro.net.accounting import Phase
 from repro.utils import format_table
 
-from .conftest import BENCH_CORPUS, BENCH_EXPERIMENT, publish
+from .conftest import BENCH_CORPUS, BENCH_EXPERIMENT, publish, publish_json
 
 _SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
@@ -179,6 +179,21 @@ def test_overlay_routing_vs_flat(benchmark):
         rows,
     )
     publish("overlay_routing_vs_flat", table)
+    publish_json(
+        "overlay_routing",
+        {
+            "network_sizes": list(NETWORK_SIZES),
+            "queries_replayed": LOG_SIZE,
+            "mean_hops_per_query": {
+                f"{num_peers}/{label}": round(value, 3)
+                for (num_peers, label), value in mean_hops.items()
+            },
+            "path_cache_hit_rate": {
+                str(num_peers): round(rate, 4)
+                for num_peers, rate in hit_rates.items()
+            },
+        },
+    )
 
     # Acceptance: fewer average hops/query than flat at the largest
     # size, and the Zipf log actually exercises the path cache.

@@ -41,7 +41,7 @@ from repro.engine.service import SearchService
 from repro.indexing import build_fingerprint
 from repro.utils import format_table
 
-from .conftest import publish
+from .conftest import publish, publish_json
 
 _SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
@@ -99,6 +99,7 @@ def test_parallel_index_worker_sweep():
 
     rows = []
     speedups = {}
+    metrics = {}
     reference_fingerprint = None
     base_s = None
     for workers in WORKER_SWEEP:
@@ -114,6 +115,11 @@ def test_parallel_index_worker_sweep():
                 )
         speedup = base_s / elapsed
         speedups[workers] = speedup
+        metrics[str(workers)] = {
+            "build_ms": round(elapsed * 1e3, 1),
+            "inserted_postings_per_s": round(inserted / elapsed),
+            "speedup": round(speedup, 3),
+        }
         rows.append(
             [
                 str(workers),
@@ -127,6 +133,14 @@ def test_parallel_index_worker_sweep():
         ["workers", "build ms", "inserted postings/s", "speedup"], rows
     )
     publish("parallel_index_worker_sweep", table)
+    publish_json(
+        "parallel_index",
+        {
+            "num_peers": NUM_PEERS,
+            "worker_sweep": metrics,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
 
     # The acceptance bar: 8 workers must beat 1 worker by > 3x on the
     # latency-dominated build (in practice ~4x: extraction+merges are

@@ -1,0 +1,245 @@
+"""Replicated key ranges under crash faults — the PR-7 payoff.
+
+Sweeps the replication degree R in {1, 2, 3} over the same corpus and
+query log and reports, per degree:
+
+- **insert overhead** — INDEXING-phase postings relative to R=1 (the
+  R-fold write fan-out is the price of the replicas);
+- **lookup hops/query** — healthy replicas add *zero* read cost (reads
+  land on the primary exactly as in the unreplicated stack);
+- **recall under a single crash** — the heaviest-loaded peer is killed
+  without handoff and the log replays: R=1 loses its key ranges while
+  R >= 2 keeps every top-k row byte-identical (recall 1.0);
+- **repair traffic** — the victim respawns empty and one Merkle
+  anti-entropy pass re-converges it: shipped postings are proportional
+  to the divergent keys (compared against the whole stored index), and
+  a second pass ships nothing.
+
+The machine-readable twin ``BENCH_replication.json`` carries the same
+numbers for CI to diff and assert (zero recall loss at R=2).
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI benchmark-smoke job) to shrink the
+network so the bench finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.corpus.querylog import QueryLogGenerator
+from repro.corpus.synthetic import SyntheticCorpusGenerator
+from repro.engine.service import SearchService
+from repro.net.accounting import Phase
+from repro.utils import format_table
+
+from .conftest import BENCH_CORPUS, BENCH_EXPERIMENT, publish, publish_json
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+NUM_PEERS = 32 if _SMOKE else 256
+
+DOCS_PER_PEER = 4
+
+NUM_QUERIES = 20 if _SMOKE else 30
+
+REPLICATION_SWEEP = (1, 2, 3)
+
+K = 10
+
+
+def build(collection, replication: int) -> SearchService:
+    service = SearchService.build(
+        collection,
+        num_peers=NUM_PEERS,
+        backend="hdk",
+        params=BENCH_EXPERIMENT.hdk,
+        cache_capacity=None,
+        replication=replication,
+    )
+    service.index()
+    return service
+
+
+def replay(service, log, source_peer=None):
+    """Top-k id lists plus summed retrieval hops over the log."""
+    rankings, hops = [], 0
+    for query in log:
+        response = service.search(query, k=K, source_peer=source_peer)
+        rankings.append([r.doc_id for r in response.results])
+        hops += response.traffic.hops_by_phase.get(Phase.RETRIEVAL, 0)
+    return rankings, hops
+
+
+def recall(reference, observed):
+    """Mean top-k overlap against the healthy rankings."""
+    total = 0.0
+    for ref_row, obs_row in zip(reference, observed):
+        if not ref_row:
+            total += 1.0
+            continue
+        total += len(set(ref_row) & set(obs_row)) / len(ref_row)
+    return total / max(1, len(reference))
+
+
+def crash_victim(service, log) -> str:
+    """The peer whose crash hurts the query log most: the one storing
+    the most postings under keys the lattice walk can reach (keys whose
+    term sets are subsets of some logged query).  Deterministic, and
+    guaranteed to hold queried keys — crashing the globally
+    heaviest-loaded peer could miss the log entirely at 256 peers."""
+    query_sets = [frozenset(query.term_set) for query in log]
+
+    def queried_postings(name):
+        total = 0
+        for entry in service.network.storage_of(name):
+            terms = frozenset(entry.key)
+            if any(terms <= qs for qs in query_sets):
+                total += len(entry.value.postings)
+        return total
+
+    return max(
+        service.peers, key=lambda p: (queried_postings(p.name), p.name)
+    ).name
+
+
+def test_replication_sweep():
+    collection = SyntheticCorpusGenerator(
+        BENCH_CORPUS, seed=BENCH_EXPERIMENT.seed
+    ).generate(NUM_PEERS * DOCS_PER_PEER)
+    log = QueryLogGenerator(
+        collection,
+        window_size=BENCH_EXPERIMENT.hdk.window_size,
+        min_hits=3,
+        seed=23,
+        size_weights={2: 0.6, 3: 0.4},
+    ).generate(NUM_QUERIES)
+
+    rows = []
+    payload: dict[str, object] = {
+        "num_peers": NUM_PEERS,
+        "num_queries": NUM_QUERIES,
+        "k": K,
+        "smoke": _SMOKE,
+        "degrees": {},
+    }
+    base_indexing = None
+    reference_rankings = None
+    for replication in REPLICATION_SWEEP:
+        service = build(collection, replication)
+        indexing_postings = service.network.accounting.postings(
+            Phase.INDEXING
+        )
+        if base_indexing is None:
+            base_indexing = indexing_postings
+        overhead = indexing_postings / max(1, base_indexing)
+
+        healthy_rankings, healthy_hops = replay(service, log)
+        if reference_rankings is None:
+            reference_rankings = healthy_rankings
+        # Healthy replicas must not change what queries return.
+        assert healthy_rankings == reference_rankings, (
+            f"healthy R={replication} diverged from R=1 rankings"
+        )
+
+        victim = crash_victim(service, log)
+        survivor = next(
+            p.name for p in service.peers if p.name != victim
+        )
+        service.kill_peer(victim)
+        degraded_rankings, degraded_hops = replay(
+            service, log, source_peer=survivor
+        )
+        crash_recall = recall(reference_rankings, degraded_rankings)
+
+        entry: dict[str, object] = {
+            "indexing_postings": indexing_postings,
+            "insert_overhead": round(overhead, 4),
+            "healthy_hops_per_query": round(
+                healthy_hops / len(log), 3
+            ),
+            "degraded_hops_per_query": round(
+                degraded_hops / len(log), 3
+            ),
+            "recall_under_single_crash": round(crash_recall, 6),
+        }
+
+        if replication >= 2:
+            assert crash_recall == 1.0, (
+                f"R={replication} lost results under a single crash "
+                f"(recall {crash_recall:.4f})"
+            )
+            service.respawn_peer(victim)
+            stored_total = service.stored_postings_total()
+            report = service.run_anti_entropy()
+            second = service.run_anti_entropy()
+            assert second.postings_shipped == 0, (
+                "second anti-entropy pass shipped postings on a "
+                "converged network"
+            )
+            healed_rankings, _ = replay(service, log)
+            assert healed_rankings == reference_rankings, (
+                f"R={replication} rankings diverged after repair"
+            )
+            # Repair traffic must track the divergence (the victim's
+            # share of the index), not the index size.
+            entry["repair"] = {
+                "keys_repaired": report.keys_repaired,
+                "postings_shipped": report.postings_shipped,
+                "digests_exchanged": report.digests_exchanged,
+                "stored_postings_total": stored_total,
+                "shipped_fraction_of_stored": round(
+                    report.postings_shipped / max(1, stored_total), 4
+                ),
+                "second_pass_postings": second.postings_shipped,
+            }
+            assert report.postings_shipped < stored_total, (
+                "repair re-shipped more than the whole stored index"
+            )
+            repair_detail = (
+                f"{report.keys_repaired} keys, "
+                f"{report.postings_shipped} postings "
+                f"({report.postings_shipped / max(1, stored_total):.1%} "
+                f"of stored)"
+            )
+        else:
+            repair_detail = "- (no replicas to repair from)"
+
+        payload["degrees"][str(replication)] = entry
+        rows.append(
+            [
+                str(replication),
+                f"{indexing_postings:,}",
+                f"{overhead:.2f}x",
+                f"{healthy_hops / len(log):.2f}",
+                f"{degraded_hops / len(log):.2f}",
+                f"{crash_recall:.3f}",
+                repair_detail,
+            ]
+        )
+
+    table = format_table(
+        [
+            "R",
+            "insert postings",
+            "overhead",
+            "hops/query",
+            "hops/query (crash)",
+            "recall (crash)",
+            "repair after respawn",
+        ],
+        rows,
+    )
+    publish("replication_sweep", table)
+    publish_json("replication", payload)
+
+    # The headline acceptance: replication pays writes, never reads.
+    degrees = payload["degrees"]
+    assert degrees["2"]["insert_overhead"] > 1.0
+    assert (
+        degrees["2"]["healthy_hops_per_query"]
+        == degrees["1"]["healthy_hops_per_query"]
+    )
+    assert degrees["1"]["recall_under_single_crash"] < 1.0, (
+        "the chosen victim owned no queried keys — the crash "
+        "scenario exercised nothing"
+    )

@@ -63,6 +63,15 @@ from .errors import (
 )
 from .indexing import IndexingPipeline
 from .overlay import HierarchicalRouter, SuperPeerTopology
+from .replication import (
+    AntiEntropyRepairer,
+    MerkleTree,
+    RepairReport,
+    ReplicaFailoverRouter,
+    ReplicaPlacement,
+    ReplicationManager,
+    VersionVector,
+)
 from .store import SegmentStore, SpillingGlobalKeyIndex
 
 __version__ = "1.5.0"
@@ -82,6 +91,13 @@ __all__ = [
     "IndexingPipeline",
     "P2PSearchEngine",
     "RetrievalBackend",
+    "AntiEntropyRepairer",
+    "MerkleTree",
+    "RepairReport",
+    "ReplicaFailoverRouter",
+    "ReplicaPlacement",
+    "ReplicationManager",
+    "VersionVector",
     "SuperPeerTopology",
     "SearchResponse",
     "SearchService",

@@ -167,6 +167,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
             "--path-cache-capacity must be >= 0, got "
             f"{args.path_cache_capacity}"
         )
+    if args.replication is not None and args.replication < 1:
+        raise SystemExit(
+            f"--replication must be >= 1, got {args.replication}"
+        )
     if args.query is None and not args.batch:
         raise SystemExit("a query string is required unless --batch is given")
     if args.query is not None and args.batch:
@@ -186,6 +190,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             overlay_fanout=args.overlay_fanout,
             path_cache_capacity=args.path_cache_capacity,
             sync=args.sync,
+            replication=args.replication,
         )
         collection = _build_collection(args) if args.batch else None
         print(
@@ -209,6 +214,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             path_cache_capacity=args.path_cache_capacity,
             sync=args.sync,
             index_workers=args.index_workers,
+            replication=args.replication or 1,
         )
         service.index()
         print(
@@ -527,6 +533,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEYS",
         help="in-network result-cache size per super-peer for the "
         "hdk_super backend (default 128; 0 disables path caching)",
+    )
+    search.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        metavar="R",
+        help="replica count per key range (default: 1 when building, "
+        "the manifest's recorded degree when serving a --load "
+        "snapshot).  R >= 2 fans every insert out to R successor "
+        "owners, fails lookups over past crashed replicas, and enables "
+        "Merkle anti-entropy repair",
     )
     search.add_argument(
         "--sync",

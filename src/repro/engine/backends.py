@@ -164,6 +164,12 @@ class BackendContext:
             pipeline the backend builds with (``repro.indexing``);
             ``1`` is the sequential reference build, any value is
             byte-identical to it.
+        replication: replica count per key range (``repro.replication``).
+            Informational at this layer — the service installs the
+            :class:`~repro.replication.ReplicationManager` on the
+            network; backends see its effects only through the network
+            primitives they already use.  ``1`` means the unreplicated
+            stack, byte-identical to before the subsystem existed.
     """
 
     network: P2PNetwork
@@ -174,6 +180,7 @@ class BackendContext:
     path_cache_capacity: int = 128
     sync: bool = False
     index_workers: int = 1
+    replication: int = 1
 
 
 @runtime_checkable

@@ -53,6 +53,12 @@ from ..net.accounting import (
 from ..net.chord import ChordOverlay, Overlay
 from ..net.network import P2PNetwork
 from ..net.pgrid import PGridOverlay
+from ..replication import (
+    AntiEntropyRepairer,
+    RepairReport,
+    ReplicaFailoverRouter,
+    ReplicationManager,
+)
 from ..retrieval.cache import CacheStats, QueryResultCache
 from ..retrieval.query import QueryProcessor
 from ..store import snapshot as snapshot_io
@@ -201,6 +207,13 @@ class SearchService:
         index_workers: thread-pool width of the sharded indexing
             pipeline (:mod:`repro.indexing`) the backend builds with;
             the build outcome is byte-identical at any value.
+        replication: replica count per key range (``1`` disables the
+            replication subsystem entirely — no manager, no failover
+            wrapper, byte-identical results *and* traffic to the
+            unreplicated stack).  With ``R >= 2`` every insert and
+            stats publication fans out to the key's R successor owners,
+            lookups fail over past crashed replicas, and
+            :meth:`run_anti_entropy` re-converges divergent replicas.
     """
 
     def __init__(
@@ -218,15 +231,30 @@ class SearchService:
         path_cache_capacity: int = 128,
         sync: bool = False,
         index_workers: int = 1,
+        replication: int = 1,
     ) -> None:
         if not peers:
             raise ConfigurationError("service needs at least one peer")
+        if replication < 1:
+            raise ConfigurationError(
+                f"replication must be >= 1, got {replication}"
+            )
         self.peers = list(peers)
         self.network = network
         self.params = params or HDKParameters()
         self.pipeline = pipeline or TextPipeline(PipelineConfig())
         self.query_processor = QueryProcessor(self.pipeline)
         self._sync = sync
+        self.replication = replication
+        # The manager must exist before the backend is constructed so
+        # snapshot population and backend-internal placement see it; the
+        # failover wrapper is installed after, so it can wrap whatever
+        # routing policy the backend installs (hdk_super's hierarchy).
+        self.replication_manager: ReplicationManager | None = (
+            ReplicationManager(network, replication).install()
+            if replication > 1
+            else None
+        )
         reg = backend_registry or default_registry
         if isinstance(backend, str):
             context = BackendContext(
@@ -238,10 +266,20 @@ class SearchService:
                 path_cache_capacity=path_cache_capacity,
                 sync=sync,
                 index_workers=index_workers,
+                replication=replication,
             )
             self.backend: RetrievalBackend = reg.create(backend, context)
         else:
             self.backend = backend
+        if self.replication_manager is not None:
+            network.router = ReplicaFailoverRouter(
+                self.replication_manager, inner=network.router
+            )
+            self._repairer: AntiEntropyRepairer | None = AntiEntropyRepairer(
+                network, self.replication_manager
+            )
+        else:
+            self._repairer = None
         self.cache: QueryResultCache | None = (
             QueryResultCache(cache_capacity) if cache_capacity else None
         )
@@ -277,6 +315,7 @@ class SearchService:
         path_cache_capacity: int = 128,
         sync: bool = False,
         index_workers: int = 1,
+        replication: int = 1,
     ) -> "SearchService":
         """Build a service over ``collection`` split across ``num_peers``.
 
@@ -306,6 +345,8 @@ class SearchService:
             index_workers: worker threads for the sharded indexing
                 pipeline :meth:`index` (and :meth:`add_peers`) runs on;
                 byte-identical results at any value.
+            replication: replica count per key range; ``1`` is the
+                unreplicated stack.
         """
         if not isinstance(backend, str):
             raise ConfigurationError(
@@ -335,6 +376,7 @@ class SearchService:
             path_cache_capacity=path_cache_capacity,
             sync=sync,
             index_workers=index_workers,
+            replication=replication,
         )
 
     # -- indexing ----------------------------------------------------------------
@@ -625,6 +667,46 @@ class SearchService:
             list(querylog), k=k, source_peer=source_peer, workers=workers
         )
 
+    # -- fault tolerance ---------------------------------------------------------
+
+    def kill_peer(self, peer_name: str) -> None:
+        """Crash a peer: its storage is destroyed without handoff (see
+        :meth:`P2PNetwork.kill_peer`).  With ``replication >= 2`` reads
+        fail over to the surviving replicas; the query cache is dropped
+        so post-crash responses reflect the degraded network."""
+        self.network.kill_peer(peer_name)
+        if self.cache is not None:
+            self.cache.invalidate()
+
+    def respawn_peer(self, peer_name: str) -> None:
+        """Revive a crashed peer with empty storage; run
+        :meth:`run_anti_entropy` to re-converge it from its replica
+        peers."""
+        self.network.respawn_peer(peer_name)
+        if self.cache is not None:
+            self.cache.invalidate()
+
+    def run_anti_entropy(self) -> RepairReport:
+        """One anti-entropy pass: replicas of every key range exchange
+        Merkle digests (MAINTENANCE-phase traffic) and ship only their
+        divergent keys.  The service-level repair cadence: call after
+        crashes/respawns, or periodically under churn.
+
+        Raises:
+            ConfigurationError: the service runs unreplicated.
+        """
+        if self._repairer is None:
+            raise ConfigurationError(
+                "anti-entropy repair needs replication >= 2; this "
+                "service was built with replication=1"
+            )
+        report = self._repairer.run()
+        if self.cache is not None:
+            # Repair may have refreshed entries a failover read would
+            # now see differently.
+            self.cache.invalidate()
+        return report
+
     # -- persistence -------------------------------------------------------------
 
     def save(self, path: str | Path, sync: bool | None = None) -> None:
@@ -672,6 +754,12 @@ class SearchService:
             params=self.params.as_dict(),
             global_index=global_index,
             sync=self._sync if sync is None else sync,
+            replication=self.replication,
+            replication_state=(
+                self.replication_manager.export_state()
+                if self.replication_manager is not None
+                else {}
+            ),
         )
 
     @classmethod
@@ -686,6 +774,7 @@ class SearchService:
         overlay_fanout: int = 8,
         path_cache_capacity: int = 128,
         sync: bool = False,
+        replication: int | None = None,
     ) -> "SearchService":
         """Rebuild a queryable service from a :meth:`save` snapshot.
 
@@ -714,6 +803,12 @@ class SearchService:
                 super-peer (``hdk_super``).
             sync: durability knob for the loaded service's own writes
                 and later :meth:`save` calls.
+            replication: replica count for the loaded service; ``None``
+                keeps the degree recorded in the manifest.  With
+                ``R >= 2`` every snapshot entry is placed at all R
+                owners and the persisted replication state (origin
+                sequence numbers, version vectors) is restored, so
+                anti-entropy resumes where the saved service left off.
 
         Note: peers of a loaded service carry empty local collections
         (the snapshot persists the *index*, not the documents), so a
@@ -732,6 +827,9 @@ class SearchService:
             network.add_peer(name)
             peers.append(Peer(name=name, collection=DocumentCollection()))
         backend_name = backend or manifest.backend
+        effective_replication = (
+            manifest.replication if replication is None else replication
+        )
         service = cls(
             peers,
             network,
@@ -745,6 +843,7 @@ class SearchService:
             overlay_fanout=overlay_fanout,
             path_cache_capacity=path_cache_capacity,
             sync=sync,
+            replication=effective_replication,
         )
         global_index = getattr(service.backend, "global_index", None)
         restore = getattr(service.backend, "restore", None)
@@ -762,6 +861,19 @@ class SearchService:
         else:
             snapshot_io.populate_eager(path, global_index)
         restore()
+        manager = service.replication_manager
+        if manager is not None:
+            # Resume replication where the saved service left off: the
+            # persisted sequence numbers/vectors (when the snapshot was
+            # replicated) plus uniform per-key versions for the freshly
+            # placed — convergent by construction — replica copies, so a
+            # first anti-entropy pass ships nothing.
+            if (
+                manifest.replication_state
+                and manifest.replication == service.replication
+            ):
+                manager.restore_state(manifest.replication_state)
+            manager.seed_versions_from_storage()
         service._indexed = True
         return service
 
@@ -797,6 +909,11 @@ class SearchService:
         stats["cache_hits"] = self.cache_stats.hits
         stats["cache_misses"] = self.cache_stats.misses
         stats["traffic"] = self.network.accounting.snapshot().as_dict()
+        stats["replication"] = self.replication
+        if self.replication_manager is not None:
+            stats["replication_detail"] = (
+                self.replication_manager.describe()
+            )
         return stats
 
     def stored_postings_total(self) -> int:

@@ -246,7 +246,12 @@ class GlobalKeyIndex:
                 transition.append(entry)
             return entry
 
-        entry = self.network.apply_insert(key, merge)
+        # With replication installed the merge runs once per live
+        # replica (each produces its own GlobalEntry) and ``origin``
+        # tags the op for idempotent redelivery; ``transition`` then
+        # collects one entry per replica, but the truthy check and the
+        # single notification below are unaffected.
+        entry = self.network.apply_insert(key, merge, origin=source_id)
         if transition:
             self._notify_contributors(entry)
             self._transition_log.append(
@@ -437,10 +442,14 @@ class GlobalKeyIndex:
         )
 
     def stored_postings_per_peer(self) -> dict[str, int]:
-        """Postings stored at each named peer."""
+        """Postings stored at each named peer (crashed peers omitted —
+        their storage no longer exists)."""
         result: dict[str, int] = {}
         for name in self.network.peer_names():
-            storage = self.network.storage_of(name)
+            peer_id = self.network.id_of(name)
+            if not self.network.is_live(peer_id):
+                continue
+            storage = self.network.storage_by_id(peer_id)
             result[name] = storage.total_value_size(
                 lambda value: len(value.postings)
                 if isinstance(value, GlobalEntry)
@@ -449,11 +458,18 @@ class GlobalKeyIndex:
         return result
 
     def key_count(self) -> int:
-        """Number of distinct keys stored in the global index."""
+        """Number of stored key entries network-wide.  With replication
+        installed every key is stored at R live replicas, so this counts
+        each key up to R times — it measures *storage*, not vocabulary
+        (the same way :meth:`stored_postings_total` measures the R-fold
+        storage overhead replication pays)."""
         return self.network.stored_entry_count()
 
     def entries(self) -> list[GlobalEntry]:
-        """All stored entries (inspection/tests; order unspecified)."""
+        """All stored entries (inspection/tests; order unspecified).
+        With replication installed each key appears once per live
+        replica — callers that need one entry per key (e.g. the snapshot
+        writer) must dedupe by key."""
         found: list[GlobalEntry] = []
         for storage in self.network.storages():
             for stored in storage:

@@ -39,6 +39,18 @@ class MessageKind(Enum):
     #: Routing-index / cluster-summary exchange between super-peers and
     #: their members (maintenance; super-peer hierarchy).
     ROUTING_UPDATE = "routing_update"
+    #: Replicated write fan-out from the primary owner to the other
+    #: replicas of a key range (see :mod:`repro.replication`).
+    REPLICA_WRITE = "replica_write"
+    #: Liveness probe burned while a lookup fails over past dead
+    #: replicas to the nearest live one (no posting payload).
+    REPLICA_PROBE = "replica_probe"
+    #: Merkle-tree digest exchanged between replicas during an
+    #: anti-entropy round (maintenance; no posting payload).
+    REPLICA_DIGEST = "replica_digest"
+    #: A divergent key shipped replica-to-replica during anti-entropy
+    #: repair (maintenance; carries the stored postings).
+    REPLICA_REPAIR = "replica_repair"
 
 
 _message_counter = itertools.count()

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Protocol, runtime_checkable
 
 from ..errors import NetworkError, PeerNotFoundError
@@ -23,7 +24,28 @@ from .messages import Message, MessageKind
 from .node_id import canonical_term_set, hash_to_id, peer_id_for
 from .storage import PeerStorage
 
-__all__ = ["P2PNetwork", "RoutingPolicy"]
+__all__ = ["MembershipEvent", "P2PNetwork", "RoutingPolicy"]
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership change, with *which kind* it was.
+
+    Crash and churn are different failure models: ``leave`` (graceful
+    churn) hands the departing peer's keys to its inheritor, while
+    ``crash`` destroys them — and overlay/replication hooks need to
+    observe which occurred (a crash must drop stale replica state; a
+    leave must not).
+
+    Attributes:
+        kind: ``"join"``, ``"leave"``, ``"crash"``, or ``"respawn"``.
+        peer_name: the affected peer's registered name.
+        peer_id: the affected peer's overlay id.
+    """
+
+    kind: str
+    peer_name: str
+    peer_id: int
 
 
 @runtime_checkable
@@ -64,9 +86,13 @@ class RoutingPolicy(Protocol):
         (freshness hook: invalidate mid-path caches, update summaries)."""
         ...
 
-    def on_membership_change(self) -> None:
-        """Called after a peer joined or left and its handoff completed
-        (re-cluster, rebuild routing state)."""
+    def on_membership_change(
+        self, event: MembershipEvent | None = None
+    ) -> None:
+        """Called after the peer population changed (re-cluster, rebuild
+        routing state).  ``event`` says what happened — join, leave,
+        crash, or respawn; ``None`` means a coalesced batch of changes
+        (see :meth:`P2PNetwork.membership_batch`)."""
         ...
 
 
@@ -104,6 +130,10 @@ class P2PNetwork:
         #: Optional hop-level routing hook (see :class:`RoutingPolicy`).
         #: ``None`` routes every message along the structured overlay.
         self.router: RoutingPolicy | None = None
+        #: Optional replication manager (see :mod:`repro.replication`).
+        #: ``None`` keeps the network byte-identical to the unreplicated
+        #: stack: one owner per key, no fan-out, no failover probes.
+        self.replication: Any | None = None
         self._storage: dict[int, PeerStorage] = {}
         self._names: dict[str, int] = {}
         # Membership-batch state: depth of open membership_batch()
@@ -192,33 +222,84 @@ class P2PNetwork:
         self._names[peer_name] = peer_id
         if handoff_source != peer_id:
             self._handoff_on_join(handoff_source, peer_id)
-        self._notify_membership_change()
+        self._notify_membership_change(
+            MembershipEvent("join", peer_name, peer_id)
+        )
         return peer_id
 
     def remove_peer(self, peer_name: str) -> None:
-        """Remove a named peer, handing its keys to the inheriting peer."""
+        """Remove a named peer gracefully (*churn*, not crash): its keys
+        are handed to the inheriting peer before it departs.  Removing a
+        crashed peer skips the handoff — its storage is already gone."""
         peer_id = self.id_of(peer_name)
         inheritor = self.overlay.remove_peer(peer_id)
-        storage = self._storage.pop(peer_id)
+        storage = self._storage.pop(peer_id, None)
         del self._names[peer_name]
-        moved = list(storage)
-        target_storage = self._storage[inheritor]
-        postings = 0
-        for entry in moved:
-            target_storage.put(entry.key, entry.key_id, entry.value)
-            postings += self._payload_size(entry.value)
-        self._record_maintenance(peer_id, inheritor, postings)
-        self._notify_membership_change()
+        if storage is not None and inheritor in self._storage:
+            moved = list(storage)
+            target_storage = self._storage[inheritor]
+            postings = 0
+            for entry in moved:
+                target_storage.put(entry.key, entry.key_id, entry.value)
+                postings += self._payload_size(entry.value)
+            self._record_maintenance(peer_id, inheritor, postings)
+        self._notify_membership_change(
+            MembershipEvent("leave", peer_name, peer_id)
+        )
 
-    def _notify_membership_change(self) -> None:
+    def kill_peer(self, peer_name: str) -> None:
+        """Crash a named peer: its storage is destroyed *without* the
+        graceful handoff :meth:`remove_peer` performs — the data a real
+        node loses when its disk dies with it.  The peer stays in the
+        overlay ring and keeps its name (the population hasn't agreed it
+        left), so key responsibility is unchanged: without replication
+        its range simply goes dark; with replication installed, reads
+        fail over to the surviving replicas.  Revive with
+        :meth:`respawn_peer`."""
+        peer_id = self.id_of(peer_name)
+        if peer_id not in self._storage:
+            raise NetworkError(f"peer {peer_name!r} is already crashed")
+        del self._storage[peer_id]
+        if self.replication is not None:
+            self.replication.on_peer_crashed(peer_id)
+        self._notify_membership_change(
+            MembershipEvent("crash", peer_name, peer_id)
+        )
+
+    def respawn_peer(self, peer_name: str) -> None:
+        """Revive a crashed peer with *empty* storage (a fresh disk).
+        It rejoins the replica sets it belongs to but holds nothing
+        until anti-entropy repair re-converges it."""
+        peer_id = self.id_of(peer_name)
+        if peer_id in self._storage:
+            raise NetworkError(f"peer {peer_name!r} is alive")
+        self._storage[peer_id] = PeerStorage(peer_id)
+        if self.replication is not None:
+            self.replication.on_peer_respawned(peer_id)
+        self._notify_membership_change(
+            MembershipEvent("respawn", peer_name, peer_id)
+        )
+
+    def is_live(self, peer_id: int) -> bool:
+        """Whether the peer currently holds storage (not crashed)."""
+        return peer_id in self._storage
+
+    def live_peer_ids(self) -> list[int]:
+        """Overlay ids of the live (non-crashed) peers, ascending."""
+        return sorted(self._storage)
+
+    def _notify_membership_change(
+        self, event: MembershipEvent | None = None
+    ) -> None:
         """Tell the installed router the population changed — deferred
-        to scope exit inside a :meth:`membership_batch`."""
+        to scope exit inside a :meth:`membership_batch` (the coalesced
+        notification carries no single event)."""
         if self.router is None:
             return
         if self._membership_batch_depth > 0:
             self._membership_changed_in_batch = True
             return
-        self.router.on_membership_change()
+        self.router.on_membership_change(event)
 
     @contextmanager
     def membership_batch(self) -> Iterator[None]:
@@ -247,7 +328,12 @@ class P2PNetwork:
 
     def _handoff_on_join(self, source_peer: int, new_peer: int) -> None:
         """Move entries now owned by ``new_peer`` out of ``source_peer``."""
-        source_storage = self._storage[source_peer]
+        source_storage = self._storage.get(source_peer)
+        if source_storage is None:
+            # The previous owner of the joiner's region is crashed:
+            # there is nothing to hand off (the range is dark until
+            # anti-entropy repair or re-indexing repopulates it).
+            return
         moved = source_storage.pop_range(
             lambda key_id: self.overlay.responsible_peer(key_id) == new_peer
         )
@@ -279,6 +365,18 @@ class P2PNetwork:
     def responsible_peer_for(self, key: Any) -> int:
         """Overlay id of the peer responsible for logical key ``key``."""
         return self.overlay.responsible_peer(self._key_id(key))
+
+    def effective_owner(self, key_id: int) -> int | None:
+        """The peer a read/write for ``key_id`` actually lands on: the
+        first *live* replica in placement order.  Without a replication
+        manager this is the responsible peer when live and ``None`` when
+        it crashed (the range is dark); with one installed, crashes fail
+        over to the next successor replica.  ``None`` means every owner
+        is dead."""
+        if self.replication is not None:
+            return self.replication.effective_owner(key_id)
+        owner = self.overlay.responsible_peer(key_id)
+        return owner if owner in self._storage else None
 
     def insert(
         self,
@@ -334,18 +432,51 @@ class P2PNetwork:
                 key_repr=key_repr or repr(key),
             )
         )
+        if self.replication is not None:
+            # The primary forwards the op to the other replicas — one
+            # direct REPLICA_WRITE per backup, logged in the send phase
+            # so the parallel pipeline's transmission/merge split stays
+            # deterministic.
+            self.replication.send_replica_writes(
+                self,
+                target_id,
+                key_id,
+                payload_postings,
+                key_repr=key_repr or repr(key),
+            )
 
     def apply_insert(
-        self, key: Any, merge: Callable[[Any | None], Any]
+        self,
+        key: Any,
+        merge: Callable[[Any | None], Any],
+        origin: int | None = None,
     ) -> Any:
         """Application phase of an insert: run ``merge`` against the
         stored value at the responsible peer (no message is logged — the
         transmission was paid by :meth:`send_insert`).  Merge order is
         what the index's contents depend on, so callers that stage sends
-        concurrently must apply in a deterministic order."""
+        concurrently must apply in a deterministic order.
+
+        ``origin`` is the inserting peer's overlay id; with replication
+        installed it tags the op with a per-origin sequence number so
+        replicas can discard redeliveries (idempotence), and the merge
+        is applied independently at *every* live replica.  Without
+        replication a write whose responsible peer crashed is simply
+        lost (``merge(None)`` is still evaluated so the caller observes
+        the value the acknowledgement would have carried)."""
         key_id = self._key_id(key)
-        target_id = self.overlay.responsible_peer(key_id)
-        merged = self._storage[target_id].update(key, key_id, merge)
+        if self.replication is not None:
+            merged = self.replication.apply_write(
+                self, key, key_id, merge, origin=origin
+            )
+        else:
+            target_id = self.overlay.responsible_peer(key_id)
+            storage = self._storage.get(target_id)
+            if storage is None:
+                # Crashed owner, no replicas: the write is lost.
+                merged = merge(None)
+            else:
+                merged = storage.update(key, key_id, merge)
         if self.router is not None:
             # After the write, so a racing lookup can never re-cache the
             # superseded value past this invalidation.
@@ -392,7 +523,12 @@ class P2PNetwork:
                 key_repr=key_repr or repr(key),
             )
         )
-        value = self._storage[target_id].get(key)
+        storage = self._storage.get(target_id)
+        # A crashed owner answers nothing; an empty RESPONSE stands in
+        # for the requester's timeout (unreplicated crash semantics —
+        # with replication installed the failover router takes over
+        # before this path runs).
+        value = storage.get(key) if storage is not None else None
         self._send(
             Message(
                 kind=MessageKind.RESPONSE,
@@ -470,24 +606,35 @@ class P2PNetwork:
                 hops=max(1, hops),
             )
         )
+        if self.replication is not None:
+            # Statistics publications replicate like inserts: the stats
+            # peer forwards to its backups (metadata-sized, version-
+            # vector LWW merged at each replica).
+            self.replication.send_replica_writes(
+                self, target_id, key_id, postings, origin=source_id
+            )
 
     # -- storage inspection -------------------------------------------------------------
 
     def storage_of(self, peer_name: str) -> PeerStorage:
-        """The storage of a named peer (for inspection and figures)."""
-        return self._storage[self.id_of(peer_name)]
+        """The storage of a named peer (for inspection and figures).
+
+        Raises:
+            PeerNotFoundError: unknown name or crashed peer.
+        """
+        return self.storage_by_id(self.id_of(peer_name))
 
     def storage_by_id(self, peer_id: int) -> PeerStorage:
         """The storage of a peer by overlay id.
 
         Raises:
-            PeerNotFoundError: unknown id.
+            PeerNotFoundError: unknown id or crashed peer.
         """
         try:
             return self._storage[peer_id]
         except KeyError:
             raise PeerNotFoundError(
-                f"peer id {peer_id} not in the network"
+                f"peer id {peer_id} not in the network (or crashed)"
             ) from None
 
     def storages(self) -> Iterator[PeerStorage]:

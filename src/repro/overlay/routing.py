@@ -161,7 +161,23 @@ class HierarchicalRouter:
     ) -> Any | None:
         with self._lock:
             self.stats.lookups += 1
-        owner = network.overlay.responsible_peer(key_id)
+        # The *effective* owner: the responsible peer, or — with a
+        # replication manager installed — the first live replica.  A
+        # crashed owner with no live replica leaves the range dark.
+        owner = network.effective_owner(key_id)
+        if owner is None:
+            # The request still travels toward the dark range and times
+            # out; no response arrives.
+            local_sp = self.topology.super_peer_of(source_id)
+            network.log_message(
+                MessageKind.LOOKUP,
+                source_id,
+                network.overlay.responsible_peer(key_id),
+                0,
+                max(1, (source_id != local_sp) + 1),
+                key_repr,
+            )
+            return None
         if owner == source_id:
             # Self-owned key: answered locally, same message shape as
             # flat routing (request + response, one hop each).
@@ -248,7 +264,13 @@ class HierarchicalRouter:
 
     def path_hops(self, source_id: int, key_id: int) -> int:
         """Request-path hops source -> local SP -> home SP -> owner."""
-        owner = self.topology.network.overlay.responsible_peer(key_id)
+        network = self.topology.network
+        owner = network.effective_owner(key_id)
+        if owner is None:
+            # Dark range: the message travels to the local super-peer
+            # and on toward the dead region before timing out.
+            local_sp = self.topology.super_peer_of(source_id)
+            return max(1, (source_id != local_sp) + 1)
         if owner == source_id:
             return 1
         home_sp = self.topology.super_peer_of(owner)
@@ -265,6 +287,12 @@ class HierarchicalRouter:
         super-peer, which evicts any cached answer for the key and adds
         it to the cluster summary."""
         home = self.topology.home_cluster(key_id)
+        if home is None:
+            # Dark range: the write was lost, nothing is cached for the
+            # key (dark lookups bypass the cache), nothing to invalidate.
+            with self._lock:
+                self.stats.inserts += 1
+            return
         with self._lock:
             self.stats.inserts += 1
             # Bump the generation and evict under the same lock the
@@ -290,7 +318,10 @@ class HierarchicalRouter:
 
     # -- RoutingPolicy: membership -------------------------------------------------
 
-    def on_membership_change(self) -> None:
+    def on_membership_change(self, event=None) -> None:
+        # Every membership kind — join, leave, crash, respawn — changes
+        # which peers can serve, so the response is the same: re-cluster
+        # the live population and rebuild routing state.
         self.refresh()
 
     def refresh(self) -> None:
@@ -379,6 +410,11 @@ class HierarchicalRouter:
         member_key_ids: list[list[int]] = []
         total = 0
         for member in cluster.members:
+            # Clusters hold live peers, but a member may have crashed
+            # between the rebuild and a saturation-triggered re-scan.
+            if not network.is_live(member):
+                member_key_ids.append([])
+                continue
             key_ids = [
                 entry.key_id for entry in network.storage_by_id(member)
             ]

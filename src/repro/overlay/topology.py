@@ -81,8 +81,14 @@ class SuperPeerTopology:
     def rebuild(self) -> None:
         """Re-cluster the current peer population and account the
         maintenance traffic (member registrations + the super-peers'
-        routing-index exchange)."""
-        peer_ids = sorted(self.network.overlay.peer_ids())
+        routing-index exchange).
+
+        Only *live* peers are clustered: a crashed peer cannot serve as
+        a super-peer or answer for its range, and the population
+        re-clusters around it exactly as it would around a departure —
+        while the peer keeps its ring position, so key responsibility
+        (and replica placement) is unchanged."""
+        peer_ids = self.network.live_peer_ids()
         if not peer_ids:
             raise NetworkError("cannot cluster an empty network")
         clusters: list[Cluster] = []
@@ -141,12 +147,16 @@ class SuperPeerTopology:
         """Overlay id of the super-peer serving ``peer_id``."""
         return self.cluster_of_peer(peer_id).super_peer
 
-    def home_cluster(self, key_id: int) -> Cluster:
-        """The cluster whose key range covers ``key_id`` — by
-        construction the cluster of the key's responsible peer."""
-        return self.cluster_of_peer(
-            self.network.overlay.responsible_peer(key_id)
-        )
+    def home_cluster(self, key_id: int) -> Cluster | None:
+        """The cluster whose key range covers ``key_id`` — the cluster
+        of the key's *effective* owner (the responsible peer, or with
+        replication installed the first live replica).  ``None`` when
+        the whole replica set is crashed: the range is dark and has no
+        serving cluster."""
+        owner = self.network.effective_owner(key_id)
+        if owner is None:
+            return None
+        return self.cluster_of_peer(owner)
 
     def super_peers(self) -> list[int]:
         """Overlay ids of all current super-peers, in cluster order."""

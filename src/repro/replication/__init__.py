@@ -1,0 +1,51 @@
+"""Replicated key ranges with failover reads and anti-entropy repair.
+
+The paper's global index stores each highly discriminative key on
+exactly one DHT peer: a peer *crash* (as opposed to graceful churn,
+whose join/leave handoff protocol the network already implements)
+silently destroys that peer's postings and leaves every lookup for its
+range with a single dark home.  This package closes that last single
+point of failure:
+
+- :class:`ReplicaPlacement` maps each key id to its R *successor*
+  owners on the ring — the primary (the overlay's responsible peer)
+  plus the next R-1 distinct peers in id order;
+- :class:`ReplicationManager` runs the write path: inserts and
+  statistics publications fan out from the primary as idempotent ops
+  tagged with per-origin sequence numbers, merged independently at each
+  live replica (set-union/CRDT-style for posting lists, version-vector
+  LWW for metadata) and recorded in per-replica
+  :class:`VersionVector`\\ s;
+- :class:`ReplicaFailoverRouter` runs the read path: lookups route to
+  the nearest *live* replica, failing over past crashed owners — as a
+  :class:`repro.net.network.RoutingPolicy` wrapper, so the flat network
+  and the super-peer :class:`repro.overlay.HierarchicalRouter` both get
+  failover without touching ranking semantics;
+- :class:`AntiEntropyRepairer` periodically exchanges
+  :class:`MerkleTree` digests between the replicas of each key range
+  under the MAINTENANCE accounting phase and ships only the divergent
+  keys, so a respawned or lagging replica re-converges with repair
+  traffic proportional to the divergence, not to the range.
+
+With ``replication=1`` (the default everywhere) none of this is
+installed and the stack stays byte-identical — results *and* traffic —
+to the unreplicated system.
+"""
+
+from .manager import ReplicationManager
+from .merkle import MerkleTree, value_fingerprint
+from .placement import ReplicaPlacement
+from .failover import ReplicaFailoverRouter
+from .repair import AntiEntropyRepairer, RepairReport
+from .versioning import VersionVector
+
+__all__ = [
+    "AntiEntropyRepairer",
+    "MerkleTree",
+    "RepairReport",
+    "ReplicaFailoverRouter",
+    "ReplicaPlacement",
+    "ReplicationManager",
+    "VersionVector",
+    "value_fingerprint",
+]

@@ -1,0 +1,77 @@
+"""Version vectors and per-origin sequence numbers.
+
+Every replicated op carries ``(origin peer id, sequence number)``; each
+replica keeps a :class:`VersionVector` — origin id to the highest
+sequence number it has applied — so a redelivered op is recognized and
+discarded (idempotence) and two replicas can tell, by vector
+comparison, whether one has seen everything the other has.  The repair
+protocol merges the vectors of a replica pair after shipping their
+divergent keys, recording that both now cover the union of observed
+writes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+__all__ = ["VersionVector"]
+
+
+class VersionVector:
+    """Origin peer id -> highest applied per-origin sequence number."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Mapping[int, int] | None = None) -> None:
+        self._clock: dict[int, int] = dict(clock or {})
+
+    def observe(self, origin: int, seq: int) -> None:
+        """Record that the op ``(origin, seq)`` was applied."""
+        if seq > self._clock.get(origin, 0):
+            self._clock[origin] = seq
+
+    def covers(self, origin: int, seq: int) -> bool:
+        """Whether ``(origin, seq)`` was already applied — a redelivery
+        the replica must discard."""
+        return self._clock.get(origin, 0) >= seq
+
+    def merge(self, other: "VersionVector") -> None:
+        """Pointwise maximum — after a repair round both replicas cover
+        the union of the writes either had seen."""
+        for origin, seq in other._clock.items():
+            self.observe(origin, seq)
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """Whether this vector has seen everything ``other`` has."""
+        return all(
+            self._clock.get(origin, 0) >= seq
+            for origin, seq in other._clock.items()
+        )
+
+    def copy(self) -> "VersionVector":
+        return VersionVector(self._clock)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VersionVector):
+            return NotImplemented
+        return self._clock == other._clock
+
+    def __len__(self) -> int:
+        return len(self._clock)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self._clock.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{o}:{s}" for o, s in self)
+        return f"VersionVector({{{inner}}})"
+
+    # -- persistence (snapshot manifest) ---------------------------------------
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-able form (string origin keys, manifest-friendly)."""
+        return {str(origin): seq for origin, seq in self._clock.items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "VersionVector":
+        return cls({int(origin): int(seq) for origin, seq in data.items()})

@@ -33,6 +33,7 @@ from ..errors import StoreError
 from ..index.bm25 import TermStats
 from ..index.codec import decode_varint, encode_varint
 from ..index.global_index import GlobalEntry, GlobalKeyIndex
+from ..index.postings import PostingList
 from ..net.network import P2PNetwork
 from .segment import SegmentRecord
 from .spill import (
@@ -76,6 +77,13 @@ class SnapshotManifest:
     stored_postings: int = 0
     format_version: int = _FORMAT_VERSION
     repro_version: str = ""
+    #: Replication degree the snapshot was built with (1 = unreplicated;
+    #: older manifests omit the field and read back as 1).
+    replication: int = 1
+    #: Exported ReplicationManager state (origin sequence numbers and
+    #: per-replica version vectors) so a reloaded service resumes
+    #: anti-entropy from the persisted vectors; empty when replication=1.
+    replication_state: dict = field(default_factory=dict)
 
 
 def save_index_snapshot(
@@ -87,6 +95,8 @@ def save_index_snapshot(
     params: dict,
     global_index: GlobalKeyIndex,
     sync: bool = False,
+    replication: int = 1,
+    replication_state: dict | None = None,
 ) -> SnapshotManifest:
     """Write a snapshot of ``global_index`` under ``path``.
 
@@ -113,7 +123,7 @@ def save_index_snapshot(
         target / SEGMENTS_DIRNAME, cache_postings=0, sync=sync
     )
     entries = sorted(
-        global_index.entries(), key=lambda entry: sorted(entry.key)
+        _unique_entries(global_index), key=lambda entry: sorted(entry.key)
     )
     stored_postings = 0
     for entry in entries:
@@ -173,6 +183,8 @@ def save_index_snapshot(
         key_count=len(entries),
         stored_postings=stored_postings,
         repro_version=repro_version,
+        replication=replication,
+        replication_state=dict(replication_state or {}),
     )
     (target / MANIFEST_NAME).write_text(
         json.dumps(asdict(manifest), indent=2, sort_keys=True) + "\n",
@@ -289,13 +301,47 @@ def load_statistics(
 # -- entry placement --------------------------------------------------------------
 
 
-def _place_entry(network: P2PNetwork, entry: GlobalEntry) -> None:
-    """Put ``entry`` directly into the responsible peer's storage —
-    snapshot restoration is local I/O, not protocol traffic."""
-    target = network.responsible_peer_for(entry.key)
-    network.storage_by_id(target).put(
-        entry.key, network.key_id(entry.key), entry
-    )
+def _unique_entries(global_index: GlobalKeyIndex) -> list[GlobalEntry]:
+    """One entry per key: with replication installed every key is stored
+    at R replicas and a snapshot persists exactly one convergent copy —
+    the *effective* owner's, so the bytes are deterministic and, if a
+    replica was lagging at save time, the serving copy is what is kept."""
+    network = global_index.network
+    if network.replication is None:
+        return global_index.entries()
+    unique: dict = {}
+    for storage in network.storages():
+        for stored in storage:
+            if not isinstance(stored.value, GlobalEntry):
+                continue
+            if stored.key in unique:
+                continue
+            owner = network.effective_owner(stored.key_id)
+            value = (
+                network.storage_by_id(owner).get(stored.key)
+                if owner is not None
+                else stored.value
+            )
+            unique[stored.key] = value
+    return list(unique.values())
+
+
+def _place_entry(network: P2PNetwork, key, make_entry) -> None:
+    """Put a freshly built entry directly into the storage of *each*
+    live owner — snapshot restoration is local I/O, not protocol
+    traffic.  ``make_entry`` is called once per owner: replicas must
+    never share a mutable entry, or a later merge at one would silently
+    mutate the others.  Without replication there is one owner, the
+    responsible peer."""
+    key_id = network.key_id(key)
+    if network.replication is not None:
+        owners = network.replication.owners(key_id)
+    else:
+        owners = (network.overlay.responsible_peer(key_id),)
+    for owner in owners:
+        if not network.is_live(owner):
+            continue
+        network.storage_by_id(owner).put(key, key_id, make_entry())
 
 
 def populate_eager(
@@ -311,16 +357,19 @@ def populate_eager(
         meta = reader.meta(key)
         postings = reader.get_postings(key)
         assert meta is not None and postings is not None
-        _place_entry(
-            global_index.network,
-            GlobalEntry(
+
+        def make_entry(
+            key=key, meta=meta, postings=postings
+        ) -> GlobalEntry:
+            return GlobalEntry(
                 key=key,
-                postings=postings,
+                postings=PostingList(list(postings)),
                 global_df=meta.global_df,
                 status=code_to_status(meta.status_code),
                 contributors=set(meta.contributors),
-            ),
-        )
+            )
+
+        _place_entry(global_index.network, key, make_entry)
         placed += 1
     reader.close()
     load_statistics(path, global_index)
@@ -349,9 +398,12 @@ def populate_lazy(
     for key in store.keys():
         meta = store.meta(key)
         assert meta is not None
-        _place_entry(
-            global_index.network,
-            GlobalEntry(
+
+        def make_entry(key=key, meta=meta) -> GlobalEntry:
+            # One stub per owner, all backed by the shared snapshot
+            # store: a backup materializing its copy never aliases the
+            # effective owner's resident list.
+            return GlobalEntry(
                 key=key,
                 postings=SpilledPostings(
                     store,
@@ -362,8 +414,9 @@ def populate_lazy(
                 global_df=meta.global_df,
                 status=code_to_status(meta.status_code),
                 contributors=set(meta.contributors),
-            ),
-        )
+            )
+
+        _place_entry(global_index.network, key, make_entry)
         placed += 1
     load_statistics(path, global_index)
     return placed

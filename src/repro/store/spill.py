@@ -237,7 +237,16 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
     def _entry_at_responsible(
         self, key: frozenset[str]
     ) -> GlobalEntry | None:
-        target = self.network.responsible_peer_for(key)
+        # The *effective* owner: with replication installed this is the
+        # first live replica, and without it ``None`` when the
+        # responsible peer crashed (nothing resident to manage).  Only
+        # the effective owner's copy participates in the RAM budget;
+        # backup replicas keep plain resident lists — the budget bounds
+        # the serving copy, and the R-fold storage overhead is exactly
+        # what replication buys.
+        target = self.network.effective_owner(self.network.key_id(key))
+        if target is None:
+            return None
         value = self.network.storage_by_id(target).get(key)
         return value if isinstance(value, GlobalEntry) else None
 

@@ -32,6 +32,7 @@ from repro.engine.service import SearchService
 from repro.indexing import build_fingerprint, traffic_fingerprint
 
 __all__ = [
+    "assert_crash_tolerant",
     "assert_fingerprints_equal",
     "build_indexed_service",
     "make_querylog",
@@ -92,11 +93,12 @@ def query_fingerprint(
     queries: Sequence[Query | str],
     k: int = 10,
     strict: bool = True,
+    source_peer: str | None = None,
 ) -> list[dict[str, Any]]:
     """Run ``queries`` and capture each response's comparable fields."""
     rows: list[dict[str, Any]] = []
     for query in queries:
-        response = service.search(query, k=k)
+        response = service.search(query, k=k, source_peer=source_peer)
         row: dict[str, Any] = {
             "results": tuple(
                 (ranked.doc_id, round(ranked.score, 9))
@@ -112,6 +114,57 @@ def query_fingerprint(
             row["traffic"] = traffic_fingerprint(response.traffic)
         rows.append(row)
     return rows
+
+
+def assert_crash_tolerant(
+    service: SearchService,
+    queries: Sequence[Query | str],
+    k: int = 10,
+) -> list[dict[str, Any]]:
+    """The kill-peer fault-injection level: crash every peer in turn.
+
+    For each victim: kill it (storage destroyed, no handoff), assert the
+    query rows are *identical* to the healthy run — with ``replication
+    >= 2`` a single crash must be invisible in results, transfers, and
+    key-hit counts — then respawn it empty, run one anti-entropy pass,
+    and assert the healed world still matches before moving to the next
+    victim (so every peer is crashed against a converged network).
+
+    Returns the healthy reference rows.
+    """
+    reference = query_fingerprint(service, queries, k=k, strict=False)
+    total_repaired = 0
+    default_source = service.peers[0].name
+    fallback_source = (
+        service.peers[1].name if len(service.peers) > 1 else default_source
+    )
+    for peer in service.peers:
+        # A crashed peer cannot originate queries; when the victim is
+        # the default query source, ask from a surviving peer (response
+        # rows are source-independent — hops are excluded at this
+        # comparison level).
+        source = (
+            fallback_source if peer.name == default_source else default_source
+        )
+        service.kill_peer(peer.name)
+        degraded = query_fingerprint(
+            service, queries, k=k, strict=False, source_peer=source
+        )
+        assert_fingerprints_equal(
+            reference, degraded, context=f"crash of {peer.name}"
+        )
+        service.respawn_peer(peer.name)
+        report = service.run_anti_entropy()
+        total_repaired += report.keys_repaired
+        healed = query_fingerprint(service, queries, k=k, strict=False)
+        assert_fingerprints_equal(
+            reference, healed, context=f"repair of {peer.name}"
+        )
+    assert total_repaired > 0, (
+        "no victim held any repairable keys — the fault injection "
+        "exercised nothing"
+    )
+    return reference
 
 
 def make_querylog(

@@ -19,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from harness.equivalence import (
+    assert_crash_tolerant,
     assert_fingerprints_equal,
     build_indexed_service,
     make_querylog,
@@ -132,6 +133,60 @@ def test_cross_backend_equivalence(reference, collection, querylog, backend, wor
         reference["queries"],
         query_fingerprint(service, querylog, strict=False),
         context=f"{backend} workers={workers} queries vs hdk",
+    )
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_replication_one_is_byte_identical(collection, querylog, backend):
+    """``replication=1`` must run the unreplicated stack verbatim: same
+    build bytes, same query rows, same traffic counters — no manager, no
+    failover wrapper, no replica messages."""
+    implicit = build_indexed_service(
+        collection, backend, PARAMS, NUM_PEERS, **BACKENDS[backend]
+    )
+    explicit = build_indexed_service(
+        collection,
+        backend,
+        PARAMS,
+        NUM_PEERS,
+        replication=1,
+        **BACKENDS[backend],
+    )
+    assert explicit.replication_manager is None
+    assert_fingerprints_equal(
+        service_fingerprint(implicit, strict=True),
+        service_fingerprint(explicit, strict=True),
+        context=f"{backend} replication=1 build",
+    )
+    assert_fingerprints_equal(
+        query_fingerprint(implicit, querylog, strict=True),
+        query_fingerprint(explicit, querylog, strict=True),
+        context=f"{backend} replication=1 queries",
+    )
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_any_single_crash_is_invisible_at_r2(
+    reference, collection, querylog, backend
+):
+    """The kill-peer fault-injection level: with ``replication=2`` the
+    healthy replicated world matches the canonical unreplicated ``hdk``
+    results, and *any* single peer crash leaves every query row
+    byte-identical; each victim then respawns empty and re-converges
+    through one anti-entropy pass."""
+    service = build_indexed_service(
+        collection,
+        backend,
+        PARAMS,
+        NUM_PEERS,
+        replication=2,
+        **BACKENDS[backend],
+    )
+    healthy = assert_crash_tolerant(service, querylog, k=10)
+    assert_fingerprints_equal(
+        reference["queries"],
+        healthy,
+        context=f"{backend} replication=2 vs hdk",
     )
 
 

@@ -41,4 +41,8 @@ def test_kind_values_cover_protocol():
         "handoff",
         "cluster_join",
         "routing_update",
+        "replica_write",
+        "replica_probe",
+        "replica_digest",
+        "replica_repair",
     }

@@ -1,0 +1,24 @@
+"""Shared helpers: small replicated networks over the Chord overlay."""
+
+from __future__ import annotations
+
+from repro.net.network import P2PNetwork
+from repro.replication import ReplicaFailoverRouter, ReplicationManager
+
+
+def build_replicated(num_peers: int = 5, replication: int = 2):
+    """A named-peer network with replication + failover installed."""
+    net = P2PNetwork()
+    for i in range(num_peers):
+        net.add_peer(f"peer-{i}")
+    manager = ReplicationManager(net, replication).install()
+    net.router = ReplicaFailoverRouter(manager)
+    return net, manager
+
+
+def name_of(net: P2PNetwork, peer_id: int) -> str:
+    """Reverse name lookup (tests pick victims by overlay id)."""
+    for name in net.peer_names():
+        if net.id_of(name) == peer_id:
+            return name
+    raise AssertionError(f"no peer with id {peer_id}")

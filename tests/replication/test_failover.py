@@ -1,0 +1,69 @@
+"""Tests for failover reads through :class:`ReplicaFailoverRouter`."""
+
+from __future__ import annotations
+
+import pytest
+
+from replication_helpers import build_replicated, name_of
+from repro.net.messages import MessageKind
+
+
+@pytest.fixture()
+def replicated():
+    return build_replicated()
+
+
+def _kind_count(net, kind):
+    return net.accounting.snapshot().messages_by_kind.get(kind, 0)
+
+
+def test_lookup_unaffected_while_all_owners_live(replicated):
+    net, _ = replicated
+    net.insert("peer-0", "k", lambda cur: "v", 1)
+    assert net.lookup("peer-1", "k", lambda v: 0) == "v"
+    assert _kind_count(net, MessageKind.REPLICA_PROBE) == 0
+
+
+def test_lookup_fails_over_to_backup(replicated):
+    net, manager = replicated
+    net.insert("peer-0", "k", lambda cur: "v", 1)
+    primary, _backup = manager.owners(net.key_id("k"))
+    net.kill_peer(name_of(net, primary))
+    assert net.lookup("peer-0", "k", lambda v: 0) == "v"
+
+
+def test_failover_charges_one_probe_per_dead_owner(replicated):
+    net, manager = replicated
+    net.insert("peer-0", "k", lambda cur: "v", 1)
+    primary, _ = manager.owners(net.key_id("k"))
+    net.kill_peer(name_of(net, primary))
+    before = _kind_count(net, MessageKind.REPLICA_PROBE)
+    net.lookup("peer-0", "k", lambda v: 0)
+    assert _kind_count(net, MessageKind.REPLICA_PROBE) == before + 1
+    assert net.router.failover_probes == 1
+
+
+def test_whole_replica_set_dead_times_out(replicated):
+    net, manager = replicated
+    net.insert("peer-0", "k", lambda cur: "v", 1)
+    responses_before = _kind_count(net, MessageKind.RESPONSE)
+    for owner in manager.owners(net.key_id("k")):
+        net.kill_peer(name_of(net, owner))
+    assert net.lookup("peer-0", "k", lambda v: 0) is None
+    # The request is logged but no RESPONSE ever arrives.
+    assert _kind_count(net, MessageKind.RESPONSE) == responses_before
+
+
+def test_writes_keep_flowing_while_primary_dead(replicated):
+    net, manager = replicated
+    primary, backup = manager.owners(net.key_id("k"))
+    net.kill_peer(name_of(net, primary))
+    net.insert("peer-0", "k", lambda cur: "v", 1)
+    assert net.storage_by_id(backup).get("k") == "v"
+    assert net.lookup("peer-0", "k", lambda v: 0) == "v"
+
+
+def test_describe_reports_wrapped_policy(replicated):
+    net, _ = replicated
+    info = net.router.describe()
+    assert info == {"failover_probes": 0, "inner": None}

@@ -1,0 +1,94 @@
+"""Tests for Merkle range trees and value fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.global_index import GlobalEntry, KeyStatus
+from repro.index.postings import Posting, PostingList
+from repro.replication import MerkleTree
+from repro.replication.merkle import value_fingerprint
+
+
+def _leaves(n, salt=b""):
+    return {key_id: bytes([key_id % 251]) + salt for key_id in range(n)}
+
+
+def _entry(doc_ids=(1, 2), global_df=2, status=KeyStatus.DISCRIMINATIVE,
+           contributors=(4,)):
+    return GlobalEntry(
+        key=frozenset({"t1", "t2"}),
+        postings=PostingList(
+            Posting(doc_id=d, tf=1, doc_len=10) for d in doc_ids
+        ),
+        global_df=global_df,
+        status=status,
+        contributors=set(contributors),
+    )
+
+
+class TestMerkleTree:
+    def test_root_independent_of_insertion_order(self):
+        leaves = _leaves(100)
+        shuffled = dict(sorted(leaves.items(), reverse=True))
+        assert MerkleTree(leaves).root == MerkleTree(shuffled).root
+
+    def test_identical_trees_have_no_diff(self):
+        a, b = MerkleTree(_leaves(50)), MerkleTree(_leaves(50))
+        assert a.root == b.root
+        assert a.diff(b) == []
+
+    def test_diff_localizes_single_divergent_key(self):
+        left = _leaves(200)
+        right = dict(left)
+        right[123] = b"different"
+        a, b = MerkleTree(left), MerkleTree(right)
+        assert a.root != b.root
+        divergent = a.diff(b)
+        assert len(divergent) == 1
+        assert 123 in a.keys_in_bucket(divergent[0])
+
+    def test_missing_key_diverges(self):
+        left = _leaves(40)
+        right = dict(left)
+        del right[17]
+        a, b = MerkleTree(left), MerkleTree(right)
+        assert a.root != b.root
+        assert len(a.diff(b)) == 1
+
+    def test_bucket_count_validated(self):
+        with pytest.raises(ValueError):
+            MerkleTree({}, buckets=0)
+
+    def test_diff_rejects_mismatched_buckets(self):
+        with pytest.raises(ValueError):
+            MerkleTree({}, buckets=4).diff(MerkleTree({}, buckets=8))
+
+
+class TestValueFingerprint:
+    def test_identical_entries_match(self):
+        assert value_fingerprint(_entry()) == value_fingerprint(_entry())
+
+    def test_postings_change_fingerprint(self):
+        assert value_fingerprint(_entry(doc_ids=(1, 2))) != value_fingerprint(
+            _entry(doc_ids=(1, 3))
+        )
+
+    def test_global_df_changes_fingerprint(self):
+        assert value_fingerprint(_entry(global_df=2)) != value_fingerprint(
+            _entry(global_df=9)
+        )
+
+    def test_status_changes_fingerprint(self):
+        assert value_fingerprint(
+            _entry(status=KeyStatus.DISCRIMINATIVE)
+        ) != value_fingerprint(_entry(status=KeyStatus.NON_DISCRIMINATIVE))
+
+    def test_contributors_change_fingerprint(self):
+        assert value_fingerprint(
+            _entry(contributors=(4,))
+        ) != value_fingerprint(_entry(contributors=(4, 5)))
+
+    def test_plain_values_fall_back_to_repr(self):
+        assert value_fingerprint("v") == value_fingerprint("v")
+        assert value_fingerprint("v") != value_fingerprint("w")

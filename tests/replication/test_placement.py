@@ -1,0 +1,73 @@
+"""Tests for successor-list replica placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.replication import ReplicaPlacement
+
+
+class RingOverlay:
+    """Minimal overlay stub with the Chord successor rule."""
+
+    def __init__(self, ids):
+        self._ids = list(ids)
+
+    def peer_ids(self):
+        return list(self._ids)
+
+    def responsible_peer(self, key_id):
+        ring = sorted(self._ids)
+        for peer_id in ring:
+            if peer_id >= key_id:
+                return peer_id
+        return ring[0]
+
+    def add(self, peer_id):
+        self._ids.append(peer_id)
+
+
+def test_replication_below_one_rejected():
+    with pytest.raises(ConfigurationError):
+        ReplicaPlacement(RingOverlay([10]), 0)
+
+
+def test_owners_are_ring_successors():
+    placement = ReplicaPlacement(RingOverlay([10, 20, 30, 40]), 2)
+    assert placement.owners_of_primary(10) == (10, 20)
+    assert placement.owners_of_primary(30) == (30, 40)
+
+
+def test_owners_wrap_around_the_ring():
+    placement = ReplicaPlacement(RingOverlay([10, 20, 30, 40]), 3)
+    assert placement.owners_of_primary(40) == (40, 10, 20)
+
+
+def test_owners_resolves_primary_from_key_id():
+    placement = ReplicaPlacement(RingOverlay([10, 20, 30, 40]), 2)
+    # key 15 -> successor 20 -> replica set (20, 30).
+    assert placement.owners(15) == (20, 30)
+
+
+def test_replication_larger_than_network_clamps():
+    placement = ReplicaPlacement(RingOverlay([10, 20, 30]), 5)
+    assert placement.owners_of_primary(20) == (20, 30, 10)
+
+
+def test_unknown_primary_raises():
+    placement = ReplicaPlacement(RingOverlay([10, 20]), 2)
+    with pytest.raises(ConfigurationError):
+        placement.owners_of_primary(15)
+
+
+def test_ring_cached_until_invalidated():
+    overlay = RingOverlay([10, 30])
+    placement = ReplicaPlacement(overlay, 2)
+    assert placement.owners_of_primary(10) == (10, 30)
+    overlay.add(20)
+    # Cached ring: the join is invisible until invalidate().
+    assert placement.ring() == (10, 30)
+    placement.invalidate()
+    assert placement.ring() == (10, 20, 30)
+    assert placement.owners_of_primary(10) == (10, 20)

@@ -1,0 +1,48 @@
+"""Tests for version vectors / per-origin sequencing."""
+
+from __future__ import annotations
+
+from repro.replication import VersionVector
+
+
+def test_observe_and_covers():
+    vector = VersionVector()
+    assert not vector.covers(3, 1)
+    vector.observe(3, 1)
+    assert vector.covers(3, 1)
+    assert not vector.covers(3, 2)
+    vector.observe(3, 5)
+    # Covers everything up to the highest applied seq per origin.
+    assert vector.covers(3, 4)
+
+
+def test_observe_never_regresses():
+    vector = VersionVector()
+    vector.observe(1, 7)
+    vector.observe(1, 3)
+    assert vector.covers(1, 7)
+
+
+def test_merge_is_pointwise_max():
+    left = VersionVector({1: 4, 2: 1})
+    right = VersionVector({2: 6, 3: 2})
+    left.merge(right)
+    assert left == VersionVector({1: 4, 2: 6, 3: 2})
+    # The right side is untouched by the merge.
+    assert right == VersionVector({2: 6, 3: 2})
+
+
+def test_dominates():
+    bigger = VersionVector({1: 4, 2: 6})
+    smaller = VersionVector({1: 4})
+    assert bigger.dominates(smaller)
+    assert not smaller.dominates(bigger)
+    assert bigger.dominates(bigger.copy())
+
+
+def test_dict_round_trip():
+    vector = VersionVector({7: 3, -1: 12})
+    restored = VersionVector.from_dict(vector.as_dict())
+    assert restored == vector
+    # JSON-able: string keys, int values.
+    assert vector.as_dict() == {"7": 3, "-1": 12}
