@@ -74,7 +74,7 @@ from .replication import (
 )
 from .store import SegmentStore, SpillingGlobalKeyIndex
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ExperimentParameters",

@@ -10,7 +10,8 @@ Subcommands::
                       an indexed collection with --save and serve it
                       again with --load (skipping indexing entirely);
                       the hdk_disk backend takes --store-dir,
-                      --memory-budget, and --sync; the hdk_super
+                      --memory-budget-bytes, --wal/--no-wal, and
+                      --sync; the hdk_super
                       backend takes --overlay-fanout and
                       --path-cache-capacity; --index-workers builds
                       the index on the sharded parallel pipeline
@@ -154,9 +155,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--link-latency must be >= 0, got {args.link_latency}"
         )
-    if args.memory_budget < 0:
+    if args.memory_budget is not None and args.memory_budget < 0:
         raise SystemExit(
             f"--memory-budget must be >= 0, got {args.memory_budget}"
+        )
+    if args.memory_budget_bytes is not None and args.memory_budget_bytes < 0:
+        raise SystemExit(
+            "--memory-budget-bytes must be >= 0, got "
+            f"{args.memory_budget_bytes}"
+        )
+    if args.memory_budget is not None and args.memory_budget_bytes is not None:
+        raise SystemExit(
+            "pass either --memory-budget-bytes or the deprecated "
+            "--memory-budget, not both"
         )
     if args.overlay_fanout < 1:
         raise SystemExit(
@@ -186,6 +197,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             args.load,
             backend=args.backend,
             memory_budget=args.memory_budget,
+            memory_budget_bytes=args.memory_budget_bytes,
+            wal=args.wal,
             cache_capacity=None if args.no_cache else args.cache_capacity,
             overlay_fanout=args.overlay_fanout,
             path_cache_capacity=args.path_cache_capacity,
@@ -210,6 +223,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             cache_capacity=None if args.no_cache else args.cache_capacity,
             store_dir=args.store_dir,
             memory_budget=args.memory_budget,
+            memory_budget_bytes=args.memory_budget_bytes,
+            wal=args.wal,
             overlay_fanout=args.overlay_fanout,
             path_cache_capacity=args.path_cache_capacity,
             sync=args.sync,
@@ -306,6 +321,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot=str(args.snapshot),
         backend=args.backend,
         memory_budget=args.memory_budget,
+        memory_budget_bytes=args.memory_budget_bytes,
         cache_capacity=args.cache_capacity or None,
         link_latency_s=args.link_latency,
     )
@@ -514,9 +530,26 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--memory-budget",
         type=int,
-        default=50_000,
+        default=None,
         metavar="POSTINGS",
-        help="RAM posting budget of the hdk_disk backend (default 50000)",
+        help="deprecated posting-count RAM budget of the hdk_disk "
+        "backend; prefer --memory-budget-bytes",
+    )
+    search.add_argument(
+        "--memory-budget-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="RAM residency budget of the hdk_disk backend in encoded "
+        "posting bytes (default 1048576)",
+    )
+    search.add_argument(
+        "--wal",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="write-ahead-log incremental writes in the hdk_disk "
+        "store (crash-durable builds; default on — --no-wal appends "
+        "straight to segments)",
     )
     search.add_argument(
         "--overlay-fanout",
@@ -626,7 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="POSTINGS",
-        help="per-worker RAM posting budget (hdk_disk backend)",
+        help="deprecated per-worker posting-count RAM budget "
+        "(hdk_disk backend); prefer --memory-budget-bytes",
+    )
+    serve.add_argument(
+        "--memory-budget-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-worker RAM residency budget in encoded posting bytes "
+        "(hdk_disk backend)",
     )
     serve.add_argument(
         "--cache-capacity",

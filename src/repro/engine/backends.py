@@ -62,7 +62,7 @@ from ..retrieval.single_term import (
 )
 from ..retrieval.single_term_bloom import BloomSingleTermEngine
 from ..retrieval.topk import DistributedTopKEngine
-from ..store.spill import DEFAULT_MEMORY_BUDGET, SpillingGlobalKeyIndex
+from ..store.spill import SpillingGlobalKeyIndex
 from .peer import Peer
 
 __all__ = [
@@ -153,8 +153,15 @@ class BackendContext:
             ignore them).
         store_dir: directory for disk-backed backends (``hdk_disk``);
             ``None`` gives the store a private temporary directory.
-        memory_budget: RAM posting budget for disk-backed backends;
-            ``None`` uses the store default.
+        memory_budget: deprecated posting-count RAM budget for
+            disk-backed backends; ``None`` uses the byte-denominated
+            default.  Mutually exclusive with ``memory_budget_bytes``.
+        memory_budget_bytes: RAM residency budget for disk-backed
+            backends in encoded posting bytes; ``None`` uses the store
+            default.
+        wal: write-ahead-log incremental writes in the disk backend's
+            store (crash-durable builds); ``None`` keeps the index
+            default (on).
         overlay_fanout: leaves per super-peer cluster (``hdk_super``).
         path_cache_capacity: per-super-peer in-network result-cache
             size in keys (``hdk_super``); ``0`` disables path caching.
@@ -176,6 +183,8 @@ class BackendContext:
     params: HDKParameters
     store_dir: str | Path | None = None
     memory_budget: int | None = None
+    memory_budget_bytes: int | None = None
+    wal: bool | None = None
     overlay_fanout: int = 8
     path_cache_capacity: int = 128
     sync: bool = False
@@ -452,17 +461,19 @@ class HDKDiskBackend(HDKBackend):
     global_index: SpillingGlobalKeyIndex
 
     def _make_index(self, context: BackendContext) -> GlobalKeyIndex:
-        budget = (
-            context.memory_budget
-            if context.memory_budget is not None
-            else DEFAULT_MEMORY_BUDGET
-        )
+        kwargs: dict[str, Any] = {}
+        if context.memory_budget is not None:
+            kwargs["memory_budget"] = context.memory_budget
+        elif context.memory_budget_bytes is not None:
+            kwargs["memory_budget_bytes"] = context.memory_budget_bytes
+        if context.wal is not None:
+            kwargs["wal"] = context.wal
         return SpillingGlobalKeyIndex(
             context.network,
             context.params,
-            memory_budget=budget,
             store_dir=context.store_dir,
             sync=context.sync,
+            **kwargs,
         )
 
     def stats(self) -> dict[str, Any]:

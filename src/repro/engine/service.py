@@ -198,7 +198,13 @@ class SearchService:
             backends).
         store_dir: directory for disk-backed backends (``hdk_disk``);
             ``None`` gives the store a private temporary directory.
-        memory_budget: RAM posting budget for disk-backed backends.
+        memory_budget: deprecated posting-count RAM budget for
+            disk-backed backends; prefer ``memory_budget_bytes``.
+        memory_budget_bytes: RAM residency budget for disk-backed
+            backends, in encoded posting bytes.
+        wal: write-ahead-log incremental writes in the disk backend's
+            store (crash-durable builds); ``None`` keeps the index
+            default (on).
         overlay_fanout: leaves per super-peer cluster (``hdk_super``).
         path_cache_capacity: per-super-peer in-network result-cache
             size (``hdk_super``); ``0`` disables path caching.
@@ -227,6 +233,8 @@ class SearchService:
         backend_registry: BackendRegistry | None = None,
         store_dir: str | Path | None = None,
         memory_budget: int | None = None,
+        memory_budget_bytes: int | None = None,
+        wal: bool | None = None,
         overlay_fanout: int = 8,
         path_cache_capacity: int = 128,
         sync: bool = False,
@@ -262,6 +270,8 @@ class SearchService:
                 params=self.params,
                 store_dir=store_dir,
                 memory_budget=memory_budget,
+                memory_budget_bytes=memory_budget_bytes,
+                wal=wal,
                 overlay_fanout=overlay_fanout,
                 path_cache_capacity=path_cache_capacity,
                 sync=sync,
@@ -311,6 +321,8 @@ class SearchService:
         backend_registry: BackendRegistry | None = None,
         store_dir: str | Path | None = None,
         memory_budget: int | None = None,
+        memory_budget_bytes: int | None = None,
+        wal: bool | None = None,
         overlay_fanout: int = 8,
         path_cache_capacity: int = 128,
         sync: bool = False,
@@ -336,7 +348,12 @@ class SearchService:
             cache_capacity: query-cache size; falsy disables caching.
             backend_registry: custom registry for name resolution.
             store_dir: segment-store directory for ``hdk_disk``.
-            memory_budget: RAM posting budget for ``hdk_disk``.
+            memory_budget: deprecated posting-count RAM budget for
+                ``hdk_disk``; prefer ``memory_budget_bytes``.
+            memory_budget_bytes: RAM residency budget for ``hdk_disk``
+                in encoded posting bytes.
+            wal: write-ahead-log incremental writes (``hdk_disk``);
+                ``None`` keeps the index default (on).
             overlay_fanout: super-peer cluster fanout (``hdk_super``).
             path_cache_capacity: in-network result-cache size per
                 super-peer (``hdk_super``).
@@ -372,6 +389,8 @@ class SearchService:
             backend_registry=backend_registry,
             store_dir=store_dir,
             memory_budget=memory_budget,
+            memory_budget_bytes=memory_budget_bytes,
+            wal=wal,
             overlay_fanout=overlay_fanout,
             path_cache_capacity=path_cache_capacity,
             sync=sync,
@@ -768,6 +787,8 @@ class SearchService:
         path: str | Path,
         backend: str | None = None,
         memory_budget: int | None = None,
+        memory_budget_bytes: int | None = None,
+        wal: bool | None = None,
         cache_capacity: int | None = 256,
         pipeline: TextPipeline | None = None,
         backend_registry: BackendRegistry | None = None,
@@ -781,10 +802,12 @@ class SearchService:
         The network (overlay type, peer names), parameters, entries, and
         ranking statistics all come from the snapshot; no indexing
         traffic is generated.  With the ``hdk_disk`` backend the
-        snapshot's segment files are served *in place*: startup is one
-        sequential checksum scan per segment that rebuilds the offset
-        directory, and no posting-list objects are decoded until
-        queried.  Auto-compaction is disabled on the snapshot-backed
+        snapshot's segment files are served *in place*: startup rebuilds
+        the offset directory from each segment's ``.idx`` sidecar —
+        O(segments) metadata reads, no record bodies touched.  Legacy
+        generation-1 snapshots (no sidecars) are checksum-scanned once
+        and self-heal their sidecars where the directory is writable;
+        either way no posting-list objects are decoded until queried.  Auto-compaction is disabled on the snapshot-backed
         store so serving (and even later inserts, which only append)
         never deletes the snapshot's segment files.
 
@@ -793,7 +816,13 @@ class SearchService:
             backend: override the backend recorded in the manifest
                 (``hdk`` and ``hdk_super`` load eagerly into RAM,
                 ``hdk_disk`` lazily).
-            memory_budget: RAM posting budget (``hdk_disk``).
+            memory_budget: deprecated posting-count RAM budget
+                (``hdk_disk``); prefer ``memory_budget_bytes``.
+            memory_budget_bytes: RAM residency budget in encoded
+                posting bytes (``hdk_disk``).
+            wal: write-ahead-log later incremental writes into the
+                snapshot's store (``hdk_disk``); ``None`` keeps the
+                index default (on).
             cache_capacity: LRU query-cache size for the new service.
             pipeline: query text pipeline (must match the one the
                 collection was built with).
@@ -840,6 +869,8 @@ class SearchService:
             backend_registry=backend_registry,
             store_dir=snapshot_io.segments_dir(path),
             memory_budget=memory_budget,
+            memory_budget_bytes=memory_budget_bytes,
+            wal=wal,
             overlay_fanout=overlay_fanout,
             path_cache_capacity=path_cache_capacity,
             sync=sync,

@@ -83,7 +83,10 @@ class WorkerSpec:
             loads (read-only: N workers share one snapshot).
         backend: backend-name override for the load (``None`` keeps the
             snapshot manifest's backend, typically ``hdk_disk``).
-        memory_budget: RAM posting budget for disk-backed workers.
+        memory_budget: deprecated posting-count RAM budget for
+            disk-backed workers; prefer ``memory_budget_bytes``.
+        memory_budget_bytes: RAM residency budget for disk-backed
+            workers, in encoded posting bytes.
         cache_capacity: per-worker LRU query-cache size.
         link_latency_s: simulated per-hop link latency applied to the
             worker's serving phase — the WAN-shaped regime the repo's
@@ -95,6 +98,7 @@ class WorkerSpec:
     snapshot: str
     backend: str | None = None
     memory_budget: int | None = None
+    memory_budget_bytes: int | None = None
     cache_capacity: int | None = 256
     link_latency_s: float = 0.0
     source_peer: str | None = None
@@ -137,6 +141,7 @@ def _worker_main(
             spec.snapshot,
             backend=spec.backend,
             memory_budget=spec.memory_budget,
+            memory_budget_bytes=spec.memory_budget_bytes,
             cache_capacity=spec.cache_capacity,
         )
         service.network.link_latency_s = spec.link_latency_s

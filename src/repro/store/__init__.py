@@ -1,19 +1,39 @@
-"""Disk-backed segmented key-index store.
+"""Disk-backed segmented key-index store (generation 2: a mini-LSM).
 
 The persistence subsystem behind the ``hdk_disk`` backend and the
 ``SearchService.save`` / ``SearchService.load`` snapshot workflow:
 
 - :mod:`repro.store.segment` — crash-safe append-only segment files of
   varint/delta-encoded posting-list records;
-- :mod:`repro.store.blockcache` — bounded LRU over decoded blocks;
+- :mod:`repro.store.wal` — write-ahead log making incremental writes
+  crash-durable before they reach a segment;
+- :mod:`repro.store.memtable` — in-memory write buffer between the WAL
+  and the segments, flushed under a byte budget;
+- :mod:`repro.store.segindex` — persisted sparse offset index per
+  sealed segment (O(segments) reopen instead of O(stored bytes));
+- :mod:`repro.store.blockcache` — bounded LRU over decoded blocks,
+  budgeted in encoded bytes;
+- :mod:`repro.store.maintenance` — background worker thread running
+  compaction off the write path;
 - :mod:`repro.store.store` — :class:`SegmentStore`: offset directory,
-  write/read paths, tombstones, and the compacting writer;
+  WAL/memtable write path, pread read path, and the compactor;
 - :mod:`repro.store.spill` — :class:`SpillingGlobalKeyIndex`: the global
-  HDK index under a RAM posting budget, spilling cold lists to segments;
+  HDK index under a RAM residency budget, spilling cold lists to
+  segments;
 - :mod:`repro.store.snapshot` — save/load of a whole indexed service.
 """
 
 from .blockcache import BlockCache, BlockCacheStats
+from .maintenance import MaintenanceWorker
+from .memtable import MEMTABLE_ID, Memtable
+from .segindex import (
+    IndexedRecord,
+    SegmentColumns,
+    SegmentIndex,
+    load_segment_index,
+    sidecar_path,
+    write_segment_index,
+)
 from .segment import (
     STATUS_DK,
     STATUS_NDK,
@@ -24,18 +44,30 @@ from .segment import (
 )
 from .spill import SpilledPostings, SpillingGlobalKeyIndex
 from .store import SegmentStore, StoredMeta
+from .wal import WalWriter, scan_wal
 
 __all__ = [
+    "MEMTABLE_ID",
     "STATUS_DK",
     "STATUS_NDK",
     "STATUS_TOMBSTONE",
     "BlockCache",
     "BlockCacheStats",
+    "IndexedRecord",
+    "MaintenanceWorker",
+    "Memtable",
+    "SegmentColumns",
+    "SegmentIndex",
     "SegmentRecord",
     "SegmentStore",
     "SegmentWriter",
     "SpilledPostings",
     "SpillingGlobalKeyIndex",
     "StoredMeta",
+    "WalWriter",
+    "load_segment_index",
     "scan_segment",
+    "scan_wal",
+    "sidecar_path",
+    "write_segment_index",
 ]

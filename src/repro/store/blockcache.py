@@ -2,8 +2,14 @@
 
 The segment store pays a disk read + varint decode for every cold key;
 this cache keeps the most recently used decoded lists in RAM under a
-posting-count budget (the same cost unit the paper and the spilling
-index use), so hot keys are served without touching the segments.
+budget, so hot keys are served without touching the segments.
+
+The budget is denominated in **encoded bytes** (``capacity_bytes``) —
+what the lists actually cost on disk and on the wire — or, for
+backwards compatibility, in posting counts (``capacity_postings``, the
+paper's cost unit, now a deprecated alias at the store/index level).
+Whichever unit bounds the cache, both occupancy views
+(:attr:`held_postings`, :attr:`held_bytes`) are tracked.
 """
 
 from __future__ import annotations
@@ -11,9 +17,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, NamedTuple
 
 from ..errors import StoreError
+from ..index.codec import posting_list_wire_size
 from ..index.postings import PostingList
 
 __all__ = ["BlockCache", "BlockCacheStats"]
@@ -33,40 +40,85 @@ class BlockCacheStats:
         return self.hits / total if total else 0.0
 
 
+class _Block(NamedTuple):
+    postings: PostingList
+    pcost: int  # postings held (floored at 1 so entry count stays bounded)
+    bcost: int  # encoded bytes (caller-provided frame length, or estimated)
+
+
 class BlockCache:
-    """LRU over decoded blocks, bounded by total postings held.
+    """LRU over decoded blocks, bounded in one budget unit.
 
     Thread-safe: LRU order, occupancy, and counters are guarded by an
     internal lock, and eviction makes room *before* a new block becomes
-    visible, so ``held_postings`` never exceeds ``capacity_postings`` at
-    any observable instant under concurrent readers.
+    visible, so occupancy never exceeds the budget at any observable
+    instant under concurrent readers.
 
     Args:
-        capacity_postings: maximum postings held across cached blocks;
-            ``0`` disables caching (every get is a miss, puts are
+        capacity_postings: bound by total postings held (the legacy
+            unit); ``0`` disables caching (every get is a miss, puts are
             dropped).  Empty lists are charged one posting so the entry
             count stays bounded too.
+        capacity_bytes: bound by total encoded bytes held; ``0``
+            disables caching.  Exactly one of the two budgets must be
+            given.
     """
 
-    def __init__(self, capacity_postings: int) -> None:
-        if capacity_postings < 0:
+    def __init__(
+        self,
+        capacity_postings: int | None = None,
+        *,
+        capacity_bytes: int | None = None,
+    ) -> None:
+        if (capacity_postings is None) == (capacity_bytes is None):
             raise StoreError(
-                f"capacity_postings must be >= 0, got {capacity_postings}"
+                "pass exactly one of capacity_postings or capacity_bytes"
             )
-        self.capacity_postings = capacity_postings
-        self._blocks: OrderedDict[Hashable, PostingList] = OrderedDict()
+        if capacity_postings is not None:
+            if capacity_postings < 0:
+                raise StoreError(
+                    "capacity_postings must be >= 0, got "
+                    f"{capacity_postings}"
+                )
+            self.unit = "postings"
+            self.capacity = capacity_postings
+        else:
+            assert capacity_bytes is not None
+            if capacity_bytes < 0:
+                raise StoreError(
+                    f"capacity_bytes must be >= 0, got {capacity_bytes}"
+                )
+            self.unit = "bytes"
+            self.capacity = capacity_bytes
+        self._blocks: OrderedDict[Hashable, _Block] = OrderedDict()
         self._held_postings = 0
+        self._held_bytes = 0
         self._lock = threading.Lock()
         self.stats = BlockCacheStats()
 
-    @staticmethod
-    def _cost(postings: PostingList) -> int:
-        return max(1, len(postings))
+    def _block(self, postings: PostingList, nbytes: int | None) -> _Block:
+        return _Block(
+            postings=postings,
+            pcost=max(1, len(postings)),
+            bcost=(
+                nbytes
+                if nbytes is not None
+                else posting_list_wire_size(postings)
+            ),
+        )
+
+    def _charge(self, block: _Block) -> int:
+        return block.pcost if self.unit == "postings" else block.bcost
 
     @property
     def held_postings(self) -> int:
         """Postings currently held across cached blocks."""
         return self._held_postings
+
+    @property
+    def held_bytes(self) -> int:
+        """Encoded bytes currently held across cached blocks."""
+        return self._held_bytes
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -80,43 +132,62 @@ class BlockCache:
                 return None
             self._blocks.move_to_end(block_id)
             self.stats.hits += 1
-            return block
+            return block.postings
 
-    def put(self, block_id: Hashable, postings: PostingList) -> None:
-        """Insert (or refresh) a block, evicting LRU blocks over budget."""
-        if self.capacity_postings == 0:
+    def put(
+        self,
+        block_id: Hashable,
+        postings: PostingList,
+        nbytes: int | None = None,
+    ) -> None:
+        """Insert (or refresh) a block, evicting LRU blocks over budget.
+
+        ``nbytes`` is the block's exact encoded frame length when the
+        caller knows it (the store's directory does); otherwise the
+        byte cost is estimated by re-encoding the list.
+        """
+        if self.capacity == 0:
             return
-        cost = self._cost(postings)
+        block = self._block(postings, nbytes)
+        cost = self._charge(block)
         with self._lock:
             existing = self._blocks.pop(block_id, None)
             if existing is not None:
-                self._held_postings -= self._cost(existing)
-            if cost > self.capacity_postings:
+                self._held_postings -= existing.pcost
+                self._held_bytes -= existing.bcost
+            if cost > self.capacity:
                 # A single block larger than the whole budget can never
                 # be kept — reject it up front rather than flushing
                 # every resident block on each read of an oversized key
                 # (and without counting phantom evictions: nothing left).
                 return
+            held = (
+                self._held_postings
+                if self.unit == "postings"
+                else self._held_bytes
+            )
             # Make room first: the budget must hold even transiently.
-            while (
-                self._held_postings + cost > self.capacity_postings
-                and self._blocks
-            ):
+            while held + cost > self.capacity and self._blocks:
                 _, evicted = self._blocks.popitem(last=False)
-                self._held_postings -= self._cost(evicted)
+                self._held_postings -= evicted.pcost
+                self._held_bytes -= evicted.bcost
+                held -= self._charge(evicted)
                 self.stats.evictions += 1
-            self._blocks[block_id] = postings
-            self._held_postings += cost
+            self._blocks[block_id] = block
+            self._held_postings += block.pcost
+            self._held_bytes += block.bcost
 
     def invalidate(self, block_id: Hashable) -> None:
         """Drop one block if present (stale after an overwrite)."""
         with self._lock:
             block = self._blocks.pop(block_id, None)
             if block is not None:
-                self._held_postings -= self._cost(block)
+                self._held_postings -= block.pcost
+                self._held_bytes -= block.bcost
 
     def clear(self) -> None:
         """Drop every block (e.g. after compaction moves offsets)."""
         with self._lock:
             self._blocks.clear()
             self._held_postings = 0
+            self._held_bytes = 0

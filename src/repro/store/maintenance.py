@@ -1,0 +1,129 @@
+"""Background maintenance thread for the segment store.
+
+One daemon thread, started lazily on the first wake, runs a single
+callback (the store's concurrent compaction) whenever it is woken.
+Wake-ups coalesce: a wake while the task is running schedules exactly
+one more run, so a burst of writes triggers at most one trailing
+compaction instead of a queue of them.
+
+The optional ``scope`` callable wraps every run in a context manager —
+the spilling index passes the network's
+``phase_scope(Phase.MAINTENANCE)`` so any traffic a maintenance pass
+might cause is attributed like anti-entropy repair and overlay
+upkeep, never to the paper's indexing/retrieval figures.
+
+Exceptions from the task are swallowed and counted (``errors``): a
+failed compaction leaves the store on its pre-compaction segments,
+which are always still valid, and the next wake retries.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from typing import Callable, ContextManager
+
+__all__ = ["MaintenanceWorker"]
+
+
+class MaintenanceWorker:
+    """Event-woken single-task daemon thread.
+
+    Args:
+        task: the callback each wake runs (must be re-entrant across
+            runs; runs are serialized on the worker thread).
+        name: thread name (visible in dumps / profilers).
+        scope: zero-arg callable returning a context manager to wrap
+            every run (e.g. a traffic-accounting phase scope).
+    """
+
+    def __init__(
+        self,
+        task: Callable[[], None],
+        *,
+        name: str = "repro-store-maintenance",
+        scope: Callable[[], ContextManager] | None = None,
+    ) -> None:
+        self._task = task
+        self._name = name
+        self._scope = scope
+        self._cond = threading.Condition()
+        self._pending = False
+        self._running = False
+        self._stopped = False
+        self._thread: threading.Thread | None = None
+        self.runs = 0
+        self.errors = 0
+        self.last_error: str | None = None
+
+    # -- control -----------------------------------------------------------------
+
+    def wake(self) -> None:
+        """Schedule one run (coalescing), starting the thread lazily."""
+        with self._cond:
+            self._stopped = False
+            self._pending = True
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._loop, name=self._name, daemon=True
+                )
+                self._thread.start()
+            self._cond.notify_all()
+
+    def quiesce(self, timeout: float | None = 10.0) -> bool:
+        """Block until no run is pending or in flight (tests use this to
+        make background compaction deterministic).  Returns False on
+        timeout."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: not self._pending and not self._running,
+                timeout=timeout,
+            )
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Stop the thread after any in-flight run finishes.  The worker
+        restarts transparently on the next :meth:`wake`."""
+        with self._cond:
+            self._stopped = True
+            self._pending = False
+            self._cond.notify_all()
+            thread = self._thread
+            self._thread = None
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+
+    @property
+    def idle(self) -> bool:
+        with self._cond:
+            return not self._pending and not self._running
+
+    # -- loop --------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                self._cond.wait_for(
+                    lambda: self._pending or self._stopped
+                )
+                if self._stopped:
+                    self._cond.notify_all()
+                    return
+                self._pending = False
+                self._running = True
+            try:
+                scope = (
+                    self._scope() if self._scope is not None
+                    else nullcontext()
+                )
+                with scope:
+                    self._task()
+                with self._cond:
+                    self.runs += 1
+            except Exception as exc:
+                with self._cond:
+                    self.errors += 1
+                    self.last_error = f"{type(exc).__name__}: {exc}"
+            finally:
+                with self._cond:
+                    self._running = False
+                    self._cond.notify_all()

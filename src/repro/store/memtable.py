@@ -1,0 +1,95 @@
+"""In-memory write buffer between the WAL and the segments.
+
+The memtable absorbs every WAL-logged write until its *encoded* size
+passes the flush threshold, at which point the store writes the whole
+buffer into a fresh sealed segment (sorted by key, one sidecar index)
+and drops the WAL.  Directory entries for memtable residents use the
+sentinel segment id :data:`MEMTABLE_ID` and the record's admission
+sequence number as its "offset", which doubles as a unique block-cache
+id — sequence numbers are never reused, exactly like segment offsets.
+
+Tombstones are kept as ordinary records (the offset directory drops the
+key, but the flush must still write the tombstone so older on-disk
+copies stay superseded after the WAL is gone).
+
+The memtable itself is not locked: the owning store serializes all
+access under its directory lock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .segment import SegmentRecord
+
+__all__ = ["MEMTABLE_ID", "Memtable"]
+
+#: Sentinel "segment id" of directory entries whose record still lives
+#: in the memtable.  Real segment ids start at 1.
+MEMTABLE_ID = -1
+
+
+class Memtable:
+    """Key→record buffer with byte-accurate occupancy accounting.
+
+    ``data_bytes`` tracks the *on-disk encoded* size of the buffered
+    records (frame length: varint prefix + body + crc), so the flush
+    threshold is denominated in the same unit as segment bytes and the
+    flushed segment's size is known before it is written.
+    """
+
+    def __init__(self) -> None:
+        # key -> (seq, record, encoded frame length); insertion order is
+        # irrelevant (flush sorts by key), last write wins.
+        self._records: dict[
+            frozenset[str], tuple[int, SegmentRecord, int]
+        ] = {}
+        self._data_bytes = 0
+        self._next_seq = 0
+
+    @property
+    def data_bytes(self) -> int:
+        """Encoded bytes the buffered records would occupy on disk."""
+        return self._data_bytes
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: frozenset[str]) -> bool:
+        return key in self._records
+
+    def put(self, record: SegmentRecord, encoded_length: int) -> int:
+        """Buffer ``record`` (last write wins); returns its sequence
+        number — the unique memtable 'offset' of this admission."""
+        previous = self._records.get(record.key)
+        if previous is not None:
+            self._data_bytes -= previous[2]
+        seq = self._next_seq
+        self._next_seq += 1
+        self._records[record.key] = (seq, record, encoded_length)
+        self._data_bytes += encoded_length
+        return seq
+
+    def get(self, key: frozenset[str]) -> SegmentRecord | None:
+        entry = self._records.get(key)
+        return entry[1] if entry is not None else None
+
+    def seqs(self) -> Iterator[int]:
+        """Sequence numbers of the buffered records (cache block ids)."""
+        for seq, _, _ in self._records.values():
+            yield seq
+
+    def records_sorted(self) -> list[SegmentRecord]:
+        """Buffered records sorted by key — deterministic flush order,
+        so identical build histories produce identical segments."""
+        return [
+            self._records[key][1]
+            for key in sorted(self._records, key=sorted)
+        ]
+
+    def clear(self) -> None:
+        """Drop every buffered record (after a completed flush).  The
+        sequence counter is *not* reset: block ids must stay unique
+        across flushes, like segment offsets across compactions."""
+        self._records.clear()
+        self._data_bytes = 0

@@ -48,9 +48,12 @@ __all__ = [
     "SegmentWriter",
     "decode_record_body",
     "encode_record",
+    "encode_record_body",
+    "framed_length",
     "key_from_canonical",
     "key_to_canonical",
     "read_record_at",
+    "read_record_pread",
     "scan_segment",
 ]
 
@@ -214,6 +217,21 @@ def decode_record_body(body: bytes) -> SegmentRecord:
     )
 
 
+def encode_record_body(record: SegmentRecord) -> bytes:
+    """Encode just the checksummed span of a record (no frame).  The
+    WAL frames the same bodies under its own log, so one encoder serves
+    both files and replayed records decode with the segment decoder."""
+    return _encode_body(record)
+
+
+def framed_length(body_len: int) -> int:
+    """On-disk size of a record whose body is ``body_len`` bytes long
+    (length prefix + body + crc trailer), without encoding anything."""
+    prefix = bytearray()
+    encode_varint(body_len, prefix)
+    return len(prefix) + body_len + _CRC_BYTES
+
+
 def encode_record(record: SegmentRecord) -> bytes:
     """Full on-disk form: length prefix, body, crc32 trailer."""
     body = _encode_body(record)
@@ -367,6 +385,35 @@ def read_record_from(
         ) from exc
     handle.seek(offset + consumed)
     blob = handle.read(body_len + _CRC_BYTES)
+    if len(blob) < body_len + _CRC_BYTES:
+        raise StoreError(f"{label}@{offset}: truncated record")
+    body = blob[:body_len]
+    crc = int.from_bytes(blob[body_len:], "little")
+    if zlib.crc32(body) != crc:
+        raise StoreError(f"{label}@{offset}: record checksum mismatch")
+    return decode_record_body(body)
+
+
+def read_record_pread(
+    fileno: int, offset: int, label: str = "segment"
+) -> SegmentRecord:
+    """Positional random-access read of one record via :func:`os.pread`.
+
+    Unlike :func:`read_record_from` this never touches the handle's seek
+    position, so concurrent readers can share one file descriptor
+    without serializing their reads behind a lock.
+
+    Raises:
+        StoreError: when the record is truncated or fails its checksum.
+    """
+    prefix = os.pread(fileno, _MAX_VARINT_BYTES, offset)
+    try:
+        body_len, consumed = decode_varint(prefix, 0)
+    except Exception as exc:
+        raise StoreError(
+            f"{label}@{offset}: unreadable record length"
+        ) from exc
+    blob = os.pread(fileno, body_len + _CRC_BYTES, offset + consumed)
     if len(blob) < body_len + _CRC_BYTES:
         raise StoreError(f"{label}@{offset}: truncated record")
     body = blob[:body_len]

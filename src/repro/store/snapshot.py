@@ -60,7 +60,13 @@ MANIFEST_NAME = "manifest.json"
 SEGMENTS_DIRNAME = "segments"
 TERMSTATS_NAME = "termstats.bin"
 
-_FORMAT_VERSION = 1
+#: Version written by this build.  v2 snapshots differ from v1 only by
+#: additions: segment ``.idx`` sidecars (O(segments) reopen) and the
+#: ``store_generation`` / ``wal`` manifest fields.  v1 snapshots stay
+#: fully readable — their segments simply take the scan path once (and
+#: self-heal sidecars where the directory is writable).
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 _TERMSTATS_MAGIC = b"RTST\x01"
 
 
@@ -84,6 +90,14 @@ class SnapshotManifest:
     #: per-replica version vectors) so a reloaded service resumes
     #: anti-entropy from the persisted vectors; empty when replication=1.
     replication_state: dict = field(default_factory=dict)
+    #: Store generation that wrote ``segments/``: 1 = scan-indexed
+    #: (pre-sidecar), 2 = sidecar-indexed (v1 manifests omit the field
+    #: and read back as 1).
+    store_generation: int = 1
+    #: Directory (relative to the snapshot root) where a WAL-enabled
+    #: reopening of the snapshot writes its logs; empty for read-only
+    #: artifacts of generation-1 builds.
+    wal: str = ""
 
 
 def save_index_snapshot(
@@ -119,8 +133,11 @@ def save_index_snapshot(
         if isinstance(global_index, SpillingGlobalKeyIndex)
         else None
     )
+    # wal=False: bulk writes go straight to segments; close() below
+    # seals them with their sidecar indexes, so loading this snapshot
+    # takes the O(segments) reopen path.
     out = SegmentStore(
-        target / SEGMENTS_DIRNAME, cache_postings=0, sync=sync
+        target / SEGMENTS_DIRNAME, cache_bytes=0, sync=sync, wal=False
     )
     entries = sorted(
         _unique_entries(global_index), key=lambda entry: sorted(entry.key)
@@ -185,6 +202,8 @@ def save_index_snapshot(
         repro_version=repro_version,
         replication=replication,
         replication_state=dict(replication_state or {}),
+        store_generation=2,
+        wal=SEGMENTS_DIRNAME,
     )
     (target / MANIFEST_NAME).write_text(
         json.dumps(asdict(manifest), indent=2, sort_keys=True) + "\n",
@@ -229,10 +248,10 @@ def read_manifest(path: str | Path) -> SnapshotManifest:
     except json.JSONDecodeError as exc:
         raise StoreError(f"unreadable manifest {manifest_path}: {exc}") from exc
     version = data.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise StoreError(
             f"unsupported snapshot format_version {version!r} "
-            f"(this build reads {_FORMAT_VERSION})"
+            f"(this build reads {sorted(_SUPPORTED_VERSIONS)})"
         )
     known = {f for f in SnapshotManifest.__dataclass_fields__}
     try:
@@ -351,12 +370,11 @@ def populate_eager(
 
     Returns the number of keys placed.
     """
-    reader = SegmentStore(segments_dir(path), cache_postings=0)
+    reader = SegmentStore(segments_dir(path), cache_bytes=0)
     placed = 0
-    for key in reader.keys():
-        meta = reader.meta(key)
+    for key, meta in reader.items():
         postings = reader.get_postings(key)
-        assert meta is not None and postings is not None
+        assert postings is not None
 
         def make_entry(
             key=key, meta=meta, postings=postings
@@ -395,9 +413,7 @@ def populate_lazy(
             f"{expected}, not {store.directory}"
         )
     placed = 0
-    for key in store.keys():
-        meta = store.meta(key)
-        assert meta is not None
+    for key, meta in store.items():
 
         def make_entry(key=key, meta=meta) -> GlobalEntry:
             # One stub per owner, all backed by the shared snapshot

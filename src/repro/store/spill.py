@@ -9,7 +9,9 @@ still cost the same messages — while bounding the posting lists actually
 resident in RAM:
 
 - a *hot set* of recently inserted/read keys keeps plain posting lists,
-  LRU-tracked under ``memory_budget`` postings;
+  LRU-tracked under a RAM budget denominated in encoded bytes
+  (``memory_budget_bytes``; the posting-count ``memory_budget`` knob
+  remains as a deprecated alias);
 - cold keys keep a :class:`SpilledPostings` stub — same length, same
   entry object, zero resident postings — whose data lives in a
   :class:`~repro.store.store.SegmentStore`; touching a stub transparently
@@ -24,17 +26,20 @@ in-memory index.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from pathlib import Path
-from typing import Callable
+from typing import Callable, ContextManager
 
 from ..config import HDKParameters
 from ..errors import StoreError
+from ..index.codec import posting_list_wire_size
 from ..index.global_index import GlobalEntry, GlobalKeyIndex, KeyStatus
 from ..index.postings import Posting, PostingList
+from ..net.accounting import Phase
 from ..net.network import P2PNetwork
 from .segment import STATUS_DK, STATUS_NDK
-from .store import SegmentStore
+from .store import DEFAULT_MEMTABLE_BYTES, SegmentStore
 
 __all__ = [
     "SpilledPostings",
@@ -43,8 +48,12 @@ __all__ = [
     "status_to_code",
 ]
 
-#: Default RAM budget of the spilling index, in postings held hot.
+#: Legacy default RAM budget in postings held hot (the deprecated
+#: ``memory_budget`` unit; kept for callers that still pass counts).
 DEFAULT_MEMORY_BUDGET = 50_000
+
+#: Default RAM budget of the spilling index, in encoded posting bytes.
+DEFAULT_MEMORY_BUDGET_BYTES = 1 * 1024 * 1024
 
 
 def status_to_code(status: KeyStatus) -> int:
@@ -182,12 +191,30 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         params: HDK model parameters.
         store: the backing segment store; built from ``store_dir`` when
             omitted (a private temporary directory when both are None).
-        memory_budget: maximum postings held hot in RAM across entries;
-            ``0`` spills everything immediately (all reads go through
-            the store's block cache).
+            When given, the store-shaping knobs below (``sync``, ``wal``,
+            ``memtable_bytes``, ``background_compaction``,
+            ``maintenance_scope``) are ignored.
+        memory_budget: deprecated posting-count alias for the RAM
+            budget; ``0`` spills everything immediately (all reads go
+            through the store's block cache).  Mutually exclusive with
+            ``memory_budget_bytes``.
         store_dir: directory for an implicitly created store.
-        sync: fsync segment files on rollover/close (forwarded to an
-            implicitly created store; ignored when ``store`` is given).
+        sync: fsync segment files on rollover/close and WAL appends
+            (forwarded to an implicitly created store).
+        memory_budget_bytes: RAM budget in encoded posting bytes — what
+            the hot lists actually cost on disk and on the wire;
+            defaults to :data:`DEFAULT_MEMORY_BUDGET_BYTES` when neither
+            budget knob is given.
+        wal: write-ahead-log incremental writes in the backing store
+            (crash-durable builds); on by default.
+        memtable_bytes: the backing store's memtable flush threshold.
+        background_compaction: compact the backing store on a
+            maintenance thread instead of in the write path; on by
+            default (serving reads never stall behind a compaction).
+        maintenance_scope: context-manager factory wrapped around every
+            background maintenance run; defaults to the network's
+            ``phase_scope(Phase.MAINTENANCE)`` so maintenance can never
+            be attributed to the paper's indexing/retrieval traffic.
     """
 
     def __init__(
@@ -195,19 +222,71 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         network: P2PNetwork,
         params: HDKParameters,
         store: SegmentStore | None = None,
-        memory_budget: int = DEFAULT_MEMORY_BUDGET,
+        memory_budget: int | None = None,
         store_dir: str | Path | None = None,
         sync: bool = False,
+        *,
+        memory_budget_bytes: int | None = None,
+        wal: bool = True,
+        memtable_bytes: int = DEFAULT_MEMTABLE_BYTES,
+        background_compaction: bool = True,
+        maintenance_scope: Callable[[], ContextManager] | None = None,
     ) -> None:
         super().__init__(network, params)
-        if memory_budget < 0:
+        if memory_budget is not None and memory_budget_bytes is not None:
             raise StoreError(
-                f"memory_budget must be >= 0, got {memory_budget}"
+                "pass either memory_budget_bytes or the deprecated "
+                "memory_budget, not both"
             )
-        self.store = store or SegmentStore(
-            store_dir, cache_postings=memory_budget, sync=sync
-        )
-        self.memory_budget = memory_budget
+        if memory_budget is not None:
+            warnings.warn(
+                "memory_budget (postings) is deprecated; budget hot "
+                "residency in encoded bytes with memory_budget_bytes",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if memory_budget < 0:
+                raise StoreError(
+                    f"memory_budget must be >= 0, got {memory_budget}"
+                )
+            self.budget_unit = "postings"
+            self.memory_budget = memory_budget
+        else:
+            if memory_budget_bytes is None:
+                memory_budget_bytes = DEFAULT_MEMORY_BUDGET_BYTES
+            if memory_budget_bytes < 0:
+                raise StoreError(
+                    "memory_budget_bytes must be >= 0, got "
+                    f"{memory_budget_bytes}"
+                )
+            self.budget_unit = "bytes"
+            self.memory_budget = memory_budget_bytes
+        if maintenance_scope is None:
+            maintenance_scope = lambda: network.accounting.phase_scope(
+                Phase.MAINTENANCE
+            )
+        if store is None:
+            # The block cache is budgeted in the same unit as the hot
+            # set, so one knob governs both tiers of residency.
+            cache_kwargs = (
+                {"cache_postings": self.memory_budget}
+                if self.budget_unit == "postings"
+                else {"cache_bytes": self.memory_budget}
+            )
+            with warnings.catch_warnings():
+                # The store's own alias warning would double-report the
+                # one already issued above for memory_budget.
+                warnings.simplefilter("ignore", DeprecationWarning)
+                store = SegmentStore(
+                    store_dir,
+                    sync=sync,
+                    wal=wal,
+                    memtable_bytes=memtable_bytes,
+                    background_compaction=background_compaction,
+                    maintenance_scope=maintenance_scope,
+                    **cache_kwargs,
+                )
+        self.store = store
         # Hot-set bookkeeping is shared by every thread whose reads
         # re-heat stubs.  Acyclic lock order: a stub's load lock is
         # only ever taken first, and the store lock is never held while
@@ -215,7 +294,13 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         # fires).  insert() deliberately runs its merge before
         # acquiring this lock so it follows the same order.
         self._hot_lock = threading.RLock()
-        self._hot: OrderedDict[frozenset[str], int] = OrderedDict()
+        # key -> (budget charge, posting count); the charge is postings
+        # or encoded bytes depending on budget_unit, the posting count
+        # is always tracked (the paper's stats unit).
+        self._hot: OrderedDict[frozenset[str], tuple[int, int]] = (
+            OrderedDict()
+        )
+        self._hot_charge = 0
         self._hot_postings = 0
         self._spills = 0
         self._reloads = 0
@@ -250,12 +335,20 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         value = self.network.storage_by_id(target).get(key)
         return value if isinstance(value, GlobalEntry) else None
 
-    def _note_hot(self, key: frozenset[str], count: int) -> None:
+    def _charge_of(self, postings: PostingList) -> int:
+        if self.budget_unit == "postings":
+            return len(postings)
+        return posting_list_wire_size(postings)
+
+    def _note_hot(self, key: frozenset[str], postings: PostingList) -> None:
         previous = self._hot.pop(key, None)
         if previous is not None:
-            self._hot_postings -= previous
-        self._hot[key] = count
-        self._hot_postings += count
+            self._hot_charge -= previous[0]
+            self._hot_postings -= previous[1]
+        charge = self._charge_of(postings)
+        self._hot[key] = (charge, len(postings))
+        self._hot_charge += charge
+        self._hot_postings += len(postings)
 
     def _note_loaded(
         self, key: frozenset[str], _stub: SpilledPostings
@@ -263,11 +356,11 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         """A spilled stub materialized (engine iteration, merge, ...)."""
         with self._hot_lock:
             self._reloads += 1
-            self._note_hot(key, len(_stub))
+            self._note_hot(key, _stub)
             if not getattr(self._op_local, "in_operation", False):
                 self._enforce_budget()
 
-    def _spill(self, key: frozenset[str], count: int) -> None:
+    def _spill(self, key: frozenset[str]) -> None:
         entry = self._entry_at_responsible(key)
         if entry is None:
             # The key vanished from storage (e.g. churn edge) — nothing
@@ -296,10 +389,11 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
 
     def _enforce_budget(self) -> None:
         # Callers hold _hot_lock.
-        while self._hot_postings > self.memory_budget and self._hot:
-            key, count = self._hot.popitem(last=False)
+        while self._hot_charge > self.memory_budget and self._hot:
+            key, (charge, count) = self._hot.popitem(last=False)
+            self._hot_charge -= charge
             self._hot_postings -= count
-            self._spill(key, count)
+            self._spill(key)
 
     # -- overridden protocol surfaces --------------------------------------------
 
@@ -326,7 +420,7 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         with self._hot_lock:
             entry = self._entry_at_responsible(key)
             if entry is not None:
-                self._note_hot(key, len(entry.postings))
+                self._note_hot(key, entry.postings)
             self._enforce_budget()
         return status
 
@@ -340,18 +434,27 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         """Spill every hot entry (snapshot flush / tests)."""
         with self._hot_lock:
             while self._hot:
-                key, count = self._hot.popitem(last=False)
+                key, (charge, count) = self._hot.popitem(last=False)
+                self._hot_charge -= charge
                 self._hot_postings -= count
-                self._spill(key, count)
+                self._spill(key)
         self.store.flush()
+
+    def checkpoint(self) -> None:
+        """Spill everything and checkpoint the backing store: segments
+        become self-contained (WAL dropped, sidecars sealed)."""
+        self.spill_all()
+        self.store.checkpoint()
 
     def spill_stats(self) -> dict[str, object]:
         """RAM-residency counters plus the backing store's statistics."""
         with self._hot_lock:
             return {
                 "memory_budget": self.memory_budget,
+                "budget_unit": self.budget_unit,
                 "hot_keys": self.hot_keys,
                 "hot_postings": self.hot_postings,
+                "hot_charge": self._hot_charge,
                 "spills": self._spills,
                 "reloads": self._reloads,
                 "store": self.store.stats(),

@@ -1,43 +1,90 @@
-"""The disk-backed segmented key→posting store.
+"""The disk-backed segmented key→posting store — generation 2, a
+mini-LSM.
 
-:class:`SegmentStore` keeps posting lists in append-only segment files
-(:mod:`repro.store.segment`) while holding only an *offset directory* —
-per-key metadata plus the (segment, offset) of the latest record — in
-memory, fronted by a bounded LRU :class:`~repro.store.blockcache.BlockCache`
-of decoded lists.  Overwrites append a superseding record; deletions
-append a tombstone; a compacting writer rewrites the live record set into
-fresh segments once the dead-byte ratio passes a threshold, dropping
-superseded and tombstoned records.
+:class:`SegmentStore` layers four structures:
 
-Opening a directory that already contains segments rebuilds the
-directory by scanning them in id order (torn tails from a crashed writer
-are detected and skipped), which is what makes the build-once /
-serve-many snapshot workflow possible.
+- a **write-ahead log** (:mod:`repro.store.wal`, opt-in via ``wal=True``)
+  that makes every acknowledged write crash-durable the moment it
+  returns;
+- an in-memory **memtable** (:mod:`repro.store.memtable`) absorbing
+  WAL-logged writes until its encoded size passes ``memtable_bytes``,
+  at which point it is flushed into a fresh sealed segment and the WAL
+  is dropped;
+- append-only **segment files** (:mod:`repro.store.segment`), each
+  sealed one carrying a crc-protected sidecar offset index
+  (:mod:`repro.store.segindex`) so reopening a directory is O(segments)
+  metadata reads instead of a checksum-scan of every record — record
+  bodies are still crc-verified lazily on first read, and segments
+  without a valid sidecar (gen-1 snapshots, torn tails) fall back to
+  the scan transparently;
+- a **compactor** that rewrites the live record set and drops
+  superseded/tombstoned records — synchronously in the write path by
+  default, or concurrently on a :class:`MaintenanceWorker` thread
+  (``background_compaction=True``) that never blocks readers: outputs
+  are staged as ``.seg.tmp``, committed by atomic rename plus a brief
+  directory swap under the lock, and superseded segments are unlinked
+  immediately but their file descriptors retired only once no pinned
+  reader still holds them.
+
+Only an *offset directory* — per-key metadata plus the latest record's
+location (a segment, or the memtable) — is held in memory, fronted by a
+bounded LRU :class:`~repro.store.blockcache.BlockCache` of decoded
+lists, budgeted in encoded bytes (posting counts remain as a deprecated
+alias).
+
+Crash recovery composes the layers: orphaned temp files from a killed
+compaction are deleted, segments are replayed in ``(replaces_up_to,
+id)`` order (so a half-committed compaction can never shadow a newer
+concurrent flush), torn tails are skipped, and surviving WAL files are
+replayed idempotently into the memtable — reopening recovers exactly
+the last durable prefix.
 """
 
 from __future__ import annotations
 
+import os
 import re
 import tempfile
 import threading
-from dataclasses import dataclass
+import warnings
 from pathlib import Path
-from typing import Iterator
-
-from typing import BinaryIO
+from typing import (
+    BinaryIO,
+    Callable,
+    ContextManager,
+    Iterator,
+    NamedTuple,
+)
 
 from ..errors import StoreError
 from ..index.postings import PostingList
 from .blockcache import BlockCache, BlockCacheStats
+from .maintenance import MaintenanceWorker
+from .memtable import MEMTABLE_ID, Memtable
+from .segindex import (
+    IndexedRecord,
+    SegmentColumns,
+    SegmentIndex,
+    load_segment_index,
+    sidecar_path,
+    write_segment_index,
+)
 from .segment import (
+    MAGIC,
     STATUS_TOMBSTONE,
     SegmentRecord,
     SegmentWriter,
-    read_record_from,
+    encode_record_body,
+    framed_length,
+    key_from_canonical,
+    key_to_canonical,
+    read_record_pread,
     scan_segment,
 )
+from .wal import WalWriter, scan_wal, wal_ids, wal_path
 
-__all__ = ["SegmentStore", "StoredMeta"]
+__all__ = ["SegmentStore", "StoredMeta", "DEFAULT_CACHE_BYTES",
+           "DEFAULT_MEMTABLE_BYTES"]
 
 _SEGMENT_PATTERN = re.compile(r"^segment-(\d{6})\.seg$")
 
@@ -45,10 +92,25 @@ _SEGMENT_PATTERN = re.compile(r"^segment-(\d{6})\.seg$")
 #: whole files of dead records at repro scale.
 DEFAULT_SEGMENT_MAX_BYTES = 4 * 1024 * 1024
 
+#: Default decoded-block cache budget, in encoded bytes.
+DEFAULT_CACHE_BYTES = 1 * 1024 * 1024
 
-@dataclass(frozen=True)
-class StoredMeta:
-    """Directory metadata of one live key (everything but the postings)."""
+#: Default memtable flush threshold, in encoded bytes.
+DEFAULT_MEMTABLE_BYTES = 1 * 1024 * 1024
+
+
+def _replace_file(source: Path, target: Path) -> None:
+    """Atomic rename — the commit point of staged compaction outputs.
+    A module-level seam so fault-injection tests can kill a compaction
+    mid-swap."""
+    os.replace(source, target)
+
+
+class StoredMeta(NamedTuple):
+    """Directory metadata of one live key (everything but the postings).
+
+    A NamedTuple: reopen builds one per stored key, and tuple
+    construction keeps the sidecar cold-start path cheap."""
 
     global_df: int
     status_code: int
@@ -56,41 +118,57 @@ class StoredMeta:
     posting_count: int
 
 
-@dataclass
-class _DirEntry:
-    segment_id: int
-    offset: int
-    length: int
+class _DirEntry(NamedTuple):
+    segment_id: int  # MEMTABLE_ID when the record is memtable-resident
+    offset: int      # memtable residents: the admission sequence number
+    length: int      # encoded frame length (either way)
     meta: StoredMeta
 
 
 class SegmentStore:
-    """Append-only segmented store with an in-memory offset directory.
+    """Mini-LSM store with an in-memory offset directory.
 
     Args:
-        directory: where segment files live; ``None`` creates a private
+        directory: where segments/WAL live; ``None`` creates a private
             temporary directory that lives as long as the store object.
-        cache_postings: budget of the decoded-block LRU cache, in
-            postings (``0`` disables it).
+        cache_postings: deprecated posting-count alias for the block
+            cache budget (``0`` disables it).  Mutually exclusive with
+            ``cache_bytes``.
+        cache_bytes: budget of the decoded-block LRU cache in encoded
+            bytes (``0`` disables it); defaults to
+            :data:`DEFAULT_CACHE_BYTES` when neither knob is given.
         segment_max_bytes: active segment rollover size.
         compact_dead_ratio: trigger compaction when at least this
             fraction of on-disk record bytes is superseded/tombstoned
             (checked after every write; ``1.0`` disables auto-compaction).
         sync: opt-in durability — fsync every segment file when it is
-            closed (rollover, compaction, :meth:`close`), so completed
-            segments survive power loss.  Off by default: the format is
-            already crash-safe against process kills, and fsync costs
-            milliseconds per rollover.
+            closed and every WAL append, so acknowledged writes survive
+            power loss, not just process kills.  Sidecar indexes are
+            never fsynced (losing one only costs a scan).
+        wal: log every write to a WAL and buffer it in the memtable
+            (crash-durable incremental writes); off by default — bulk
+            writers (snapshot saves) append straight to segments.
+        memtable_bytes: encoded-byte flush threshold of the memtable.
+        background_compaction: run compaction on a maintenance thread
+            instead of synchronously in the write path.
+        maintenance_scope: zero-arg callable returning a context manager
+            wrapped around every background run (e.g. a traffic
+            accounting ``phase_scope(MAINTENANCE)``).
     """
 
     def __init__(
         self,
         directory: str | Path | None = None,
         *,
-        cache_postings: int = 50_000,
+        cache_postings: int | None = None,
+        cache_bytes: int | None = None,
         segment_max_bytes: int = DEFAULT_SEGMENT_MAX_BYTES,
         compact_dead_ratio: float = 0.5,
         sync: bool = False,
+        wal: bool = False,
+        memtable_bytes: int = DEFAULT_MEMTABLE_BYTES,
+        background_compaction: bool = False,
+        maintenance_scope: Callable[[], ContextManager] | None = None,
     ) -> None:
         if segment_max_bytes < 1:
             raise StoreError(
@@ -101,12 +179,35 @@ class SegmentStore:
                 "compact_dead_ratio must be in (0, 1], got "
                 f"{compact_dead_ratio}"
             )
-        # One reentrant lock serializes directory, writer, read handles,
-        # and compaction: readers share OS file handles (seek + read is
-        # not atomic per handle) and a budget-pressure spill can append
-        # or compact while other threads read.  Disk I/O is the cold
-        # path — hot keys are served by the spilling index and the block
-        # cache, both outside this lock.
+        if memtable_bytes < 0:
+            raise StoreError(
+                f"memtable_bytes must be >= 0, got {memtable_bytes}"
+            )
+        if cache_postings is not None and cache_bytes is not None:
+            raise StoreError(
+                "pass either cache_bytes or the deprecated "
+                "cache_postings, not both"
+            )
+        if cache_postings is not None:
+            warnings.warn(
+                "cache_postings is deprecated; budget the block cache "
+                "in encoded bytes with cache_bytes",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            cache = BlockCache(cache_postings)
+        else:
+            cache = BlockCache(
+                capacity_bytes=(
+                    cache_bytes
+                    if cache_bytes is not None
+                    else DEFAULT_CACHE_BYTES
+                )
+            )
+        # One reentrant lock serializes the directory, memtable, writer,
+        # reader table, and accounting.  Disk I/O leaves the lock: reads
+        # pread through pinned descriptors, background compaction scans
+        # and stages outside it and only re-enters for the commit swap.
         self._lock = threading.RLock()
         self._tmp: tempfile.TemporaryDirectory | None = None
         if directory is None:
@@ -117,16 +218,51 @@ class SegmentStore:
         self.segment_max_bytes = segment_max_bytes
         self.compact_dead_ratio = compact_dead_ratio
         self.sync = sync
-        self.cache = BlockCache(cache_postings)
-        self._dir: dict[frozenset[str], _DirEntry] = {}
+        self.cache = cache
+        self.wal_enabled = bool(wal)
+        self.memtable_bytes_limit = memtable_bytes
+        self.memtable = Memtable()
+        # The offset directory is keyed by the *canonical byte form* of
+        # each term-set key (repro.store.segment.key_to_canonical, the
+        # same rule overlay hashing uses).  API-level frozenset keys are
+        # encoded at the method boundary; on the sidecar reopen path the
+        # keys arrive as ready-made byte slices and no term-set is ever
+        # materialized — that is most of the generation-2 cold-start win.
+        self._dir: dict[bytes, _DirEntry] = {}
         self._live_bytes = 0
-        self._dead_bytes = 0
+        #: Valid record bytes per on-disk segment (dead ratio is derived:
+        #: total - live).
+        self._seg_bytes: dict[int, int] = {}
+        self._total_record_bytes = 0
         self._compactions = 0
+        self._flushes = 0
         self._truncated_tails = 0
+        self._wal_truncated_tails = 0
+        self._wal_replayed = 0
+        self._sidecar_reopens = 0
+        self._scan_reopens = 0
         self._writer: SegmentWriter | None = None
-        #: Open read handles, one per segment actually read from.
+        #: Every record appended to the current active segment, in file
+        #: order — the sidecar written when it seals.
+        self._active_records: list[IndexedRecord] = []
+        self._active_id: int | None = None
+        self._next_id = 1
+        self._wal: WalWriter | None = None
+        self._next_wal_id = 1
+        #: Open read handles (one per segment read from), pin counts of
+        #: in-flight preads, and segments unlinked-but-held by a pin.
         self._readers: dict[int, BinaryIO] = {}
-        self._active_id = 0
+        self._reader_pins: dict[int, int] = {}
+        self._retired: set[int] = set()
+        #: Serializes compactions (foreground vs. background); never
+        #: acquired while holding ``_lock``.
+        self._compact_mutex = threading.Lock()
+        self._maintenance: MaintenanceWorker | None = None
+        if background_compaction:
+            self._maintenance = MaintenanceWorker(
+                self._background_compact,
+                scope=maintenance_scope,
+            )
         self._recover()
 
     # -- startup / recovery ------------------------------------------------------
@@ -143,17 +279,82 @@ class SegmentStore:
         return sorted(ids)
 
     def _recover(self) -> None:
-        """Rebuild the offset directory from the segments on disk."""
+        """Rebuild the offset directory from disk: sidecars where valid,
+        scans where not, then replay any surviving WAL."""
+        # A killed compaction leaves staged outputs (*.tmp) that were
+        # never renamed into place, and possibly a sidecar whose segment
+        # never committed; neither was ever visible to the directory.
+        for leftover in self.directory.glob("*.tmp"):
+            leftover.unlink()
+        for idx in self.directory.glob("segment-*.idx"):
+            if not idx.with_suffix(".seg").exists():
+                idx.unlink()
         ids = self._segment_ids()
+        loaded: list[tuple[int, SegmentIndex | None]] = []
         for segment_id in ids:
+            path = self._segment_path(segment_id)
+            index = load_segment_index(
+                sidecar_path(path), path.stat().st_size
+            )
+            loaded.append((segment_id, index))
+        # Replay order: compaction outputs carry the highest source id
+        # they replace and must apply right after those sources — a
+        # crash between output rename and source unlink must not let
+        # compacted (older) records shadow a flush that raced the
+        # compaction with newer data.
+        loaded.sort(
+            key=lambda item: (
+                item[1].replaces_up_to
+                if item[1] is not None and item[1].replaces_up_to
+                else item[0],
+                item[0],
+            )
+        )
+        for segment_id, index in loaded:
+            if index is not None:
+                assert index.columns is not None
+                self._bulk_apply_columns(segment_id, index.columns)
+                self._account_segment(
+                    segment_id, index.data_len - len(MAGIC)
+                )
+                self._sidecar_reopens += 1
+                continue
             scan = scan_segment(self._segment_path(segment_id))
             if scan.truncated:
                 self._truncated_tails += 1
             for offset, length, record in scan.records:
                 self._apply_record(segment_id, offset, length, record)
-        # Always start a fresh active segment: never append after a
-        # possibly-torn tail.
-        self._active_id = (ids[-1] + 1) if ids else 1
+            self._account_segment(
+                segment_id, max(0, scan.valid_bytes - len(MAGIC))
+            )
+            self._scan_reopens += 1
+            self._heal_sidecar(segment_id, scan)
+        # Always start fresh ids: never append after a possibly-torn
+        # tail, and never collide with a crashed compaction's outputs.
+        self._next_id = (ids[-1] + 1) if ids else 1
+        # WAL replay — newest-last across files, last write wins, and
+        # re-applying records that already made it into a segment is
+        # idempotent (the directory is keyed by key, the memtable copy
+        # simply supersedes the identical segment copy).
+        existing_wals = wal_ids(self.directory)
+        for wal_id in existing_wals:
+            scan = scan_wal(wal_path(self.directory, wal_id))
+            if scan.truncated:
+                self._wal_truncated_tails += 1
+            for record in scan.records:
+                self._memtable_insert(record)
+                self._wal_replayed += 1
+        self._next_wal_id = (existing_wals[-1] + 1) if existing_wals else 1
+        if existing_wals and not self.wal_enabled:
+            # A WAL-less open of a WAL-ful directory (legacy readers,
+            # snapshot tooling) must not strand durable records in a
+            # log it will never rotate: checkpoint them into segments
+            # immediately.
+            self._flush_memtable_locked()
+
+    def _account_segment(self, segment_id: int, record_bytes: int) -> None:
+        self._seg_bytes[segment_id] = record_bytes
+        self._total_record_bytes += record_bytes
 
     def _apply_record(
         self,
@@ -162,47 +363,198 @@ class SegmentStore:
         length: int,
         record: SegmentRecord,
     ) -> None:
-        previous = self._dir.pop(record.key, None)
-        if previous is not None:
-            self._dead_bytes += previous.length
+        self._apply_indexed(
+            segment_id, IndexedRecord.from_record(offset, length, record)
+        )
+
+    def _bulk_apply_columns(
+        self, segment_id: int, cols: SegmentColumns
+    ) -> None:
+        """Recovery fast path: :meth:`_apply_indexed` inlined over one
+        whole sidecar-indexed segment, fed straight from the decoded
+        sidecar columns (no per-record object is ever built).  Correct
+        only while the memtable is empty (recovery replays the WAL
+        *after* all segments), which lets the loop skip the
+        memtable-resident accounting branch and hoist every attribute
+        lookup — directory rebuild cost is the cold-start headline, so
+        this loop is deliberately flat."""
+        directory = self._dir
+        pop = directory.pop
+        entry_of = _DirEntry
+        meta_of = StoredMeta
+        tombstone = STATUS_TOMBSTONE
+        live = self._live_bytes
+        for key, offset, length, global_df, status_code, contributors, (
+            posting_count
+        ) in zip(
+            cols.keys,
+            cols.offsets,
+            cols.lengths,
+            cols.global_dfs,
+            cols.status_codes,
+            cols.contributors,
+            cols.posting_counts,
+        ):
+            previous = pop(key, None)
+            if previous is not None:
+                live -= previous.length
+            if status_code == tombstone:
+                continue
+            directory[key] = entry_of(
+                segment_id,
+                offset,
+                length,
+                meta_of(
+                    global_df, status_code, contributors, posting_count
+                ),
+            )
+            live += length
+        self._live_bytes = live
+
+    def _apply_indexed(self, segment_id: int, rec: IndexedRecord) -> None:
+        previous = self._dir.pop(rec.key, None)
+        if previous is not None and previous.segment_id != MEMTABLE_ID:
             self._live_bytes -= previous.length
-        if record.is_tombstone:
-            self._dead_bytes += length
+        if rec.is_tombstone:
             return
-        self._dir[record.key] = _DirEntry(
+        self._dir[rec.key] = _DirEntry(
             segment_id=segment_id,
-            offset=offset,
-            length=length,
+            offset=rec.offset,
+            length=rec.length,
             meta=StoredMeta(
-                global_df=record.global_df,
-                status_code=record.status_code,
-                contributors=record.contributors,
-                posting_count=record.posting_count(),
+                global_df=rec.global_df,
+                status_code=rec.status_code,
+                contributors=rec.contributors,
+                posting_count=rec.posting_count,
             ),
         )
-        self._live_bytes += length
+        self._live_bytes += rec.length
+
+    def _heal_sidecar(self, segment_id: int, scan) -> None:
+        """After a scan fallback, persist the sidecar the segment was
+        missing (gen-1 segments index themselves on first reopen).
+        Best-effort: torn segments stay sidecar-less (their file size
+        exceeds the valid prefix, so a sidecar would be stale by
+        construction), and read-only directories are tolerated."""
+        path = self._segment_path(segment_id)
+        if scan.truncated or path.stat().st_size != scan.valid_bytes:
+            return
+        records = [
+            IndexedRecord.from_record(offset, length, record)
+            for offset, length, record in scan.records
+        ]
+        try:
+            write_segment_index(
+                sidecar_path(path),
+                SegmentIndex(
+                    data_len=scan.valid_bytes,
+                    replaces_up_to=0,
+                    records=records,
+                ),
+            )
+        except OSError:
+            pass
 
     # -- write path --------------------------------------------------------------
 
+    def _allocate_id(self) -> int:
+        segment_id = self._next_id
+        self._next_id += 1
+        return segment_id
+
     def _active_writer(self) -> SegmentWriter:
+        if (
+            self._writer is not None
+            and self._writer.offset >= self.segment_max_bytes
+        ):
+            self._seal_active_locked()
+            self._active_id = None
         if self._writer is None:
-            self._writer = SegmentWriter(
-                self._segment_path(self._active_id), sync=self.sync
-            )
-        elif self._writer.offset >= self.segment_max_bytes:
-            # Rollover: close() fsyncs the retiring segment when the
-            # store's sync knob is on.
-            self._writer.close()
-            self._active_id += 1
+            if self._active_id is None:
+                self._active_id = self._allocate_id()
+                self._active_records = []
             self._writer = SegmentWriter(
                 self._segment_path(self._active_id), sync=self.sync
             )
         return self._writer
 
+    def _seal_active_locked(self) -> None:
+        """Close the active segment and persist its sidecar.  The id is
+        kept (a later write may reopen and append; the next seal then
+        rewrites the sidecar over the fuller record list)."""
+        if self._writer is None:
+            return
+        data_len = self._writer.offset
+        self._writer.close()
+        self._writer = None
+        assert self._active_id is not None
+        try:
+            write_segment_index(
+                sidecar_path(self._segment_path(self._active_id)),
+                SegmentIndex(
+                    data_len=data_len,
+                    replaces_up_to=0,
+                    records=list(self._active_records),
+                ),
+            )
+        except OSError:
+            pass
+
     def _append(self, record: SegmentRecord) -> None:
         writer = self._active_writer()
         offset, length = writer.append(record)
-        self._apply_record(self._active_id, offset, length, record)
+        assert self._active_id is not None
+        self._seg_bytes[self._active_id] = (
+            self._seg_bytes.get(self._active_id, 0) + length
+        )
+        self._total_record_bytes += length
+        indexed = IndexedRecord.from_record(offset, length, record)
+        self._active_records.append(indexed)
+        self._apply_indexed(self._active_id, indexed)
+
+    def _active_wal(self) -> WalWriter:
+        if self._wal is None:
+            self._wal = WalWriter(
+                wal_path(self.directory, self._next_wal_id),
+                sync=self.sync,
+            )
+            self._next_wal_id += 1
+        return self._wal
+
+    def _memtable_insert(
+        self, record: SegmentRecord, length: int | None = None
+    ) -> int:
+        if length is None:
+            length = framed_length(len(encode_record_body(record)))
+        seq = self.memtable.put(record, length)
+        canonical = key_to_canonical(record.key)
+        previous = self._dir.pop(canonical, None)
+        if previous is not None and previous.segment_id != MEMTABLE_ID:
+            self._live_bytes -= previous.length
+        if not record.is_tombstone:
+            self._dir[canonical] = _DirEntry(
+                segment_id=MEMTABLE_ID,
+                offset=seq,
+                length=length,
+                meta=StoredMeta(
+                    global_df=record.global_df,
+                    status_code=record.status_code,
+                    contributors=record.contributors,
+                    posting_count=record.posting_count(),
+                ),
+            )
+        return seq
+
+    def _insert(self, record: SegmentRecord) -> None:
+        """WAL-aware single-record write (callers hold the lock)."""
+        if self.wal_enabled:
+            body = encode_record_body(record)
+            self._active_wal().append_body(body)
+            self._memtable_insert(record, framed_length(len(body)))
+            if self.memtable.data_bytes > self.memtable_bytes_limit:
+                self._flush_memtable_locked()
+        else:
+            self._append(record)
 
     def put(
         self,
@@ -213,11 +565,12 @@ class SegmentStore:
         contributors: tuple[int, ...] = (),
     ) -> None:
         """Write (or supersede) the record for ``key``."""
+        canonical = key_to_canonical(key)
         with self._lock:
-            previous = self._dir.get(key)
+            previous = self._dir.get(canonical)
             if previous is not None:
                 # The superseded record's block is now unreachable but
-                # would keep consuming the cache's posting budget.
+                # would keep consuming the cache's byte budget.
                 self.cache.invalidate(
                     (previous.segment_id, previous.offset)
                 )
@@ -228,26 +581,65 @@ class SegmentStore:
             )
             # Write-through: the freshly encoded list is the hottest
             # block.
-            entry = self._dir[key]
-            self.cache.put((entry.segment_id, entry.offset), postings)
+            entry = self._dir[canonical]
+            self.cache.put(
+                (entry.segment_id, entry.offset),
+                postings,
+                nbytes=entry.length,
+            )
 
     def put_record(self, record: SegmentRecord) -> None:
         """Write an already-encoded record (raw snapshot copies)."""
         if record.is_tombstone:
             raise StoreError("use delete() to write tombstones")
         with self._lock:
-            self._append(record)
+            self._insert(record)
             self.maybe_compact()
 
     def delete(self, key: frozenset[str]) -> None:
         """Tombstone ``key``; a no-op when the key is not stored."""
         with self._lock:
-            entry = self._dir.get(key)
+            entry = self._dir.get(key_to_canonical(key))
             if entry is None:
                 return
             self.cache.invalidate((entry.segment_id, entry.offset))
-            self._append(SegmentRecord.tombstone(key))
+            self._insert(SegmentRecord.tombstone(key))
             self.maybe_compact()
+
+    # -- memtable flush ----------------------------------------------------------
+
+    def _flush_memtable_locked(self) -> None:
+        """Write the memtable into sealed segments, then drop the WAL.
+
+        Ordering is the durability argument: the flushed segment is
+        sealed (fsynced when ``sync``) *before* any WAL file is deleted,
+        so every crash window either keeps the WAL (replay recovers) or
+        has the segment durable already."""
+        stale_blocks = [
+            (MEMTABLE_ID, seq) for seq in self.memtable.seqs()
+        ]
+        if len(self.memtable) > 0:
+            for record in self.memtable.records_sorted():
+                self._append(record)
+            self._seal_active_locked()
+            self._active_id = None
+            self._flushes += 1
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+        for wal_id in wal_ids(self.directory):
+            wal_path(self.directory, wal_id).unlink()
+        self.memtable.clear()
+        for block_id in stale_blocks:
+            self.cache.invalidate(block_id)
+
+    def checkpoint(self) -> None:
+        """Make the on-disk segments self-contained *now*: flush the
+        memtable, drop the WAL, and seal the active segment (with its
+        sidecar) so a reopen needs neither replay nor scan."""
+        with self._lock:
+            self._flush_memtable_locked()
+            self._seal_active_locked()
 
     # -- read path ---------------------------------------------------------------
 
@@ -257,16 +649,31 @@ class SegmentStore:
 
     def __contains__(self, key: frozenset[str]) -> bool:
         with self._lock:
-            return key in self._dir
+            return key_to_canonical(key) in self._dir
 
     def keys(self) -> Iterator[frozenset[str]]:
         with self._lock:
-            return iter(list(self._dir))
+            canonicals = list(self._dir)
+        return iter([key_from_canonical(kb) for kb in canonicals])
+
+    def items(self) -> list[tuple[frozenset[str], StoredMeta]]:
+        """Snapshot of ``(key, metadata)`` pairs — one canonical decode
+        per key, cheaper than ``keys()`` plus a ``meta()`` re-encode
+        when walking the whole directory (snapshot population)."""
+        with self._lock:
+            pairs = [
+                (canonical, entry.meta)
+                for canonical, entry in self._dir.items()
+            ]
+        return [
+            (key_from_canonical(canonical), meta)
+            for canonical, meta in pairs
+        ]
 
     def meta(self, key: frozenset[str]) -> StoredMeta | None:
         """Directory metadata of ``key`` (no disk access), or None."""
         with self._lock:
-            entry = self._dir.get(key)
+            entry = self._dir.get(key_to_canonical(key))
             return entry.meta if entry is not None else None
 
     def _reader(self, segment_id: int) -> BinaryIO:
@@ -276,41 +683,67 @@ class SegmentStore:
             self._readers[segment_id] = handle
         return handle
 
-    def _close_readers(self) -> None:
-        for handle in self._readers.values():
-            handle.close()
-        self._readers = {}
-
-    def _read_record(self, entry: _DirEntry) -> SegmentRecord:
-        # The active segment's bytes may still sit in the writer's
-        # buffer; reads go through a separate per-segment handle.
-        if entry.segment_id == self._active_id and self._writer is not None:
-            self._writer.flush()
-        return read_record_from(
-            self._reader(entry.segment_id),
-            entry.offset,
-            label=str(self._segment_path(entry.segment_id)),
+    def _pin_reader(self, segment_id: int) -> int:
+        """Open (or reuse) the segment's read handle and pin it; returns
+        the file descriptor for lock-free pread.  Callers hold the lock
+        and must unpin when the pread completes."""
+        handle = self._reader(segment_id)
+        self._reader_pins[segment_id] = (
+            self._reader_pins.get(segment_id, 0) + 1
         )
+        return handle.fileno()
+
+    def _unpin_reader(self, segment_id: int) -> None:
+        pins = self._reader_pins.get(segment_id, 0) - 1
+        if pins > 0:
+            self._reader_pins[segment_id] = pins
+            return
+        self._reader_pins.pop(segment_id, None)
+        if segment_id in self._retired:
+            # Last reader out closes the descriptor of a compacted-away
+            # segment; the file itself was already unlinked.
+            self._retired.discard(segment_id)
+            handle = self._readers.pop(segment_id, None)
+            if handle is not None:
+                handle.close()
+
+    def _retire_reader(self, segment_id: int) -> None:
+        """A segment was removed from the directory: close its handle if
+        no pread is in flight, else defer to the last unpin."""
+        if self._reader_pins.get(segment_id, 0) > 0:
+            self._retired.add(segment_id)
+            return
+        handle = self._readers.pop(segment_id, None)
+        if handle is not None:
+            handle.close()
+
+    def _close_readers(self) -> None:
+        for segment_id in list(self._readers):
+            self._retire_reader(segment_id)
 
     def get_postings(self, key: frozenset[str]) -> PostingList | None:
         """Decode the stored posting list of ``key`` (through the block
         cache), or None when the key is absent."""
+        canonical = key_to_canonical(key)
         with self._lock:
-            entry = self._dir.get(key)
+            entry = self._dir.get(canonical)
         if entry is None:
             return None
         # Probe the block cache outside the store lock (it has its own):
         # cached reads must not queue behind a concurrent cold read's
-        # disk I/O.  Segment ids are never reused, so a stale block id
-        # can only miss — it cannot alias fresher data.
+        # disk I/O.  Block ids (segment ids and memtable sequence
+        # numbers) are never reused, so a stale id can only miss.
         block_id = (entry.segment_id, entry.offset)
         cached = self.cache.get(block_id)
         if cached is not None:
             return cached
+        record: SegmentRecord | None = None
+        pinned: int | None = None
+        fileno = -1
         with self._lock:
-            # Re-validate: a compaction may have moved the record while
-            # the cache was probed.
-            entry = self._dir.get(key)
+            # Re-validate: a flush or compaction may have moved the
+            # record while the cache was probed.
+            entry = self._dir.get(canonical)
             if entry is None:
                 return None
             moved_to = (entry.segment_id, entry.offset)
@@ -319,104 +752,311 @@ class SegmentStore:
                 cached = self.cache.get(block_id)
                 if cached is not None:
                     return cached
-            record = self._read_record(entry)
-        # Varint decode outside the lock: only the seek+read needs the
-        # shared file handle.  A racing duplicate fill of the same
-        # block id is idempotent (same bytes, internally locked cache).
+            if entry.segment_id == MEMTABLE_ID:
+                record = self.memtable.get(key)
+                assert record is not None
+            else:
+                if (
+                    entry.segment_id == self._active_id
+                    and self._writer is not None
+                ):
+                    # The active segment's bytes may still sit in the
+                    # writer's buffer.
+                    self._writer.flush()
+                fileno = self._pin_reader(entry.segment_id)
+                pinned = entry.segment_id
+        try:
+            if record is None:
+                # pread outside the lock: positional reads don't share
+                # seek state, and the pin keeps the descriptor alive
+                # across a concurrent compaction's retirement.
+                record = read_record_pread(
+                    fileno,
+                    entry.offset,
+                    label=str(self._segment_path(entry.segment_id)),
+                )
+        finally:
+            if pinned is not None:
+                with self._lock:
+                    self._unpin_reader(pinned)
+        # Varint decode outside the lock too.  A racing duplicate fill
+        # of the same block id is idempotent (same bytes).
         postings = record.postings()
         with self._lock:
             # Fill only if the record has not moved since the read — a
-            # concurrent compaction retires the old block id forever,
-            # and caching under it would strand a dead resident that
-            # burns posting budget without ever being hit.
-            entry = self._dir.get(key)
+            # flush or compaction retires the old block id forever, and
+            # caching under it would strand a dead resident.
+            entry = self._dir.get(canonical)
             if (
                 entry is not None
                 and (entry.segment_id, entry.offset) == block_id
             ):
-                self.cache.put(block_id, postings)
+                self.cache.put(block_id, postings, nbytes=entry.length)
         return postings
 
     def get_record(self, key: frozenset[str]) -> SegmentRecord | None:
         """Read the raw latest record of ``key`` (undecoded payload)."""
         with self._lock:
-            entry = self._dir.get(key)
+            entry = self._dir.get(key_to_canonical(key))
             if entry is None:
                 return None
-            return self._read_record(entry)
+            if entry.segment_id == MEMTABLE_ID:
+                return self.memtable.get(key)
+            if (
+                entry.segment_id == self._active_id
+                and self._writer is not None
+            ):
+                self._writer.flush()
+            handle = self._reader(entry.segment_id)
+            return read_record_pread(
+                handle.fileno(),
+                entry.offset,
+                label=str(self._segment_path(entry.segment_id)),
+            )
 
     # -- compaction --------------------------------------------------------------
 
     @property
+    def dead_bytes(self) -> int:
+        """On-disk record bytes no longer reachable from the directory
+        (superseded copies, tombstones)."""
+        return max(0, self._total_record_bytes - self._live_bytes)
+
+    @property
     def dead_ratio(self) -> float:
-        total = self._live_bytes + self._dead_bytes
-        return self._dead_bytes / total if total else 0.0
+        total = self._total_record_bytes
+        return self.dead_bytes / total if total else 0.0
+
+    def _over_dead_threshold(self) -> bool:
+        return (
+            self.compact_dead_ratio < 1.0
+            and self.dead_bytes > 0
+            and self.dead_ratio >= self.compact_dead_ratio
+        )
 
     def maybe_compact(self) -> bool:
-        """Compact when the dead-byte ratio passes the threshold."""
+        """Compact (or schedule a background compaction) when the
+        dead-byte ratio passes the threshold."""
         with self._lock:
-            if (
-                self.compact_dead_ratio < 1.0
-                and self._dead_bytes > 0
-                and self.dead_ratio >= self.compact_dead_ratio
-            ):
-                self.compact()
+            if not self._over_dead_threshold():
+                return False
+            if self._maintenance is not None:
+                self._maintenance.wake()
                 return True
-            return False
+            self._compact_locked()
+            return True
 
     def compact(self) -> None:
-        """Rewrite the live record set into fresh segments, dropping
-        superseded records and tombstones, and delete the old files.
+        """Synchronously rewrite the live record set into fresh
+        segments, dropping superseded records and tombstones, and delete
+        the old files.  Blocks writers for the duration; prefer
+        ``background_compaction=True`` on serving stores."""
+        with self._compact_mutex:
+            with self._lock:
+                self._compact_locked()
 
-        Each old segment is scanned exactly once (one open + one
-        sequential read per file, not one open per record)."""
-        # Reentrant lock: maybe_compact() calls this while holding it.
-        with self._lock:
-            if self._writer is not None:
-                self._writer.close()
-                self._writer = None
-            self._close_readers()
-            old_ids = self._segment_ids()
-            self._active_id = (old_ids[-1] + 1) if old_ids else 1
-            live_at = {
-                (entry.segment_id, entry.offset): key
-                for key, entry in self._dir.items()
-            }
-            survivors: dict[frozenset[str], SegmentRecord] = {}
-            for segment_id in old_ids:
+    def _compact_locked(self) -> None:
+        # The memtable compacts trivially (it is already one record per
+        # key); flushing it first lets the rewrite cover everything and
+        # leaves the store with empty WAL + a single live segment set.
+        self._flush_memtable_locked()
+        self._seal_active_locked()
+        self._active_id = None
+        self._close_readers()
+        old_ids = self._segment_ids()
+        live_at = {
+            (entry.segment_id, entry.offset): key
+            for key, entry in self._dir.items()
+            if entry.segment_id != MEMTABLE_ID
+        }
+        survivors: dict[bytes, SegmentRecord] = {}
+        for segment_id in old_ids:
+            scan = scan_segment(self._segment_path(segment_id))
+            for offset, _, record in scan.records:
+                key = live_at.get((segment_id, offset))
+                if key is not None:
+                    survivors[key] = record
+        self._dir = {
+            key: entry
+            for key, entry in self._dir.items()
+            if entry.segment_id == MEMTABLE_ID
+        }
+        self._live_bytes = 0
+        for segment_id in old_ids:
+            self._total_record_bytes -= self._seg_bytes.pop(segment_id, 0)
+        # Deterministic rewrite order (sorted term lists) — the same
+        # order a frozenset-keyed directory produced, so compacted
+        # segment bytes stay reproducible across generations.
+        for record in sorted(
+            survivors.values(), key=lambda record: sorted(record.key)
+        ):
+            self._append(record)
+        if self._writer is not None:
+            self._writer.flush()
+        for segment_id in old_ids:
+            self._segment_path(segment_id).unlink()
+            sidecar = sidecar_path(self._segment_path(segment_id))
+            if sidecar.exists():
+                sidecar.unlink()
+        self.cache.clear()
+        self._compactions += 1
+
+    def _background_compact(self) -> None:
+        """Concurrent compaction: snapshot sources under the lock, scan
+        and stage outputs outside it, commit with an atomic directory
+        swap.  Readers are never blocked — they keep serving from the
+        sources until the swap, and pinned descriptors outlive the
+        unlink."""
+        with self._compact_mutex:
+            with self._lock:
+                if not self._over_dead_threshold():
+                    return
+                self._seal_active_locked()
+                self._active_id = None
+                source_ids = sorted(self._seg_bytes)
+                live_at = {
+                    (entry.segment_id, entry.offset): key
+                    for key, entry in self._dir.items()
+                    if entry.segment_id != MEMTABLE_ID
+                }
+            if not source_ids:
+                return
+            replaces_up_to = max(source_ids)
+            # Scan sources outside the lock: they are sealed and
+            # immutable; concurrent writes land in the new active
+            # segment or the memtable.
+            survivors: dict[
+                bytes, tuple[SegmentRecord, int, int, int]
+            ] = {}
+            for segment_id in source_ids:
                 scan = scan_segment(self._segment_path(segment_id))
-                for offset, _, record in scan.records:
+                for offset, length, record in scan.records:
                     key = live_at.get((segment_id, offset))
                     if key is not None:
-                        survivors[key] = record
-            self._dir = {}
-            self._live_bytes = 0
-            self._dead_bytes = 0
-            for key in sorted(survivors, key=sorted):
-                self._append(survivors[key])
-            if self._writer is not None:
-                self._writer.flush()
-            for segment_id in old_ids:
-                self._segment_path(segment_id).unlink()
-            self.cache.clear()
-            self._compactions += 1
+                        survivors[key] = (record, segment_id, offset, length)
+            # Stage outputs as .seg.tmp; rename is the commit point.
+            outputs: list[tuple[int, list[IndexedRecord], int]] = []
+            writer: SegmentWriter | None = None
+            out_id = -1
+            out_records: list[IndexedRecord] = []
+
+            def finish_output() -> None:
+                nonlocal writer
+                if writer is None:
+                    return
+                data_len = writer.offset
+                writer.close()
+                writer = None
+                outputs.append((out_id, list(out_records), data_len))
+
+            for record, _src, _off, _len in sorted(
+                survivors.values(),
+                key=lambda entry: sorted(entry[0].key),
+            ):
+                if (
+                    writer is not None
+                    and writer.offset >= self.segment_max_bytes
+                ):
+                    finish_output()
+                if writer is None:
+                    with self._lock:
+                        out_id = self._allocate_id()
+                    out_records = []
+                    writer = SegmentWriter(
+                        self._segment_path(out_id).with_suffix(
+                            ".seg.tmp"
+                        ),
+                        sync=self.sync,
+                    )
+                offset, length = writer.append(record)
+                out_records.append(
+                    IndexedRecord.from_record(offset, length, record)
+                )
+            finish_output()
+            # Commit each output: segment first (a segment without a
+            # sidecar recovers by scan), then its sidecar carrying the
+            # compaction lineage.
+            for segment_id, records, data_len in outputs:
+                final = self._segment_path(segment_id)
+                _replace_file(final.with_suffix(".seg.tmp"), final)
+                write_segment_index(
+                    sidecar_path(final),
+                    SegmentIndex(
+                        data_len=data_len,
+                        replaces_up_to=replaces_up_to,
+                        records=records,
+                    ),
+                )
+            # Swap the directory and retire the sources.
+            with self._lock:
+                for segment_id, records, data_len in outputs:
+                    self._account_segment(
+                        segment_id, data_len - len(MAGIC)
+                    )
+                    for rec in records:
+                        entry = self._dir.get(rec.key)
+                        _, src_id, src_offset, _src_len = survivors[
+                            rec.key
+                        ]
+                        if entry is not None and (
+                            entry.segment_id,
+                            entry.offset,
+                        ) == (src_id, src_offset):
+                            self.cache.invalidate((src_id, src_offset))
+                            self._dir[rec.key] = _DirEntry(
+                                segment_id=segment_id,
+                                offset=rec.offset,
+                                length=rec.length,
+                                meta=entry.meta,
+                            )
+                        # else: superseded or deleted mid-compaction —
+                        # the output copy is dead weight until the next
+                        # pass (total/live accounting already says so).
+                for segment_id in source_ids:
+                    self._total_record_bytes -= self._seg_bytes.pop(
+                        segment_id, 0
+                    )
+                    self._retire_reader(segment_id)
+                    self._segment_path(segment_id).unlink()
+                    sidecar = sidecar_path(
+                        self._segment_path(segment_id)
+                    )
+                    if sidecar.exists():
+                        sidecar.unlink()
+                self._compactions += 1
+
+    def quiesce_maintenance(self, timeout: float | None = 10.0) -> bool:
+        """Wait for any scheduled background compaction to finish (tests
+        and benchmarks use this for deterministic disk state)."""
+        if self._maintenance is None:
+            return True
+        return self._maintenance.quiesce(timeout=timeout)
 
     # -- lifecycle / inspection --------------------------------------------------
 
     def flush(self) -> None:
-        """Flush the active segment to the OS."""
+        """Flush the active segment to the OS (WAL appends are already
+        flushed per write)."""
         with self._lock:
             if self._writer is not None:
                 self._writer.flush()
 
     def close(self) -> None:
-        """Flush and close the active segment and all read handles (the
-        store stays usable; reads reopen lazily)."""
+        """Checkpoint and close every file handle (the store stays
+        usable; reads reopen lazily)."""
         with self._lock:
-            if self._writer is not None:
-                self._writer.close()
-                self._writer = None
+            self._flush_memtable_locked()
+            active_id = self._active_id
+            self._seal_active_locked()
+            # Keep the active id: a later write may append to the sealed
+            # segment (its sidecar is rewritten at the next seal).
+            self._active_id = active_id
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
             self._close_readers()
+        if self._maintenance is not None:
+            self._maintenance.stop()
 
     def stored_postings_total(self) -> int:
         """Total postings across live records (directory metadata only)."""
@@ -429,20 +1069,39 @@ class SegmentStore:
 
     def stats(self) -> dict[str, object]:
         with self._lock:
+            maintenance_runs = (
+                self._maintenance.runs if self._maintenance else 0
+            )
+            maintenance_errors = (
+                self._maintenance.errors if self._maintenance else 0
+            )
             return {
                 "directory": str(self.directory),
                 "sync": self.sync,
                 "keys": len(self._dir),
                 "segments": len(self._segment_ids()),
                 "live_bytes": self._live_bytes,
-                "dead_bytes": self._dead_bytes,
+                "dead_bytes": self.dead_bytes,
                 "dead_ratio": round(self.dead_ratio, 4),
                 "compactions": self._compactions,
                 "truncated_tails_skipped": self._truncated_tails,
                 "cache_blocks": len(self.cache),
                 "cache_postings": self.cache.held_postings,
+                "cache_bytes": self.cache.held_bytes,
                 "cache_hits": self.cache.stats.hits,
                 "cache_misses": self.cache.stats.misses,
+                "wal": self.wal_enabled,
+                "wal_files": len(wal_ids(self.directory)),
+                "wal_replayed_records": self._wal_replayed,
+                "wal_truncated_tails_skipped": self._wal_truncated_tails,
+                "memtable_keys": len(self.memtable),
+                "memtable_bytes": self.memtable.data_bytes,
+                "flushes": self._flushes,
+                "sidecar_reopens": self._sidecar_reopens,
+                "scan_reopens": self._scan_reopens,
+                "background_compaction": self._maintenance is not None,
+                "maintenance_runs": maintenance_runs,
+                "maintenance_errors": maintenance_errors,
             }
 
     def __repr__(self) -> str:

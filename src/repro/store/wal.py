@@ -1,0 +1,187 @@
+"""Write-ahead log for the segment store's incremental write path.
+
+A WAL file is a flat log of segment-record *bodies*::
+
+    [RWAL + version byte]
+    [body_len varint][body][crc32(body), 4 bytes little-endian] ...
+
+The framing is byte-compatible with segment records (same varint length
+prefix, same crc trailer), so one codec serves both files and a replayed
+body decodes with :func:`repro.store.segment.decode_record_body`.
+Tombstones are ordinary ``STATUS_TOMBSTONE`` bodies, which keeps the log
+a single homogeneous record stream.
+
+Crash safety mirrors the segments: a writer killed mid-append leaves a
+torn or checksum-failing tail, and :func:`scan_wal` returns only the
+valid prefix.  Replay is idempotent — records re-apply last-write-wins
+into the memtable, so a crash *after* a memtable flush completed but
+*before* the WAL was deleted merely re-stages already-durable records.
+
+Every append is flushed to the OS (a process kill never loses an
+acknowledged write); ``sync=True`` additionally fsyncs per append so
+acknowledged writes survive power loss too.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO
+
+from ..errors import StoreError
+from ..index.codec import decode_varint, encode_varint
+from .segment import (
+    SegmentRecord,
+    decode_record_body,
+    encode_record_body,
+)
+
+__all__ = [
+    "WAL_MAGIC",
+    "WalScan",
+    "WalWriter",
+    "scan_wal",
+    "wal_ids",
+    "wal_path",
+]
+
+#: WAL file header: magic + one format-version byte.
+WAL_MAGIC = b"RWAL\x01"
+
+_CRC_BYTES = 4
+_WAL_PATTERN = re.compile(r"^wal-(\d{6})\.wal$")
+
+
+def wal_path(directory: Path, wal_id: int) -> Path:
+    return Path(directory) / f"wal-{wal_id:06d}.wal"
+
+
+def wal_ids(directory: Path) -> list[int]:
+    """Ids of the WAL files present under ``directory``, ascending."""
+    ids = []
+    for path in Path(directory).iterdir():
+        match = _WAL_PATTERN.match(path.name)
+        if match:
+            ids.append(int(match.group(1)))
+    return sorted(ids)
+
+
+class WalWriter:
+    """Appends record bodies to one WAL file.
+
+    Args:
+        path: the WAL file (created fresh; appending to a pre-existing
+            log is not supported — the store rotates to a new id after
+            every replay or flush instead, so a possibly-torn tail is
+            never appended to).
+        sync: fsync per append — the same durability knob the segment
+            writer exposes per close.
+    """
+
+    def __init__(self, path: Path, sync: bool = False) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        if self.path.exists():
+            raise StoreError(f"WAL file already exists: {self.path}")
+        self._file: BinaryIO = open(self.path, "ab")
+        self._file.write(WAL_MAGIC)
+        self._file.flush()
+        self._offset = len(WAL_MAGIC)
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def append(self, record: SegmentRecord) -> int:
+        """Append ``record``; returns the frame length written."""
+        return self.append_body(encode_record_body(record))
+
+    def append_body(self, body: bytes) -> int:
+        """Append an already-encoded record body as one framed entry."""
+        frame = bytearray()
+        encode_varint(len(body), frame)
+        frame.extend(body)
+        frame.extend(zlib.crc32(body).to_bytes(_CRC_BYTES, "little"))
+        self._file.write(frame)
+        # Reach the OS on every append: an acknowledged incremental
+        # insert must survive a process kill, not sit in a user-space
+        # buffer until rotation.
+        self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())
+        self._offset += len(frame)
+        return len(frame)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            if self.sync:
+                os.fsync(self._file.fileno())
+            self._file.close()
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class WalScan:
+    """Outcome of replay-scanning one WAL file.
+
+    Attributes:
+        records: decoded records of the valid prefix, in append order.
+        valid_bytes: length of the valid prefix (header + whole frames).
+        truncated: True when a torn/corrupt tail was detected and skipped.
+    """
+
+    records: list[SegmentRecord]
+    valid_bytes: int
+    truncated: bool
+
+
+def scan_wal(path: Path) -> WalScan:
+    """Scan a WAL file, stopping at the first torn or corrupt frame.
+
+    A file holding only a strict prefix of the header (killed at
+    creation) is a torn tail with zero records, like segments.
+
+    Raises:
+        StoreError: when the file is not a WAL (bad header).
+    """
+    data = Path(path).read_bytes()
+    if len(data) < len(WAL_MAGIC):
+        if WAL_MAGIC[: len(data)] == data:
+            return WalScan(records=[], valid_bytes=0, truncated=True)
+        raise StoreError(f"{path}: not a WAL file (bad header)")
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise StoreError(f"{path}: not a WAL file (bad header)")
+    records: list[SegmentRecord] = []
+    offset = len(WAL_MAGIC)
+    truncated = False
+    while offset < len(data):
+        try:
+            body_len, body_start = decode_varint(data, offset)
+        except Exception:
+            truncated = True
+            break
+        end = body_start + body_len + _CRC_BYTES
+        if end > len(data):
+            truncated = True
+            break
+        body = data[body_start : body_start + body_len]
+        crc = int.from_bytes(data[body_start + body_len : end], "little")
+        if zlib.crc32(body) != crc:
+            truncated = True
+            break
+        try:
+            records.append(decode_record_body(body))
+        except StoreError:
+            truncated = True
+            break
+        offset = end
+    return WalScan(records=records, valid_bytes=offset, truncated=truncated)

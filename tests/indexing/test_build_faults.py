@@ -162,7 +162,9 @@ def test_hdk_disk_interrupted_build_reopens_cleanly(collection, tmp_path):
     )
     service.index()
     spilling = service.backend.global_index
-    spilling.spill_all()  # flush the writer so records are on disk
+    # Checkpoint: spill every hot entry and flush the store's memtable
+    # into sealed segments so the records under test are on disk.
+    spilling.checkpoint()
     expected_keys = set(spilling.store.keys())
     assert expected_keys, "the build should have spilled entries"
     reference_postings = {

@@ -1,0 +1,174 @@
+"""Migration guard: generation-1 snapshots keep loading, byte for byte.
+
+``tests/store/fixtures/snapshot_v1`` is a miniature snapshot committed
+as written by the pre-LSM store (manifest ``format_version: 1``, no
+``.idx`` sidecars, no ``store_generation`` / ``wal`` fields).  The
+fixture must keep loading through every future store generation, its
+rankings must match the frozen expectations in
+``snapshot_v1_expected.json``, and opening it must never rewrite its
+segment bytes — generation 2 only *adds* sidecars next to them.
+
+The fixture is always copied into ``tmp_path`` before anything opens
+it: a v1 directory self-heals sidecars on first scan, and the committed
+artifact has to stay sidecar-free so this suite keeps exercising the
+legacy path.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.engine.service import SearchService
+from repro.errors import StoreError
+from repro.store.snapshot import read_manifest
+from repro.store.store import SegmentStore
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SNAPSHOT_V1 = FIXTURES / "snapshot_v1"
+EXPECTED = json.loads(
+    (FIXTURES / "snapshot_v1_expected.json").read_text(encoding="utf-8")
+)
+
+
+def _copy_fixture(tmp_path: Path) -> Path:
+    target = tmp_path / "snapshot_v1"
+    shutil.copytree(SNAPSHOT_V1, target)
+    return target
+
+
+def _close(service: SearchService) -> None:
+    store = getattr(getattr(service.backend, "global_index", None), "store", None)
+    if store is not None:
+        store.close()
+
+
+def _rankings(service: SearchService, query: str) -> list[list]:
+    response = service.search(query, k=10)
+    return [
+        [result.doc_id, round(result.score, 10)]
+        for result in response.results
+    ]
+
+
+def test_committed_fixture_is_generation_1():
+    """The repo artifact itself: v1 manifest, scan-indexed segments.
+
+    If a test run ever healed sidecars into the committed fixture this
+    suite would silently stop covering the legacy reopen path."""
+    manifest = read_manifest(SNAPSHOT_V1)
+    assert manifest.format_version == 1
+    assert manifest.store_generation == 1  # v1 default, field absent
+    assert manifest.wal == ""
+    assert manifest.backend == "hdk"
+    assert manifest.key_count == 282
+    segments = SNAPSHOT_V1 / "segments"
+    assert list(segments.glob("*.seg"))
+    assert not list(segments.glob("*.idx"))
+    assert not list(segments.glob("*.wal"))
+
+
+@pytest.mark.parametrize("backend", (None, "hdk_disk"))
+def test_v1_snapshot_rankings_match_frozen(tmp_path, backend):
+    """Load the v1 artifact through both serving paths (eager in-RAM
+    ``hdk`` as recorded in the manifest, and lazy ``hdk_disk`` straight
+    off the segment files) and compare against rankings frozen when the
+    fixture was generated."""
+    service = SearchService.load(_copy_fixture(tmp_path), backend=backend)
+    try:
+        for query, expected in EXPECTED.items():
+            assert _rankings(service, query) == expected
+    finally:
+        _close(service)
+
+
+def test_v1_segments_not_rewritten_by_load(tmp_path):
+    """Generation 2 must treat v1 segment bytes as immutable: healing
+    adds ``.idx`` sidecars next to them, nothing rewrites the ``.seg``
+    payloads themselves."""
+    target = _copy_fixture(tmp_path)
+    segments = sorted((target / "segments").glob("*.seg"))
+    before = {path.name: path.read_bytes() for path in segments}
+
+    service = SearchService.load(target, backend="hdk_disk")
+    try:
+        for query in EXPECTED:
+            service.search(query, k=10)
+    finally:
+        _close(service)
+
+    after = {
+        path.name: path.read_bytes()
+        for path in sorted((target / "segments").glob("*.seg"))
+    }
+    assert after == before
+
+
+def test_v1_directory_self_heals_to_sidecar_reopen(tmp_path):
+    """First open of a v1 directory scans (and heals); the second open
+    is pure sidecar metadata — same contents, no record bodies read."""
+    target = _copy_fixture(tmp_path) / "segments"
+
+    first = SegmentStore(target, cache_bytes=0)
+    stats = first.stats()
+    assert stats["scan_reopens"] >= 1
+    assert stats["sidecar_reopens"] == 0
+    contents = {
+        key: [(p.doc_id, p.tf) for p in first.get_postings(key)]
+        for key in first.keys()
+    }
+    assert contents
+    first.close()
+    assert list(target.glob("*.idx")), "scan open should heal sidecars"
+
+    second = SegmentStore(target, cache_bytes=0)
+    stats = second.stats()
+    assert stats["scan_reopens"] == 0
+    assert stats["sidecar_reopens"] >= 1
+    assert {
+        key: [(p.doc_id, p.tf) for p in second.get_postings(key)]
+        for key in second.keys()
+    } == contents
+    second.close()
+
+
+def test_future_format_version_rejected(tmp_path):
+    """A manifest from a newer build than this one must fail loudly at
+    manifest-read time, not half-load."""
+    target = _copy_fixture(tmp_path)
+    manifest_path = target / "manifest.json"
+    doctored = json.loads(manifest_path.read_text(encoding="utf-8"))
+    doctored["format_version"] = 3
+    manifest_path.write_text(json.dumps(doctored), encoding="utf-8")
+
+    with pytest.raises(StoreError, match="format_version"):
+        read_manifest(target)
+    with pytest.raises(StoreError, match="format_version"):
+        SearchService.load(target)
+
+
+def test_resave_upgrades_to_generation_2(tmp_path):
+    """Loading a v1 snapshot and saving a fresh copy produces a v2
+    artifact (sidecars written at save time) with identical rankings —
+    the documented migration path."""
+    service = SearchService.load(_copy_fixture(tmp_path))
+    upgraded_dir = tmp_path / "upgraded"
+    try:
+        service.save(upgraded_dir)
+    finally:
+        _close(service)
+
+    manifest = read_manifest(upgraded_dir)
+    assert manifest.format_version == 2
+    assert manifest.store_generation == 2
+    assert list((upgraded_dir / "segments").glob("*.idx"))
+
+    upgraded = SearchService.load(upgraded_dir, backend="hdk_disk")
+    try:
+        for query, expected in EXPECTED.items():
+            assert _rankings(upgraded, query) == expected
+    finally:
+        _close(upgraded)

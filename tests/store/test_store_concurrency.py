@@ -222,7 +222,10 @@ class TestBlockCacheStress:
         assert cache.held_postings <= capacity
         # Bookkeeping agrees with the actual contents after the storm.
         assert cache.held_postings == sum(
-            len(block) for block in cache._blocks.values()
+            block.pcost for block in cache._blocks.values()
+        )
+        assert cache.held_bytes == sum(
+            block.bcost for block in cache._blocks.values()
         )
 
     def test_oversized_block_still_rejected(self):
