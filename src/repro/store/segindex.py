@@ -45,12 +45,17 @@ Layout::
       key_blob        key_blob_len bytes (canonical keys, concatenated)
     crc32(body), 4 bytes little-endian
 
-A sidecar is *advisory*: it is written atomically (temp file +
-``os.replace``), never fsynced, and validated against both its crc and
-the segment's current file size on load — any mismatch (torn write,
-legacy gen-1 segment, a segment that grew or was truncated after
-sealing) silently falls back to the full scan.  Losing one can cost
-milliseconds, never correctness.
+A sidecar is written atomically (temp file + ``os.replace``) and
+validated against both its crc and the segment's current file size on
+load — any mismatch (torn write, legacy gen-1 segment, a segment that
+grew or was truncated after sealing) silently falls back to the full
+scan.  For *ordinary* segments the sidecar is purely advisory and never
+fsynced: losing one costs a scan, never correctness.  Compaction
+outputs are the exception — their ``replaces_up_to`` lineage is what
+recovery uses to order them before concurrently-flushed segments, so
+the store commits the sidecar *before* renaming the segment into place
+and, under its ``sync`` contract, passes ``sync=True`` here to make the
+lineage survive power loss along with the segment.
 """
 
 from __future__ import annotations
@@ -210,13 +215,18 @@ def _u64_column(values: list[int], what: str) -> bytes:
     return column.tobytes()
 
 
-def write_segment_index(path: Path, index: SegmentIndex) -> None:
+def write_segment_index(
+    path: Path, index: SegmentIndex, *, sync: bool = False
+) -> None:
     """Atomically write (or replace) a sidecar.
 
     Written via a temp file + ``os.replace`` so a concurrent reader (or
     a crash) can never observe a half-written sidecar under the final
-    name; deliberately never fsynced — the scan fallback makes a lost
-    sidecar a performance event, not a durability one.
+    name.  Not fsynced by default — the scan fallback makes a lost
+    *advisory* sidecar a performance event, not a durability one.
+    ``sync=True`` fsyncs the content before the rename: compaction
+    outputs use it so their ``replaces_up_to`` recovery ordering is as
+    durable as the segment it orders.
     """
     records = index.records
     statuses = bytearray()
@@ -267,6 +277,9 @@ def write_segment_index(path: Path, index: SegmentIndex) -> None:
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(blob)
+            if sync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_name, target)
     except BaseException:
         try:

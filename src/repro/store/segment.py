@@ -50,12 +50,39 @@ __all__ = [
     "encode_record",
     "encode_record_body",
     "framed_length",
+    "fsync_dir",
+    "fsync_file",
     "key_from_canonical",
     "key_to_canonical",
     "read_record_at",
     "read_record_pread",
     "scan_segment",
 ]
+
+
+def fsync_file(path: Path) -> None:
+    """fsync an already-written file by path."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: Path) -> None:
+    """Flush a directory's entries — makes renames/creates/unlinks in it
+    durable (best effort: some platforms reject fsync on directory
+    descriptors)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 #: Segment file header: magic + one format-version byte.
 MAGIC = b"RSEG\x01"

@@ -25,7 +25,6 @@ placement used here.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -35,7 +34,7 @@ from ..index.codec import decode_varint, encode_varint
 from ..index.global_index import GlobalEntry, GlobalKeyIndex
 from ..index.postings import PostingList
 from ..net.network import P2PNetwork
-from .segment import SegmentRecord
+from .segment import SegmentRecord, fsync_dir, fsync_file
 from .spill import (
     SpilledPostings,
     SpillingGlobalKeyIndex,
@@ -186,8 +185,8 @@ def save_index_snapshot(
         # the manifest itself is: the statistics file, and the
         # segments/ directory entries naming the (already-fsynced)
         # segment files.
-        _fsync_file(target / TERMSTATS_NAME)
-        _fsync_dir(target / SEGMENTS_DIRNAME)
+        fsync_file(target / TERMSTATS_NAME)
+        fsync_dir(target / SEGMENTS_DIRNAME)
     # Imported here: repro/__init__ pulls in the engine (and through it
     # this module) before it defines __version__.
     from .. import __version__ as repro_version
@@ -210,32 +209,11 @@ def save_index_snapshot(
         encoding="utf-8",
     )
     if sync:
-        _fsync_file(target / MANIFEST_NAME)
-        _fsync_dir(target)
+        fsync_file(target / MANIFEST_NAME)
+        fsync_dir(target)
     return manifest
 
 
-def _fsync_file(path: Path) -> None:
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-
-
-def _fsync_dir(path: Path) -> None:
-    """Flush the directory entry itself (best effort: some platforms
-    reject fsync on directory descriptors)."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
 
 
 def read_manifest(path: str | Path) -> SnapshotManifest:

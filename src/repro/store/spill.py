@@ -81,7 +81,14 @@ class SpilledPostings(PostingList):
     that the key became hot again.
     """
 
-    __slots__ = ("_store", "_key", "_count", "_on_load", "_load_lock")
+    __slots__ = (
+        "_store",
+        "_key",
+        "_count",
+        "_on_load",
+        "_load_lock",
+        "charge_hint",
+    )
 
     def __init__(
         self,
@@ -90,6 +97,8 @@ class SpilledPostings(PostingList):
         count: int,
         on_load: Callable[[frozenset[str], "SpilledPostings"], None]
         | None = None,
+        *,
+        charge_hint: int | None = None,
     ) -> None:
         # Deliberately no super().__init__: _postings None marks "cold".
         self._postings: list[Posting] | None = None  # type: ignore[assignment]
@@ -98,6 +107,10 @@ class SpilledPostings(PostingList):
         self._count = count
         self._on_load = on_load
         self._load_lock = threading.Lock()
+        #: Budget charge of the spilled payload, remembered from when
+        #: the owning index last held it hot — read at reload time so
+        #: re-heating a stub never re-encodes the list just to price it.
+        self.charge_hint = charge_hint
 
     @property
     def is_loaded(self) -> bool:
@@ -340,12 +353,18 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
             return len(postings)
         return posting_list_wire_size(postings)
 
-    def _note_hot(self, key: frozenset[str], postings: PostingList) -> None:
+    def _note_hot(
+        self,
+        key: frozenset[str],
+        postings: PostingList,
+        charge: int | None = None,
+    ) -> None:
         previous = self._hot.pop(key, None)
         if previous is not None:
             self._hot_charge -= previous[0]
             self._hot_postings -= previous[1]
-        charge = self._charge_of(postings)
+        if charge is None:
+            charge = self._charge_of(postings)
         self._hot[key] = (charge, len(postings))
         self._hot_charge += charge
         self._hot_postings += len(postings)
@@ -356,11 +375,15 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
         """A spilled stub materialized (engine iteration, merge, ...)."""
         with self._hot_lock:
             self._reloads += 1
-            self._note_hot(key, _stub)
+            # The stub's payload is exactly what was spilled, so the
+            # charge recorded at spill time still prices it — no
+            # re-encode on the hot read path (stubs placed by a lazy
+            # snapshot load carry no hint and are priced once here).
+            self._note_hot(key, _stub, charge=_stub.charge_hint)
             if not getattr(self._op_local, "in_operation", False):
                 self._enforce_budget()
 
-    def _spill(self, key: frozenset[str]) -> None:
+    def _spill(self, key: frozenset[str], charge: int | None = None) -> None:
         entry = self._entry_at_responsible(key)
         if entry is None:
             # The key vanished from storage (e.g. churn edge) — nothing
@@ -372,7 +395,11 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
             # (inserts replace the whole entry with a plain list), so
             # dropping the resident copy is enough.
             entry.postings = SpilledPostings(
-                self.store, key, len(postings), self._note_loaded
+                self.store,
+                key,
+                len(postings),
+                self._note_loaded,
+                charge_hint=charge,
             )
         else:
             self.store.put(
@@ -383,7 +410,11 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
                 tuple(sorted(entry.contributors)),
             )
             entry.postings = SpilledPostings(
-                self.store, key, len(postings), self._note_loaded
+                self.store,
+                key,
+                len(postings),
+                self._note_loaded,
+                charge_hint=charge,
             )
         self._spills += 1
 
@@ -393,7 +424,7 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
             key, (charge, count) = self._hot.popitem(last=False)
             self._hot_charge -= charge
             self._hot_postings -= count
-            self._spill(key)
+            self._spill(key, charge)
 
     # -- overridden protocol surfaces --------------------------------------------
 
@@ -437,7 +468,7 @@ class SpillingGlobalKeyIndex(GlobalKeyIndex):
                 key, (charge, count) = self._hot.popitem(last=False)
                 self._hot_charge -= charge
                 self._hot_postings -= count
-                self._spill(key)
+                self._spill(key, charge)
         self.store.flush()
 
     def checkpoint(self) -> None:

@@ -37,7 +37,11 @@ compaction are deleted, segments are replayed in ``(replaces_up_to,
 id)`` order (so a half-committed compaction can never shadow a newer
 concurrent flush), torn tails are skipped, and surviving WAL files are
 replayed idempotently into the memtable — reopening recovers exactly
-the last durable prefix.
+the last durable prefix.  The ordering argument leans on the commit
+protocol, not luck: a compaction output's lineage sidecar is renamed
+into place *before* the segment itself (and fsynced under ``sync``), so
+a visible output always carries its ``replaces_up_to``; a sidecar whose
+segment never committed is deleted on reopen.
 """
 
 from __future__ import annotations
@@ -76,6 +80,7 @@ from .segment import (
     SegmentWriter,
     encode_record_body,
     framed_length,
+    fsync_dir,
     key_from_canonical,
     key_to_canonical,
     read_record_pread,
@@ -143,8 +148,12 @@ class SegmentStore:
             (checked after every write; ``1.0`` disables auto-compaction).
         sync: opt-in durability — fsync every segment file when it is
             closed and every WAL append, so acknowledged writes survive
-            power loss, not just process kills.  Sidecar indexes are
-            never fsynced (losing one only costs a scan).
+            power loss, not just process kills.  Advisory sidecar
+            indexes are not fsynced (losing one only costs a scan), but
+            a compaction output's lineage sidecar is — its
+            ``replaces_up_to`` is recovery-ordering correctness, not a
+            shortcut — and compaction makes its rewritten segments
+            durable before unlinking the sources they replace.
         wal: log every write to a WAL and buffer it in the memtable
             (crash-durable incremental writes); off by default — bulk
             writers (snapshot saves) append straight to segments.
@@ -284,11 +293,15 @@ class SegmentStore:
         # A killed compaction leaves staged outputs (*.tmp) that were
         # never renamed into place, and possibly a sidecar whose segment
         # never committed; neither was ever visible to the directory.
+        # missing_ok: several processes may open one shared snapshot
+        # directory at once (the serving worker pool), and a sibling's
+        # sidecar self-heal (mkstemp + rename) or its own cleanup can
+        # win the race between our glob and our unlink.
         for leftover in self.directory.glob("*.tmp"):
-            leftover.unlink()
+            leftover.unlink(missing_ok=True)
         for idx in self.directory.glob("segment-*.idx"):
             if not idx.with_suffix(".seg").exists():
-                idx.unlink()
+                idx.unlink(missing_ok=True)
         ids = self._segment_ids()
         loaded: list[tuple[int, SegmentIndex | None]] = []
         for segment_id in ids:
@@ -624,6 +637,11 @@ class SegmentStore:
             self._seal_active_locked()
             self._active_id = None
             self._flushes += 1
+            if self.sync:
+                # The sealed segment's directory entry must be durable
+                # before the WAL that covers it disappears — fsyncing
+                # the file alone does not persist its dirent.
+                fsync_dir(self.directory)
         if self._wal is not None:
             self._wal.close()
             self._wal = None
@@ -891,13 +909,22 @@ class SegmentStore:
             survivors.values(), key=lambda record: sorted(record.key)
         ):
             self._append(record)
-        if self._writer is not None:
+        if self.sync:
+            # The sync contract ("acknowledged writes survive power
+            # loss") must hold across the unlink below: seal the
+            # rewritten segment — close() fsyncs it — and flush its
+            # directory entry before the only other copy of the live
+            # set is deleted.  Later writes reopen the sealed segment
+            # and append (same as after close()).
+            self._seal_active_locked()
+            fsync_dir(self.directory)
+        elif self._writer is not None:
             self._writer.flush()
         for segment_id in old_ids:
             self._segment_path(segment_id).unlink()
-            sidecar = sidecar_path(self._segment_path(segment_id))
-            if sidecar.exists():
-                sidecar.unlink()
+            sidecar_path(self._segment_path(segment_id)).unlink(
+                missing_ok=True
+            )
         self.cache.clear()
         self._compactions += 1
 
@@ -973,12 +1000,19 @@ class SegmentStore:
                     IndexedRecord.from_record(offset, length, record)
                 )
             finish_output()
-            # Commit each output: segment first (a segment without a
-            # sidecar recovers by scan), then its sidecar carrying the
-            # compaction lineage.
+            # Commit each output: the lineage sidecar first, under its
+            # final name, *then* the segment rename.  A scan-recovered
+            # output would be ordered by its own (highest) id — after
+            # any concurrent memtable flush — letting stale compacted
+            # records shadow newer writes, so an output must never be
+            # visible without its ``replaces_up_to``.  This ordering
+            # guarantees that for process kills; under ``sync`` the
+            # sidecar and the directory are also fsynced between the
+            # two renames, extending the guarantee to power loss.  A
+            # crash between the renames leaves an orphan sidecar that
+            # recovery deletes (its segment never committed).
             for segment_id, records, data_len in outputs:
                 final = self._segment_path(segment_id)
-                _replace_file(final.with_suffix(".seg.tmp"), final)
                 write_segment_index(
                     sidecar_path(final),
                     SegmentIndex(
@@ -986,7 +1020,16 @@ class SegmentStore:
                         replaces_up_to=replaces_up_to,
                         records=records,
                     ),
+                    sync=self.sync,
                 )
+                if self.sync:
+                    fsync_dir(self.directory)
+                _replace_file(final.with_suffix(".seg.tmp"), final)
+            if outputs and self.sync:
+                # Output renames durable before any source is unlinked:
+                # power loss past this point must never cost the only
+                # remaining copy of the rewritten live set.
+                fsync_dir(self.directory)
             # Swap the directory and retire the sources.
             with self._lock:
                 for segment_id, records, data_len in outputs:
@@ -1018,11 +1061,9 @@ class SegmentStore:
                     )
                     self._retire_reader(segment_id)
                     self._segment_path(segment_id).unlink()
-                    sidecar = sidecar_path(
-                        self._segment_path(segment_id)
+                    sidecar_path(self._segment_path(segment_id)).unlink(
+                        missing_ok=True
                     )
-                    if sidecar.exists():
-                        sidecar.unlink()
                 self._compactions += 1
 
     def quiesce_maintenance(self, timeout: float | None = 10.0) -> bool:

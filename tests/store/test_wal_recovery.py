@@ -293,6 +293,58 @@ class TestCompactionCrash:
         assert list(tmp_path.glob("*.tmp")) == []
         assert contents(reopened) == expected
 
+    def test_lineage_sidecar_commits_before_segment_rename(
+        self, tmp_path, monkeypatch
+    ):
+        """The commit protocol: when the output segment is renamed into
+        place, its ``replaces_up_to`` sidecar must already sit under the
+        final name — a crash can therefore never leave a visible
+        compaction output whose scan fallback would misorder it after a
+        concurrent flush.  A crash between the two renames leaves only
+        an orphan sidecar, which reopening deletes."""
+        store = SegmentStore(
+            tmp_path,
+            compact_dead_ratio=1.0,
+            background_compaction=True,
+        )
+        put_n(store, 10)
+        store.checkpoint()
+        put_n(store, 10)
+        store.checkpoint()
+        expected = contents(store)
+
+        class _Killed(RuntimeError):
+            pass
+
+        seen = {"lineage_present": False}
+        real_load = load_segment_index
+
+        def asserting_replace(source, target):
+            # Lineage first: the sidecar is already valid at commit time.
+            index = real_load(
+                sidecar_path(target), source.stat().st_size
+            )
+            assert index is not None
+            assert index.replaces_up_to > 0
+            seen["lineage_present"] = True
+            raise _Killed("crash between sidecar commit and rename")
+
+        monkeypatch.setattr(store_mod, "_replace_file", asserting_replace)
+        store.compact_dead_ratio = 0.3
+        assert store.maybe_compact()
+        assert store.quiesce_maintenance()
+        assert seen["lineage_present"]
+        assert store.stats()["maintenance_errors"] >= 1
+        assert contents(store) == expected
+        monkeypatch.undo()
+
+        reopened = SegmentStore(tmp_path)
+        # The orphan sidecar (segment never committed) is gone, and
+        # every surviving sidecar names an existing segment.
+        for idx in tmp_path.glob("segment-*.idx"):
+            assert idx.with_suffix(".seg").exists()
+        assert contents(reopened) == expected
+
     def test_crash_after_swap_before_source_unlink(self, tmp_path):
         """The narrowest window: output renamed into place, sources not
         yet deleted.  Recovery applies the output right after the
