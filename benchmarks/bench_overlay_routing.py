@@ -31,11 +31,30 @@ from repro.corpus.querylog import QueryLogGenerator
 from repro.corpus.synthetic import SyntheticCorpusGenerator
 from repro.engine.service import SearchService
 from repro.net.accounting import Phase
+from repro.obs.metrics import get_hub
 from repro.utils import format_table
 
 from .conftest import BENCH_CORPUS, BENCH_EXPERIMENT, publish, publish_json
 
 _SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: Process-wide routing counters the hierarchical router feeds (the
+#: PR-9 metrics hub); the bench publishes their per-replay deltas so
+#: the JSON artifact carries the same hop/hit-rate story the per-router
+#: stats tables render.
+_OBS_COUNTERS = (
+    "overlay.lookups",
+    "overlay.path_cache_hits",
+    "overlay.path_cache_misses",
+    "overlay.summary_skips",
+    "overlay.inserts",
+)
+
+
+def _obs_snapshot() -> dict[str, int]:
+    hub = get_hub()
+    return {name: hub.counter(name).value for name in _OBS_COUNTERS}
+
 
 #: Peer counts swept; the largest carries the hops/query assertion.
 NETWORK_SIZES = (16, 48) if _SMOKE else (64, 256)
@@ -89,6 +108,7 @@ def test_overlay_routing_vs_flat(benchmark):
     rows = []
     mean_hops: dict[tuple[int, str], float] = {}
     hit_rates: dict[int, float] = {}
+    obs_before = _obs_snapshot()
     for num_peers in NETWORK_SIZES:
         fanout = max(2, int(math.sqrt(num_peers)))
         collection = SyntheticCorpusGenerator(
@@ -179,6 +199,16 @@ def test_overlay_routing_vs_flat(benchmark):
         rows,
     )
     publish("overlay_routing_vs_flat", table)
+    obs_after = _obs_snapshot()
+    obs_deltas = {
+        name: obs_after[name] - obs_before[name]
+        for name in _OBS_COUNTERS
+    }
+    # The hub saw every hierarchical lookup of the sweep, and the Zipf
+    # log exercised the path cache through the counters too.
+    assert obs_deltas["overlay.lookups"] > 0
+    assert obs_deltas["overlay.path_cache_hits"] > 0
+    assert obs_deltas["overlay.inserts"] > 0
     publish_json(
         "overlay_routing",
         {
@@ -192,6 +222,7 @@ def test_overlay_routing_vs_flat(benchmark):
                 str(num_peers): round(rate, 4)
                 for num_peers, rate in hit_rates.items()
             },
+            "obs_counters": obs_deltas,
         },
     )
 

@@ -18,6 +18,13 @@ thread-parallel), and query-log search surfaces, plus ``save``/``load``
 snapshots backed by the :mod:`repro.store` segmented disk store.  The
 legacy :class:`P2PSearchEngine` remains as a thin shim over it.
 
+Every tier is observable through :mod:`repro.obs`: a contextvars-based
+:class:`Tracer` follows a query from the HTTP gateway through the
+worker pool, the service, each overlay hop, and the disk store (one
+span per hop the traffic accounting charges), and a process-wide
+:class:`MetricsHub` unifies counters, gauges, and mergeable latency
+histograms.  Tracing is off by default and costs nothing when off.
+
 Quickstart::
 
     from repro import HDKParameters, SearchService
@@ -62,6 +69,14 @@ from .errors import (
     StoreError,
 )
 from .indexing import IndexingPipeline
+from .obs import (
+    LatencyHistogram,
+    MetricsHub,
+    Tracer,
+    get_hub,
+    get_tracer,
+    set_global_tracer,
+)
 from .overlay import HierarchicalRouter, SuperPeerTopology
 from .replication import (
     AntiEntropyRepairer,
@@ -74,7 +89,7 @@ from .replication import (
 )
 from .store import SegmentStore, SpillingGlobalKeyIndex
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ExperimentParameters",
@@ -89,7 +104,13 @@ __all__ = [
     "EngineMode",
     "HierarchicalRouter",
     "IndexingPipeline",
+    "LatencyHistogram",
+    "MetricsHub",
     "P2PSearchEngine",
+    "Tracer",
+    "get_hub",
+    "get_tracer",
+    "set_global_tracer",
     "RetrievalBackend",
     "AntiEntropyRepairer",
     "MerkleTree",

@@ -243,8 +243,15 @@ def _cmd_search(args: argparse.Namespace) -> int:
     # Latency applies to the serving phase only: indexing above ran at
     # zero latency, queries below pay it per overlay hop.
     service.network.link_latency_s = args.link_latency
+    if args.trace:
+        from .obs.trace import get_tracer
+
+        get_tracer().enable()
     if args.batch:
-        return _run_batch(args, service, collection)
+        code = _run_batch(args, service, collection)
+        if args.trace:
+            _print_recent_trace()
+        return code
     response = service.search(args.query, k=args.top)
     print(
         f"query {args.query!r}: n_k={response.keys_looked_up}, "
@@ -260,7 +267,23 @@ def _cmd_search(args: argparse.Namespace) -> int:
         )
         rows.append([rank, ranked.doc_id, f"{ranked.score:.3f}", title])
     print(format_table(["#", "doc", "score", "title"], rows))
+    if args.trace:
+        _print_recent_trace()
     return 0
+
+
+def _print_recent_trace() -> None:
+    """Print the most recent trace (--trace: the query just served)."""
+    from .obs.trace import format_span_tree, get_tracer
+
+    traces = get_tracer().recent_traces(limit=1)
+    if not traces:
+        print("no spans recorded")
+        return
+    trace = traces[0]
+    print()
+    print(f"trace {trace['trace_id']} ({len(trace['spans'])} spans):")
+    print(format_span_tree(trace["spans"]))
 
 
 def _run_batch(args: argparse.Namespace, service, collection) -> int:
@@ -317,6 +340,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if not args.snapshot.is_dir():
         raise SystemExit(f"snapshot directory not found: {args.snapshot}")
+    if not 0.0 <= args.trace_sample <= 1.0:
+        raise SystemExit(
+            f"--trace-sample must be in [0, 1], got {args.trace_sample}"
+        )
+    sink = None
+    if args.trace_dir is not None:
+        from .obs.export import JsonlSpanSink
+        from .obs.trace import get_tracer
+
+        sink = JsonlSpanSink(
+            args.trace_dir / "spans.jsonl",
+            sample_rate=args.trace_sample,
+        )
+        tracer = get_tracer()
+        tracer.add_sink(sink)
+        tracer.enable()
+        print(
+            f"tracing to {args.trace_dir / 'spans.jsonl'} "
+            f"(sample={args.trace_sample:g})",
+            flush=True,
+        )
     spec = WorkerSpec(
         snapshot=str(args.snapshot),
         backend=args.backend,
@@ -358,6 +402,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"shed {snapshot['shed_overload']} overload / "
             f"{snapshot['shed_rate_limited']} rate-limited / "
             f"{snapshot['shed_draining']} draining"
+        )
+    if sink is not None:
+        from .obs.trace import get_tracer
+
+        get_tracer().remove_sink(sink)
+        sink.close()
+        print(
+            f"traces: {sink.written} spans written, "
+            f"{sink.dropped} sampled out"
         )
     return 0
 
@@ -601,6 +654,13 @@ def build_parser() -> argparse.ArgumentParser:
         "indexing (corpus flags are ignored except for --batch query "
         "sampling; --backend may override the snapshot's backend)",
     )
+    search.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the query end to end and print the span tree "
+        "(gateway-less: service, per-hop routing, and store spans) "
+        "after the results",
+    )
     search.set_defaults(handler=_cmd_search)
 
     serve = subparsers.add_parser(
@@ -683,6 +743,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="simulated per-hop link latency inside each worker's "
         "network (the WAN-shaped serving regime of the benches)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="enable end-to-end tracing and append finished spans as "
+        "JSONL under this directory (also lights up GET /trace/recent)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="fraction of traces written to --trace-dir (deterministic "
+        "per-trace sampling; errors are always kept; default 1.0)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -31,6 +31,7 @@ shim over this facade.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -53,6 +54,8 @@ from ..net.accounting import (
 from ..net.chord import ChordOverlay, Overlay
 from ..net.network import P2PNetwork
 from ..net.pgrid import PGridOverlay
+from ..obs.metrics import LatencyHistogram
+from ..obs.trace import current_span, get_tracer
 from ..replication import (
     AntiEntropyRepairer,
     RepairReport,
@@ -304,6 +307,11 @@ class SearchService:
         #: In-flight backend computations by term set (single-flight:
         #: concurrent identical queries wait for one resolution).
         self._inflight: dict[frozenset[str], _InFlightQuery] = {}
+        #: Service-side latency distribution over every search() call
+        #: (hits and misses alike); :meth:`stats` exposes its state so
+        #: the serving gateway can merge the per-worker histograms.
+        self._latency_lock = threading.Lock()
+        self._latency = LatencyHistogram()
 
     # -- construction ------------------------------------------------------------
 
@@ -473,7 +481,41 @@ class SearchService:
         call generated.  Concurrent calls for the *same* term set are
         de-duplicated (single-flight): one caller resolves against the
         index, the others wait and are served as cache hits.
+
+        When tracing is active (see :mod:`repro.obs`) the call records a
+        ``service.search`` span with cache-hit / single-flight
+        attribution and a ``service.backend`` child covering the backend
+        section; the no-trace path adds only a guard check and one
+        histogram observation.
         """
+        tracer = get_tracer()
+        if not tracer.active:
+            response = self._search_impl(raw_query, k, source_peer)
+            self._observe_latency(response.elapsed_ms)
+            return response
+        with tracer.span("service.search", k=k) as span:
+            response = self._search_impl(raw_query, k, source_peer)
+            span.set_attrs(
+                backend=self.backend.name,
+                cache_hit=response.cache_hit,
+                query=" ".join(sorted(response.query.term_set))
+                if response.query is not None
+                else "",
+                postings_transferred=response.postings_transferred,
+            )
+        self._observe_latency(response.elapsed_ms)
+        return response
+
+    def _observe_latency(self, elapsed_ms: float) -> None:
+        with self._latency_lock:
+            self._latency.observe(elapsed_ms)
+
+    def _search_impl(
+        self,
+        raw_query: str | Query,
+        k: int,
+        source_peer: str | None,
+    ) -> SearchResponse:
         if not self._indexed:
             raise RetrievalError("call index() before search()")
         if k < 1:
@@ -506,7 +548,13 @@ class SearchService:
             # Wait outside the lock, then retry the cache (the leader
             # fills it before signalling; on leader failure or eviction
             # the retry simply becomes the new leader).
+            span = current_span()
+            if span is not None:
+                span.set_attr("flight", "follower")
             flight.done.wait()
+        span = current_span()
+        if span is not None:
+            span.set_attr("flight", "leader")
         try:
             response = self._backend_search(source, query, k, started)
             # Cache a copy, not the object handed to the caller: a
@@ -533,9 +581,24 @@ class SearchService:
     ) -> SearchResponse:
         """The concurrent section: backend resolution under a
         thread-scoped traffic window (no service lock held)."""
-        with self.network.accounting.measure(scope="thread") as window:
-            response = self.backend.search(source, query, k)
-        response.traffic = window.delta
+        tracer = get_tracer()
+        if not tracer.active:
+            with self.network.accounting.measure(scope="thread") as window:
+                response = self.backend.search(source, query, k)
+            response.traffic = window.delta
+            response.elapsed_ms = _ms_since(started)
+            return response
+        with tracer.span(
+            "service.backend", backend=self.backend.name, source=source
+        ) as span:
+            with self.network.accounting.measure(scope="thread") as window:
+                response = self.backend.search(source, query, k)
+            response.traffic = window.delta
+            span.set_attrs(
+                keys_looked_up=response.keys_looked_up,
+                keys_found=response.keys_found,
+                postings=response.postings_transferred,
+            )
         response.elapsed_ms = _ms_since(started)
         return response
 
@@ -638,6 +701,15 @@ class SearchService:
         decide which duplicate pays the backend cost.  Single-flight in
         :meth:`search` still guards identical term sets racing *across*
         batches or from direct concurrent callers.
+
+        Context propagation: pool threads start with *empty* contexts
+        (contextvars do not flow into ``ThreadPoolExecutor`` tasks), so
+        each backend task runs inside a fresh copy of the submitting
+        thread's context — a traced batch parents every per-query span
+        on the batch caller's span, and one task's span state can never
+        leak into another's (a :class:`contextvars.Context` is also not
+        concurrently enterable, hence one copy per task, not a shared
+        one).
         """
         with ThreadPoolExecutor(max_workers=workers) as pool:
             # Phase 1: pipeline work (tokenize/stem) across the pool.
@@ -654,15 +726,24 @@ class SearchService:
                 # enumerate + setdefault inserts positions ascending,
                 # so the values are already in input order.
                 resolve = list(first_of.values())
-            # Phase 2: backend resolution across the pool.
+            # Phase 2: backend resolution across the pool, each task in
+            # its own copy of this thread's context.
+            contexts = [
+                contextvars.copy_context() for _ in resolve
+            ]
+
+            def run_one(
+                position: int, ctx: contextvars.Context
+            ) -> SearchResponse:
+                return ctx.run(
+                    self.search,
+                    processed[position],
+                    k=k,
+                    source_peer=source_peer,
+                )
+
             for position, response in zip(
-                resolve,
-                pool.map(
-                    lambda position: self.search(
-                        processed[position], k=k, source_peer=source_peer
-                    ),
-                    resolve,
-                ),
+                resolve, pool.map(run_one, resolve, contexts)
             ):
                 responses[position] = response
         for position, query in enumerate(processed):
@@ -939,6 +1020,12 @@ class SearchService:
         stats["num_peers"] = len(self.peers)
         stats["cache_hits"] = self.cache_stats.hits
         stats["cache_misses"] = self.cache_stats.misses
+        with self._latency_lock:
+            stats["latency"] = self._latency.as_dict()
+            # Lossless twin of "latency": the serving gateway rebuilds
+            # per-worker histograms from this and merges them into one
+            # fleet-wide distribution on GET /stats.
+            stats["latency_state"] = self._latency.to_state()
         stats["traffic"] = self.network.accounting.snapshot().as_dict()
         stats["replication"] = self.replication
         if self.replication_manager is not None:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Protocol, runtime_checkable
 
 from ..errors import NetworkError, PeerNotFoundError
+from ..obs.trace import get_tracer
 from .accounting import Phase, TrafficAccounting
 from .chord import ChordOverlay, Overlay
 from .messages import Message, MessageKind
@@ -141,11 +142,43 @@ class P2PNetwork:
         self._membership_batch_depth = 0
         self._membership_changed_in_batch = False
 
-    def _send(self, message: Message) -> None:
-        """Log ``message`` and pay its simulated transmission latency."""
+    def _send(self, message: Message, route: str | None = None) -> None:
+        """Log ``message`` and pay its simulated transmission latency.
+
+        When a trace is in flight (tracing enabled, or an enabled
+        caller's span is active in this context) the message becomes a
+        ``net.msg`` span containing one ``net.hop`` child per accounted
+        hop, so a trace's ``net.hop`` count equals the
+        :class:`TrafficAccounting` hop total of the traced operation.
+        The per-hop link latency is paid inside the hop spans (same
+        total sleep as the untraced path)."""
         self.accounting.record(message)
+        tracer = get_tracer()
+        if tracer.active:
+            self._send_traced(message, route, tracer)
+            return
         if self.link_latency_s > 0.0 and message.hops > 0:
             time.sleep(self.link_latency_s * message.hops)
+
+    def _send_traced(
+        self, message: Message, route: str | None, tracer: Any
+    ) -> None:
+        attrs: dict[str, object] = {
+            "kind": message.kind.name,
+            "source": message.source,
+            "destination": message.destination,
+            "postings": message.postings,
+            "hops": message.hops,
+        }
+        if route:
+            attrs["route"] = route
+        if message.key_repr:
+            attrs["key"] = message.key_repr
+        with tracer.span("net.msg", **attrs):
+            for hop in range(message.hops):
+                with tracer.span("net.hop", index=hop):
+                    if self.link_latency_s > 0.0:
+                        time.sleep(self.link_latency_s)
 
     def log_message(
         self,
@@ -155,13 +188,16 @@ class P2PNetwork:
         postings: int = 0,
         hops: int = 1,
         key_repr: str = "",
+        route: str | None = None,
     ) -> None:
         """Log one protocol message into the traffic accounting.
 
         The public form of :meth:`_send` for layers that route messages
         themselves (a :class:`RoutingPolicy`, the super-peer topology's
         maintenance protocol) instead of going through the insert/lookup
-        primitives.
+        primitives.  ``route`` is trace-only attribution (which path the
+        policy took, e.g. ``"path_cache"`` or ``"leaf->sp->owner"``) and
+        never affects accounting.
         """
         self._send(
             Message(
@@ -171,7 +207,8 @@ class P2PNetwork:
                 postings=postings,
                 hops=hops,
                 key_repr=key_repr,
-            )
+            ),
+            route=route,
         )
 
     def _route_hops(self, source_id: int, key_id: int) -> int:
@@ -521,7 +558,8 @@ class P2PNetwork:
                 postings=0,
                 hops=max(1, hops),
                 key_repr=key_repr or repr(key),
-            )
+            ),
+            route="flat",
         )
         storage = self._storage.get(target_id)
         # A crashed owner answers nothing; an empty RESPONSE stands in
@@ -537,7 +575,8 @@ class P2PNetwork:
                 postings=response_size(value),
                 hops=1,
                 key_repr=key_repr or repr(key),
-            )
+            ),
+            route="flat",
         )
         return value
 

@@ -1,0 +1,57 @@
+"""repro.obs — end-to-end tracing and unified metrics (stdlib-only).
+
+The observability layer threaded through every tier of the stack:
+
+- :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span` with
+  contextvars propagation across threads and asyncio tasks, explicit
+  id propagation across the serving pool's process boundary, and a
+  zero-overhead no-op path when disabled.
+- :mod:`repro.obs.metrics` — process-wide named :class:`Counter`,
+  :class:`Gauge`, and :class:`LatencyHistogram` (now mergeable and
+  linearly interpolated) behind one :func:`get_hub` registry.
+- :mod:`repro.obs.export` — JSONL span sink with deterministic
+  per-trace sampling, and a slow-query log.
+
+Nothing here imports the rest of ``repro`` — any layer can depend on
+``repro.obs`` without cycles.
+"""
+
+from .export import JsonlSpanSink, SlowQueryLog, TraceSampler
+from .metrics import (
+    DEFAULT_BUCKET_BOUNDS_MS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsHub,
+    get_hub,
+)
+from .trace import (
+    NOOP_SPAN,
+    NullTracer,
+    Span,
+    Tracer,
+    current_span,
+    format_span_tree,
+    get_tracer,
+    set_global_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKET_BOUNDS_MS",
+    "Gauge",
+    "JsonlSpanSink",
+    "LatencyHistogram",
+    "MetricsHub",
+    "NOOP_SPAN",
+    "NullTracer",
+    "SlowQueryLog",
+    "Span",
+    "TraceSampler",
+    "Tracer",
+    "current_span",
+    "format_span_tree",
+    "get_hub",
+    "get_tracer",
+    "set_global_tracer",
+]

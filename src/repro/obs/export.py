@@ -1,0 +1,149 @@
+"""Span export: JSONL sink, deterministic sampling, slow-query log.
+
+Sinks are plain callables registered on a :class:`~repro.obs.trace.Tracer`
+with ``add_sink``; each receives every finished span as a dict.
+
+Sampling is **per trace**, not per span: keeping a random subset of a
+trace's spans would leave orphaned subtrees, so the sampler hashes the
+trace id (keyed by the seed) and either keeps the whole trace or drops
+it.  The decision is a pure function of ``(seed, trace_id)`` — two
+sinks with the same seed sample identically, and replaying a workload
+reproduces the same sampled set (the property the sampler tests pin).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["TraceSampler", "JsonlSpanSink", "SlowQueryLog"]
+
+#: Denominator of the sampler's hash-to-fraction mapping (48 bits gives
+#: ~3e-15 rate resolution, far below any useful sampling rate).
+_HASH_SPACE = float(1 << 48)
+
+
+class TraceSampler:
+    """Deterministic keep/drop decision per trace id.
+
+    Args:
+        rate: fraction of traces to keep in [0, 1].
+        seed: decision key; the same ``(seed, trace_id)`` pair always
+            yields the same decision.
+    """
+
+    def __init__(self, rate: float = 1.0, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1]: {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._key = seed.to_bytes(8, "little", signed=True)
+
+    def should_sample(self, trace_id: str) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        digest = hashlib.blake2b(
+            trace_id.encode("ascii", "replace"),
+            key=self._key,
+            digest_size=6,
+        ).digest()
+        return int.from_bytes(digest, "little") / _HASH_SPACE < self.rate
+
+
+class JsonlSpanSink:
+    """Append finished spans to a JSONL file, one span per line.
+
+    Args:
+        path: output file (parent directories created).
+        sample_rate: per-trace keep fraction (:class:`TraceSampler`).
+        seed: sampler decision key.
+        always_sample_errors: write error-status spans even when their
+            trace was sampled out (the errors you most want are rare).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+        always_sample_errors: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.sampler = TraceSampler(sample_rate, seed)
+        self.always_sample_errors = always_sample_errors
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.written = 0
+        self.dropped = 0
+
+    def __call__(self, span: Mapping[str, object]) -> None:
+        keep = self.sampler.should_sample(str(span.get("trace_id", "")))
+        if not keep and self.always_sample_errors:
+            keep = span.get("status") == "error"
+        with self._lock:
+            if self._handle.closed:
+                return
+            if not keep:
+                self.dropped += 1
+                return
+            self._handle.write(
+                json.dumps(span, sort_keys=True, default=str) + "\n"
+            )
+            self._handle.flush()
+            self.written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+class SlowQueryLog:
+    """Retain root spans slower than a threshold (plus all errors).
+
+    A sink that watches completed *root* spans (no parent id — the
+    request-level span of a trace) and keeps the slowest offenders in a
+    bounded ring, newest last.  Error roots are kept regardless of
+    duration when ``always_keep_errors`` — a fast failure is still a
+    failure worth seeing.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float,
+        *,
+        capacity: int = 128,
+        always_keep_errors: bool = True,
+    ) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        self.threshold_ms = threshold_ms
+        self.always_keep_errors = always_keep_errors
+        self._lock = threading.Lock()
+        self._entries: deque[dict[str, object]] = deque(maxlen=capacity)
+
+    def __call__(self, span: Mapping[str, object]) -> None:
+        if span.get("parent_id") is not None:
+            return
+        slow = float(span.get("duration_ms", 0.0)) >= self.threshold_ms  # type: ignore[arg-type]
+        errored = span.get("status") == "error"
+        if not slow and not (errored and self.always_keep_errors):
+            return
+        with self._lock:
+            self._entries.append(dict(span))
+
+    def entries(self) -> list[dict[str, object]]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -42,6 +42,7 @@ from ..index.bloom import optimal_bits_per_element
 from ..net.accounting import Phase
 from ..net.messages import MessageKind
 from ..net.network import P2PNetwork
+from ..obs.metrics import get_hub
 from ..retrieval.cache import QueryResultCache
 from .summaries import DEFAULT_SUMMARY_CAPACITY, ClusterSummary
 from .topology import Cluster, SuperPeerTopology
@@ -127,6 +128,15 @@ class HierarchicalRouter:
         # (Bloom add is read-modify-write); the caches themselves are
         # internally locked.
         self._lock = threading.Lock()
+        # Process-wide observability counters (repro.obs): the same
+        # quantities as RouterStats, but readable by benches and the
+        # serving tier without a reference to this router.
+        hub = get_hub()
+        self._m_lookups = hub.counter("overlay.lookups")
+        self._m_cache_hits = hub.counter("overlay.path_cache_hits")
+        self._m_cache_misses = hub.counter("overlay.path_cache_misses")
+        self._m_summary_skips = hub.counter("overlay.summary_skips")
+        self._m_inserts = hub.counter("overlay.inserts")
         self._rebuild_summaries()
 
     def install(self, network: P2PNetwork) -> None:
@@ -161,6 +171,7 @@ class HierarchicalRouter:
     ) -> Any | None:
         with self._lock:
             self.stats.lookups += 1
+        self._m_lookups.add()
         # The *effective* owner: the responsible peer, or — with a
         # replication manager installed — the first live replica.  A
         # crashed owner with no live replica leaves the range dark.
@@ -176,13 +187,15 @@ class HierarchicalRouter:
                 0,
                 max(1, (source_id != local_sp) + 1),
                 key_repr,
+                route="dark_range",
             )
             return None
         if owner == source_id:
             # Self-owned key: answered locally, same message shape as
             # flat routing (request + response, one hop each).
             network.log_message(
-                MessageKind.LOOKUP, source_id, owner, 0, 1, key_repr
+                MessageKind.LOOKUP, source_id, owner, 0, 1, key_repr,
+                route="self_owned",
             )
             value = network.storage_by_id(owner).get(key)
             network.log_message(
@@ -192,6 +205,7 @@ class HierarchicalRouter:
                 response_size(value),
                 1,
                 key_repr,
+                route="self_owned",
             )
             return value
         home = self.topology.cluster_of_peer(owner)
@@ -204,15 +218,16 @@ class HierarchicalRouter:
             value = None if cached is _ABSENT else cached
             self._answer_at_home(
                 network, source_id, home_sp, to_home,
-                response_size(value), key_repr,
+                response_size(value), key_repr, "path_cache",
             )
             return value
         if self.use_summaries and not self._may_contain(home.index, key_id):
             with self._lock:
                 self.stats.summary_skips += 1
+            self._m_summary_skips.add()
             self._answer_at_home(
                 network, source_id, home_sp, to_home,
-                response_size(None), key_repr,
+                response_size(None), key_repr, "summary_skip",
             )
             return None
 
@@ -220,7 +235,8 @@ class HierarchicalRouter:
         # retraces through the home super-peer, filling its cache.
         request_hops = max(1, to_home + (home_sp != owner))
         network.log_message(
-            MessageKind.LOOKUP, source_id, owner, 0, request_hops, key_repr
+            MessageKind.LOOKUP, source_id, owner, 0, request_hops, key_repr,
+            route="leaf>sp>home>owner",
         )
         with self._lock:
             generation = self._insert_gens.get(home.index, 0)
@@ -233,6 +249,7 @@ class HierarchicalRouter:
             response_size(value),
             response_hops,
             key_repr,
+            route="owner>home>leaf",
         )
         self._cache_fill(home.index, key, value, generation)
         return value
@@ -245,6 +262,7 @@ class HierarchicalRouter:
         to_home: int,
         postings: int,
         key_repr: str,
+        route: str,
     ) -> None:
         """Log the message pair of a lookup answered at the home
         super-peer (cache hit or summary skip)."""
@@ -255,9 +273,11 @@ class HierarchicalRouter:
             0,
             max(1, to_home),
             key_repr,
+            route=route,
         )
         network.log_message(
-            MessageKind.RESPONSE, home_sp, source_id, postings, 1, key_repr
+            MessageKind.RESPONSE, home_sp, source_id, postings, 1, key_repr,
+            route=route,
         )
 
     # -- RoutingPolicy: inserts / generic hops ---------------------------------------
@@ -286,6 +306,7 @@ class HierarchicalRouter:
         """Freshness hook: the insert just routed through the home
         super-peer, which evicts any cached answer for the key and adds
         it to the cluster summary."""
+        self._m_inserts.add()
         home = self.topology.home_cluster(key_id)
         if home is None:
             # Dark range: the write was lost, nothing is cached for the
@@ -357,6 +378,7 @@ class HierarchicalRouter:
                 self.stats.cache_misses += 1
             else:
                 self.stats.cache_hits += 1
+        (self._m_cache_misses if payload is None else self._m_cache_hits).add()
         return payload
 
     def _cache_fill(

@@ -68,6 +68,7 @@ class ReplicaFailoverRouter:
                 postings=0,
                 hops=skipped,
                 key_repr=key_repr,
+                route="failover_probe",
             )
             self.failover_probes += skipped
         if self.inner is not None:
@@ -104,6 +105,7 @@ class ReplicaFailoverRouter:
                 postings=0,
                 hops=max(1, network.overlay.route_hops(source_id, key_id)),
                 key_repr=key_repr,
+                route="dark_range",
             )
             return None
         hops = max(1, network.overlay.route_hops(source_id, key_id))
@@ -114,6 +116,7 @@ class ReplicaFailoverRouter:
             postings=0,
             hops=hops,
             key_repr=key_repr,
+            route="replica_flat",
         )
         value = network.storage_by_id(target_id).get(key)
         network.log_message(
@@ -123,6 +126,7 @@ class ReplicaFailoverRouter:
             postings=response_size(value),
             hops=1,
             key_repr=key_repr,
+            route="replica_flat",
         )
         return value
 

@@ -9,9 +9,20 @@ the process-parallel search workers.  Endpoints:
 ``POST /search_batch``    ``{"queries": [str, ...], "k": int}`` → per-query
                           responses + batch aggregates
 ``GET  /healthz``         readiness: 200 while serving, 503 once draining
-``GET  /stats``           gateway metrics + pool counters + per-worker
-                          service statistics, all plain JSON
+``GET  /stats``           gateway metrics + pool counters + a fleet-wide
+                          service aggregate + per-worker service
+                          statistics, all plain JSON
+``GET  /trace/recent``    the most recent stitched traces from the
+                          process-wide tracer (see :mod:`repro.obs`)
 ========================  ====================================================
+
+Tracing: when the global tracer is enabled (``repro serve --trace-dir``)
+every ``/search`` request runs under a ``gateway.search`` root span
+whose ids ride the pool envelope; the worker's spans ship back in the
+reply and are re-parented into one connected tree.  A client-supplied
+``X-Trace-Id`` header names the trace (and force-traces that single
+request even when the tracer is off); the response always echoes the
+trace id back as ``X-Trace-Id``.
 
 Admission control happens *before* any worker is involved, in strict
 order: a draining gateway sheds with 503, a client over its token bucket
@@ -38,6 +49,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..errors import ConfigurationError
+from ..obs.metrics import LatencyHistogram
+from ..obs.trace import get_tracer
 from .metrics import MetricsRegistry
 from .pool import PoolShutdownError, WorkerCrashError, WorkerPool
 
@@ -64,6 +77,7 @@ _ROUTES = {
     "/search_batch": "POST",
     "/healthz": "GET",
     "/stats": "GET",
+    "/trace/recent": "GET",
 }
 
 
@@ -281,8 +295,9 @@ class Gateway:
                     break  # clean EOF between requests
                 method, path, headers, body = request
                 started = time.perf_counter()
+                extra_headers: dict[str, str] | None = None
                 try:
-                    status, payload = await self._dispatch(
+                    status, payload, extra_headers = await self._dispatch(
                         method, path, headers, body, peer_ip
                     )
                 except _HttpError as error:
@@ -295,7 +310,9 @@ class Gateway:
                     self._draining
                     or headers.get("connection", "").lower() == "close"
                 )
-                writer.write(_encode_response(status, payload, close))
+                writer.write(
+                    _encode_response(status, payload, close, extra_headers)
+                )
                 await writer.drain()
                 if close:
                     break
@@ -350,35 +367,37 @@ class Gateway:
         headers: dict[str, str],
         body: bytes,
         peer_ip: str,
-    ) -> tuple[int, dict[str, Any]]:
+    ) -> tuple[int, dict[str, Any], dict[str, str] | None]:
         allowed = _ROUTES.get(path)
         if allowed is None:
-            return 404, {"error": f"unknown endpoint {path!r}"}
+            return 404, {"error": f"unknown endpoint {path!r}"}, None
         if method != allowed:
             return 405, {
                 "error": f"{path} only accepts {allowed}, got {method}"
-            }
+            }, None
         if path == "/healthz":
             if self._draining:
-                return 503, {"status": "draining", "ready": False}
-            return 200, {"status": "ok", "ready": True}
+                return 503, {"status": "draining", "ready": False}, None
+            return 200, {"status": "ok", "ready": True}, None
+        if path == "/trace/recent":
+            return 200, {"traces": get_tracer().recent_traces()}, None
         if path == "/stats":
             # The per-worker stats fan-out waits on pool futures, so it
             # runs on the default executor instead of blocking the loop.
             payload = await asyncio.get_running_loop().run_in_executor(
                 None, self._stats_payload
             )
-            return 200, payload
+            return 200, payload, None
         # The two search surfaces: admission control, then the pool.
         if self._draining:
             self.metrics.note_shed("draining")
-            return 503, {"error": "draining", "retry_after_s": 1}
+            return 503, {"error": "draining", "retry_after_s": 1}, None
         client_id = headers.get("x-client-id", peer_ip)
         if not self._admit_client(client_id):
             return 429, {
                 "error": f"client {client_id!r} over rate limit",
                 "retry_after_s": 1,
-            }
+            }, None
         if self._inflight >= self.config.max_inflight:
             self.metrics.note_shed("overload")
             return 503, {
@@ -386,19 +405,51 @@ class Gateway:
                     f"gateway at max_inflight={self.config.max_inflight}"
                 ),
                 "retry_after_s": 1,
-            }
-        request = self._parse_search_body(path, body)
+            }, None
+        method_name, payload = self._parse_search_body(path, body)
+        tracer = get_tracer()
+        client_tid = headers.get("x-trace-id") or None
+        gw_span = None
+        if method_name == "search" and (tracer.active or client_tid):
+            # One root per traced request; its ids ride the pool
+            # envelope so the worker's spans re-parent under it.  A
+            # client-named trace id force-records even when the tracer
+            # switch is off (per-request opt-in).
+            gw_span = tracer.root(
+                "gateway.search",
+                trace_id=client_tid,
+                force=client_tid is not None,
+                client=client_id,
+            )
+            if gw_span.recording:
+                payload["trace"] = {
+                    "trace_id": gw_span.trace_id,
+                    "parent_span_id": gw_span.span_id,
+                }
+            else:
+                gw_span = None
+        trace_headers: dict[str, str] | None = None
         self._inflight += 1
         try:
-            future = self.pool.submit(*request)
-            result = await asyncio.wrap_future(future)
+            if gw_span is not None:
+                with gw_span:
+                    future = self.pool.submit(method_name, payload)
+                    result = await asyncio.wrap_future(future)
+                worker_trace = result.pop("trace", None)
+                if worker_trace is not None:
+                    tracer.adopt(worker_trace.get("spans") or [])
+                result["trace_id"] = gw_span.trace_id
+                trace_headers = {"X-Trace-Id": gw_span.trace_id}
+            else:
+                future = self.pool.submit(method_name, payload)
+                result = await asyncio.wrap_future(future)
         except WorkerCrashError as exc:
-            return 500, {"error": str(exc)}
+            return 500, {"error": str(exc)}, trace_headers
         except PoolShutdownError as exc:
-            return 503, {"error": str(exc)}
+            return 503, {"error": str(exc)}, trace_headers
         finally:
             self._inflight -= 1
-        return 200, result
+        return 200, result, trace_headers
 
     def _admit_client(self, client_id: str) -> bool:
         if self.config.rate_limit <= 0:
@@ -441,6 +492,10 @@ class Gateway:
         return "search_batch", {"queries": queries, "k": k}
 
     def _stats_payload(self) -> dict[str, Any]:
+        # One fan-out, two views: the raw per-worker entries and the
+        # fleet-wide "service" aggregate derived from the same replies
+        # (no second round of worker stats round-trips).
+        workers = self.pool.worker_stats()
         return {
             "gateway": {
                 "draining": self._draining,
@@ -450,18 +505,68 @@ class Gateway:
                 "clients_seen": len(self._buckets),
                 **self.metrics.snapshot(),
             },
+            "service": _aggregate_worker_stats(workers),
             "pool": self.pool.stats(),
-            "workers": self.pool.worker_stats(),
+            "workers": workers,
         }
 
 
+def _aggregate_worker_stats(
+    workers: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Fold per-worker ``SearchService.stats()`` replies into one
+    fleet-wide view: summed cache counters, summed traffic totals, and
+    the per-worker latency histograms merged (via their lossless
+    ``latency_state`` twins) into a single distribution."""
+    reporting = [w for w in workers if "error" not in w]
+    hits = sum(int(w.get("cache_hits", 0)) for w in reporting)
+    misses = sum(int(w.get("cache_misses", 0)) for w in reporting)
+    traffic_totals = {
+        key: sum(
+            int((w.get("traffic") or {}).get(key, 0)) for w in reporting
+        )
+        for key in (
+            "indexing_postings",
+            "retrieval_postings",
+            "maintenance_postings",
+            "total_postings",
+            "total_messages",
+            "total_hops",
+        )
+    }
+    merged: LatencyHistogram | None = None
+    for worker in reporting:
+        state = worker.get("latency_state")
+        if not state:
+            continue
+        histogram = LatencyHistogram.from_state(state)
+        if merged is None:
+            merged = histogram
+        else:
+            merged.merge(histogram)
+    return {
+        "workers_reporting": len(reporting),
+        "workers_errored": len(workers) - len(reporting),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": round(hits / max(1, hits + misses), 4),
+        "traffic": traffic_totals,
+        "latency": merged.as_dict() if merged is not None else None,
+    }
+
+
 def _encode_response(
-    status: int, payload: dict[str, Any], close: bool
+    status: int,
+    payload: dict[str, Any],
+    close: bool,
+    extra_headers: dict[str, str] | None = None,
 ) -> bytes:
     body = json.dumps(payload).encode("utf-8")
     extra = ""
     if status in (429, 503):
         extra = "Retry-After: 1\r\n"
+    for name, value in (extra_headers or {}).items():
+        extra += f"{name}: {value}\r\n"
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         f"Content-Type: application/json\r\n"

@@ -4,13 +4,13 @@ The gateway records one observation per completed request —
 ``(endpoint, status, latency_ms)`` — into a :class:`MetricsRegistry`,
 which the ``GET /stats`` endpoint renders as plain JSON.  Latencies go
 into fixed log-spaced buckets (:class:`LatencyHistogram`), so the
-registry costs O(1) memory per endpoint regardless of traffic volume and
-percentiles are read straight off the cumulative bucket counts.
+registry costs O(1) memory per endpoint regardless of traffic volume
+and percentiles are read off the cumulative bucket counts with
+within-bucket linear interpolation.
 
-The histogram percentiles are bucket-resolution estimates (each bucket's
-upper bound); exact percentiles over a bounded run come from the
-closed-loop load generator (:mod:`repro.serving.loadgen`), which keeps
-every sample.  The two agree to within one bucket width.
+:class:`LatencyHistogram` and :data:`DEFAULT_BUCKET_BOUNDS_MS` moved to
+:mod:`repro.obs.metrics` (the process-wide metrics layer) and are
+re-exported here unchanged — existing imports keep working.
 
 Everything here is plain data + a lock: the registry is shared between
 the asyncio gateway loop and any thread that wants a snapshot (the CLI's
@@ -22,103 +22,14 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Sequence
+
+from ..obs.metrics import DEFAULT_BUCKET_BOUNDS_MS, LatencyHistogram
 
 __all__ = [
     "DEFAULT_BUCKET_BOUNDS_MS",
     "LatencyHistogram",
     "MetricsRegistry",
 ]
-
-#: Upper bounds (milliseconds) of the latency buckets; the last bucket
-#: is unbounded.  Log-spaced from sub-millisecond cache hits up to the
-#: multi-second tail a draining or overloaded gateway can produce.
-DEFAULT_BUCKET_BOUNDS_MS: tuple[float, ...] = (
-    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
-    256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
-)
-
-
-class LatencyHistogram:
-    """Fixed-bucket latency histogram with percentile estimates.
-
-    Args:
-        bounds_ms: ascending bucket upper bounds in milliseconds; an
-            implicit overflow bucket catches everything beyond the last
-            bound.
-    """
-
-    def __init__(
-        self, bounds_ms: Sequence[float] = DEFAULT_BUCKET_BOUNDS_MS
-    ) -> None:
-        bounds = tuple(float(b) for b in bounds_ms)
-        if not bounds or any(
-            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
-        ):
-            raise ValueError(
-                f"bucket bounds must be ascending and non-empty: {bounds!r}"
-            )
-        self.bounds_ms = bounds
-        self._counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
-        self._total = 0
-        self._sum_ms = 0.0
-        self._max_ms = 0.0
-
-    def observe(self, latency_ms: float) -> None:
-        """Record one latency sample (negative values clamp to 0)."""
-        latency_ms = max(0.0, float(latency_ms))
-        index = len(self.bounds_ms)  # overflow unless a bound catches it
-        for i, bound in enumerate(self.bounds_ms):
-            if latency_ms <= bound:
-                index = i
-                break
-        self._counts[index] += 1
-        self._total += 1
-        self._sum_ms += latency_ms
-        if latency_ms > self._max_ms:
-            self._max_ms = latency_ms
-
-    @property
-    def count(self) -> int:
-        return self._total
-
-    @property
-    def mean_ms(self) -> float:
-        return self._sum_ms / self._total if self._total else 0.0
-
-    def percentile_ms(self, fraction: float) -> float:
-        """Estimate the ``fraction`` percentile (0 < fraction <= 1) as
-        the upper bound of the bucket holding that rank; the overflow
-        bucket reports the maximum observed sample."""
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
-        if not self._total:
-            return 0.0
-        rank = fraction * self._total
-        cumulative = 0
-        for i, count in enumerate(self._counts):
-            cumulative += count
-            if cumulative >= rank:
-                if i < len(self.bounds_ms):
-                    return self.bounds_ms[i]
-                return self._max_ms
-        return self._max_ms
-
-    def as_dict(self) -> dict[str, object]:
-        """Plain-data view (JSON-ready)."""
-        return {
-            "count": self._total,
-            "mean_ms": round(self.mean_ms, 3),
-            "max_ms": round(self._max_ms, 3),
-            "p50_ms": self.percentile_ms(0.50),
-            "p95_ms": self.percentile_ms(0.95),
-            "p99_ms": self.percentile_ms(0.99),
-            "buckets": {
-                f"le_{bound:g}ms": count
-                for bound, count in zip(self.bounds_ms, self._counts)
-            }
-            | {"overflow": self._counts[-1]},
-        }
 
 
 class _EndpointMetrics:

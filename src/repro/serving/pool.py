@@ -50,6 +50,7 @@ from queue import Empty
 from typing import Any
 
 from ..errors import ConfigurationError, ReproError
+from ..obs.trace import get_tracer
 
 __all__ = [
     "PoolShutdownError",
@@ -156,12 +157,39 @@ def _worker_main(
         request_id, method, payload = item
         try:
             if method == "search":
-                response = service.search(
-                    payload["query"],
-                    k=payload.get("k", 10),
-                    source_peer=spec.source_peer,
-                )
-                out: Any = response_payload(response)
+                trace = payload.get("trace")
+                if trace:
+                    # The gateway's trace continues here: open a forced
+                    # root parented on the gateway span (force records
+                    # even though this process's tracer is disabled),
+                    # then ship the finished spans back in the reply so
+                    # the gateway can re-parent them into its trace.
+                    tracer = get_tracer()
+                    with tracer.root(
+                        "worker.search",
+                        trace_id=trace["trace_id"],
+                        parent_id=trace.get("parent_span_id"),
+                        force=True,
+                        worker=worker_id,
+                        pid=os.getpid(),
+                    ):
+                        response = service.search(
+                            payload["query"],
+                            k=payload.get("k", 10),
+                            source_peer=spec.source_peer,
+                        )
+                    out = response_payload(response)
+                    out["trace"] = {
+                        "trace_id": trace["trace_id"],
+                        "spans": tracer.take_trace(trace["trace_id"]),
+                    }
+                else:
+                    response = service.search(
+                        payload["query"],
+                        k=payload.get("k", 10),
+                        source_peer=spec.source_peer,
+                    )
+                    out = response_payload(response)
             elif method == "search_batch":
                 report = service.search_batch(
                     payload["queries"],

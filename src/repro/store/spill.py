@@ -38,6 +38,7 @@ from ..index.global_index import GlobalEntry, GlobalKeyIndex, KeyStatus
 from ..index.postings import Posting, PostingList
 from ..net.accounting import Phase
 from ..net.network import P2PNetwork
+from ..obs.trace import get_tracer
 from .segment import STATUS_DK, STATUS_NDK
 from .store import DEFAULT_MEMTABLE_BYTES, SegmentStore
 
@@ -125,7 +126,16 @@ class SpilledPostings(PostingList):
         with self._load_lock:
             if self._postings is not None:
                 return
-            loaded = self._store.get_postings(self._key)
+            tracer = get_tracer()
+            if tracer.active:
+                with tracer.span(
+                    "store.spill_materialize",
+                    key=" ".join(sorted(self._key)),
+                    count=self._count,
+                ):
+                    loaded = self._store.get_postings(self._key)
+            else:
+                loaded = self._store.get_postings(self._key)
             if loaded is None:
                 raise StoreError(
                     f"spilled postings for {sorted(self._key)} missing from "

@@ -62,6 +62,7 @@ from typing import (
 
 from ..errors import StoreError
 from ..index.postings import PostingList
+from ..obs.trace import get_tracer
 from .blockcache import BlockCache, BlockCacheStats
 from .maintenance import MaintenanceWorker
 from .memtable import MEMTABLE_ID, Memtable
@@ -350,13 +351,15 @@ class SegmentStore:
         # idempotent (the directory is keyed by key, the memtable copy
         # simply supersedes the identical segment copy).
         existing_wals = wal_ids(self.directory)
-        for wal_id in existing_wals:
-            scan = scan_wal(wal_path(self.directory, wal_id))
-            if scan.truncated:
-                self._wal_truncated_tails += 1
-            for record in scan.records:
-                self._memtable_insert(record)
-                self._wal_replayed += 1
+        tracer = get_tracer()
+        if existing_wals and tracer.active:
+            with tracer.span(
+                "store.wal_replay", wal_files=len(existing_wals)
+            ) as span:
+                self._replay_wals(existing_wals)
+                span.set_attr("records", self._wal_replayed)
+        else:
+            self._replay_wals(existing_wals)
         self._next_wal_id = (existing_wals[-1] + 1) if existing_wals else 1
         if existing_wals and not self.wal_enabled:
             # A WAL-less open of a WAL-ful directory (legacy readers,
@@ -364,6 +367,15 @@ class SegmentStore:
             # log it will never rotate: checkpoint them into segments
             # immediately.
             self._flush_memtable_locked()
+
+    def _replay_wals(self, existing_wals: list[int]) -> None:
+        for wal_id in existing_wals:
+            scan = scan_wal(wal_path(self.directory, wal_id))
+            if scan.truncated:
+                self._wal_truncated_tails += 1
+            for record in scan.records:
+                self._memtable_insert(record)
+                self._wal_replayed += 1
 
     def _account_segment(self, segment_id: int, record_bytes: int) -> None:
         self._seg_bytes[segment_id] = record_bytes
@@ -628,6 +640,18 @@ class SegmentStore:
         sealed (fsynced when ``sync``) *before* any WAL file is deleted,
         so every crash window either keeps the WAL (replay recovers) or
         has the segment durable already."""
+        tracer = get_tracer()
+        if not tracer.active:
+            self._flush_memtable_locked_impl()
+            return
+        with tracer.span(
+            "store.memtable_flush",
+            records=len(self.memtable),
+            bytes=self.memtable.data_bytes,
+        ):
+            self._flush_memtable_locked_impl()
+
+    def _flush_memtable_locked_impl(self) -> None:
         stale_blocks = [
             (MEMTABLE_ID, seq) for seq in self.memtable.seqs()
         ]
@@ -788,11 +812,25 @@ class SegmentStore:
                 # pread outside the lock: positional reads don't share
                 # seek state, and the pin keeps the descriptor alive
                 # across a concurrent compaction's retirement.
-                record = read_record_pread(
-                    fileno,
-                    entry.offset,
-                    label=str(self._segment_path(entry.segment_id)),
-                )
+                tracer = get_tracer()
+                if tracer.active:
+                    with tracer.span(
+                        "store.segment_read",
+                        segment=entry.segment_id,
+                        offset=entry.offset,
+                        length=entry.length,
+                    ):
+                        record = read_record_pread(
+                            fileno,
+                            entry.offset,
+                            label=str(self._segment_path(entry.segment_id)),
+                        )
+                else:
+                    record = read_record_pread(
+                        fileno,
+                        entry.offset,
+                        label=str(self._segment_path(entry.segment_id)),
+                    )
         finally:
             if pinned is not None:
                 with self._lock:
@@ -874,6 +912,17 @@ class SegmentStore:
                 self._compact_locked()
 
     def _compact_locked(self) -> None:
+        tracer = get_tracer()
+        if not tracer.active:
+            self._compact_locked_impl()
+            return
+        with tracer.span(
+            "store.compaction", mode="foreground", phase="maintenance"
+        ) as span:
+            self._compact_locked_impl()
+            span.set_attr("compactions", self._compactions)
+
+    def _compact_locked_impl(self) -> None:
         # The memtable compacts trivially (it is already one record per
         # key); flushing it first lets the rewrite cover everything and
         # leaves the store with empty WAL + a single live segment set.
@@ -934,6 +983,17 @@ class SegmentStore:
         swap.  Readers are never blocked — they keep serving from the
         sources until the swap, and pinned descriptors outlive the
         unlink."""
+        tracer = get_tracer()
+        if not tracer.active:
+            self._background_compact_impl()
+            return
+        with tracer.span(
+            "store.compaction", mode="background", phase="maintenance"
+        ) as span:
+            self._background_compact_impl()
+            span.set_attr("compactions", self._compactions)
+
+    def _background_compact_impl(self) -> None:
         with self._compact_mutex:
             with self._lock:
                 if not self._over_dead_threshold():

@@ -1,0 +1,69 @@
+"""Shared fixtures for the observability tests.
+
+The global tracer is process-wide state, so every test that records
+swaps in a fresh enabled :class:`Tracer` and restores the previous one
+on teardown — tests never leak spans (or an enabled switch) into each
+other or into the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import HDKParameters
+from repro.corpus.synthetic import (
+    SyntheticCorpusConfig,
+    SyntheticCorpusGenerator,
+)
+from repro.engine.service import SearchService
+from repro.obs.trace import Tracer, set_global_tracer
+
+PARAMS = HDKParameters(df_max=10, window_size=8, s_max=3, ff=3_000, fr=3)
+
+CORPUS = SyntheticCorpusConfig(
+    vocabulary_size=800,
+    mean_doc_length=40,
+    num_topics=8,
+    zipf_skew=1.2,
+)
+
+
+@pytest.fixture
+def tracer():
+    """A fresh enabled tracer installed as the process-wide one."""
+    fresh = Tracer(enabled=True)
+    previous = set_global_tracer(fresh)
+    yield fresh
+    set_global_tracer(previous)
+
+
+@pytest.fixture(scope="module")
+def obs_collection():
+    return SyntheticCorpusGenerator(CORPUS, seed=23).generate(150)
+
+
+@pytest.fixture(scope="module")
+def super_service(obs_collection):
+    """hdk_super at R=2 — the acceptance test's configuration."""
+    service = SearchService.build(
+        obs_collection,
+        num_peers=4,
+        backend="hdk_super",
+        params=PARAMS,
+        replication=2,
+        cache_capacity=None,
+    )
+    service.index()
+    return service
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(tmp_path_factory, obs_collection):
+    """A saved hdk_disk snapshot for the serving-tier trace tests."""
+    service = SearchService.build(
+        obs_collection, num_peers=4, backend="hdk_disk", params=PARAMS
+    )
+    service.index()
+    path = tmp_path_factory.mktemp("obs-serving") / "snapshot"
+    service.save(path)
+    return path

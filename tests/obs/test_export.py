@@ -1,0 +1,140 @@
+"""Export tests: deterministic per-trace sampling, the JSONL sink, and
+the slow-query log."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.obs.export import JsonlSpanSink, SlowQueryLog, TraceSampler
+
+
+def _span(trace_id, name="s", parent_id=None, duration_ms=1.0,
+          status="ok"):
+    return {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": f"{name}-{trace_id}",
+        "parent_id": parent_id,
+        "start_ms": 0.0,
+        "duration_ms": duration_ms,
+        "status": status,
+        "attrs": {},
+    }
+
+
+class TestTraceSampler:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            TraceSampler(rate=1.5)
+        with pytest.raises(ValueError):
+            TraceSampler(rate=-0.1)
+        assert TraceSampler(rate=1.0).should_sample("anything")
+        assert not TraceSampler(rate=0.0).should_sample("anything")
+
+    def test_same_seed_is_deterministic(self):
+        rng = random.Random(1234)
+        ids = [f"{rng.getrandbits(64):016x}" for _ in range(500)]
+        first = TraceSampler(rate=0.3, seed=42)
+        second = TraceSampler(rate=0.3, seed=42)
+        decisions = [first.should_sample(tid) for tid in ids]
+        assert decisions == [second.should_sample(tid) for tid in ids]
+        # And repeating a query on the *same* sampler never flips.
+        assert decisions == [first.should_sample(tid) for tid in ids]
+
+    def test_different_seeds_differ(self):
+        rng = random.Random(99)
+        ids = [f"{rng.getrandbits(64):016x}" for _ in range(500)]
+        a = TraceSampler(rate=0.5, seed=1)
+        b = TraceSampler(rate=0.5, seed=2)
+        assert [a.should_sample(t) for t in ids] != [
+            b.should_sample(t) for t in ids
+        ]
+
+    def test_keep_fraction_tracks_rate(self):
+        rng = random.Random(7)
+        ids = [f"{rng.getrandbits(64):016x}" for _ in range(2000)]
+        sampler = TraceSampler(rate=0.25, seed=0)
+        kept = sum(sampler.should_sample(tid) for tid in ids)
+        assert 0.18 < kept / len(ids) < 0.32
+
+
+class TestJsonlSpanSink:
+    def test_writes_one_json_line_per_span(self, tmp_path):
+        sink = JsonlSpanSink(tmp_path / "traces" / "spans.jsonl")
+        sink(_span("t1"))
+        sink(_span("t2"))
+        sink.close()
+        lines = (tmp_path / "traces" / "spans.jsonl").read_text().splitlines()
+        assert [json.loads(line)["trace_id"] for line in lines] == [
+            "t1", "t2",
+        ]
+        assert sink.written == 2 and sink.dropped == 0
+
+    def test_sampling_drops_whole_traces(self, tmp_path):
+        sink = JsonlSpanSink(
+            tmp_path / "spans.jsonl", sample_rate=0.5, seed=3,
+            always_sample_errors=False,
+        )
+        rng = random.Random(11)
+        ids = [f"{rng.getrandbits(64):016x}" for _ in range(200)]
+        for tid in ids:
+            sink(_span(tid, name="root"))
+            sink(_span(tid, name="child", parent_id="root"))
+        sink.close()
+        written_ids = {
+            json.loads(line)["trace_id"]
+            for line in (tmp_path / "spans.jsonl").read_text().splitlines()
+        }
+        # Per-trace decision: each kept trace kept BOTH spans.
+        assert sink.written == 2 * len(written_ids)
+        assert sink.dropped == 2 * (len(ids) - len(written_ids))
+        assert 0 < len(written_ids) < len(ids)
+
+    def test_errors_always_written(self, tmp_path):
+        sink = JsonlSpanSink(tmp_path / "spans.jsonl", sample_rate=0.0)
+        sink(_span("t", status="ok"))
+        sink(_span("t", status="error"))
+        sink.close()
+        lines = (tmp_path / "spans.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["status"] == "error"
+
+    def test_close_is_idempotent_and_silences_writes(self, tmp_path):
+        sink = JsonlSpanSink(tmp_path / "spans.jsonl")
+        sink.close()
+        sink.close()
+        sink(_span("t"))  # no raise after close
+        assert sink.written == 0
+
+
+class TestSlowQueryLog:
+    def test_keeps_only_slow_roots(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        log(_span("t1", duration_ms=50.0))
+        log(_span("t2", duration_ms=1.0))
+        log(_span("t3", duration_ms=99.0, parent_id="x"))  # not a root
+        assert [e["trace_id"] for e in log.entries()] == ["t1"]
+        assert len(log) == 1
+
+    def test_errors_kept_regardless_of_duration(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        log(_span("t", duration_ms=0.1, status="error"))
+        assert len(log) == 1
+        quiet = SlowQueryLog(threshold_ms=10.0, always_keep_errors=False)
+        quiet(_span("t", duration_ms=0.1, status="error"))
+        assert len(quiet) == 0
+
+    def test_capacity_bounds_the_ring(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for i in range(6):
+            log(_span(f"t{i}"))
+        assert [e["trace_id"] for e in log.entries()] == [
+            "t3", "t4", "t5",
+        ]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)

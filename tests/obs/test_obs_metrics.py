@@ -1,0 +1,161 @@
+"""Metrics unit tests: counters/gauges, histogram interpolation and
+merging, the lossless state round-trip, and the named hub."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS_MS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsHub,
+    get_hub,
+)
+
+
+class TestCounterGauge:
+    def test_counter_adds(self):
+        counter = Counter()
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.add(-1.5)
+        assert gauge.value == 2.0
+
+
+class TestHistogramInterpolation:
+    def test_interpolates_within_bucket(self):
+        histogram = LatencyHistogram(bounds_ms=(10.0, 20.0))
+        for _ in range(4):
+            histogram.observe(15.0)  # all land in the (10, 20] bucket
+        # rank 2 of 4 → half-way through the bucket: 10 + 10 * 2/4.
+        assert histogram.percentile_ms(0.50) == pytest.approx(15.0)
+        assert histogram.percentile_ms(0.25) == pytest.approx(12.5)
+        assert histogram.percentile_ms(1.00) == pytest.approx(20.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        histogram = LatencyHistogram(bounds_ms=(8.0, 16.0))
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        assert histogram.percentile_ms(0.5) == pytest.approx(4.0)
+
+    def test_overflow_reports_observed_max(self):
+        histogram = LatencyHistogram(bounds_ms=(1.0,))
+        histogram.observe(250.0)
+        assert histogram.percentile_ms(0.99) == 250.0
+        assert histogram.percentile_ms(1.0) == 250.0
+
+    def test_boundary_rank_matches_upper_bound(self):
+        # The pre-interpolation estimator's fixed points: a rank landing
+        # exactly on a cumulative boundary still yields the bucket's
+        # upper bound (the serving tests' historical expectations).
+        histogram = LatencyHistogram(bounds_ms=(1.0, 10.0, 100.0))
+        for sample in (0.2, 0.5, 5.0, 50.0):
+            histogram.observe(sample)
+        assert histogram.percentile_ms(0.50) == 1.0
+        assert histogram.percentile_ms(0.75) == 10.0
+        assert histogram.percentile_ms(1.00) == 100.0
+
+    def test_rejects_bad_fraction_and_bounds(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError):
+            histogram.percentile_ms(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile_ms(1.5)
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds_ms=())
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds_ms=(2.0, 1.0))
+
+
+class TestHistogramMerge:
+    def test_merge_equals_single_stream(self):
+        left = LatencyHistogram()
+        right = LatencyHistogram()
+        both = LatencyHistogram()
+        for sample in (0.3, 1.5, 40.0):
+            left.observe(sample)
+            both.observe(sample)
+        for sample in (0.1, 7.0, 9000.0):
+            right.observe(sample)
+            both.observe(sample)
+        left.merge(right)
+        assert left.as_dict() == both.as_dict()
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds_ms=(1.0,)).merge(
+                LatencyHistogram(bounds_ms=(2.0,))
+            )
+
+    def test_state_round_trip_is_lossless(self):
+        histogram = LatencyHistogram()
+        for sample in (0.2, 3.0, 77.0, 10_000.0):
+            histogram.observe(sample)
+        rebuilt = LatencyHistogram.from_state(histogram.to_state())
+        assert rebuilt.as_dict() == histogram.as_dict()
+        assert rebuilt.bounds_ms == histogram.bounds_ms
+        # State is plain data: lists/numbers only (pickles, JSONs).
+        state = histogram.to_state()
+        assert isinstance(state["bounds_ms"], list)
+        assert isinstance(state["counts"], list)
+
+    def test_from_state_rejects_length_mismatch(self):
+        state = LatencyHistogram().to_state()
+        state["counts"] = [0]
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_state(state)
+
+    def test_as_dict_shape_is_stable(self):
+        payload = LatencyHistogram().as_dict()
+        assert set(payload) == {
+            "count", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms",
+            "buckets",
+        }
+        assert "overflow" in payload["buckets"]
+        assert len(payload["buckets"]) == len(DEFAULT_BUCKET_BOUNDS_MS) + 1
+
+
+class TestMetricsHub:
+    def test_get_or_create_returns_same_instance(self):
+        hub = MetricsHub()
+        assert hub.counter("a") is hub.counter("a")
+        assert hub.gauge("g") is hub.gauge("g")
+        assert hub.histogram("h") is hub.histogram("h")
+
+    def test_cross_kind_name_collision_raises(self):
+        hub = MetricsHub()
+        hub.counter("x")
+        with pytest.raises(ValueError):
+            hub.gauge("x")
+        with pytest.raises(ValueError):
+            hub.histogram("x")
+
+    def test_snapshot_is_plain_data(self):
+        hub = MetricsHub()
+        hub.counter("c").add(2)
+        hub.gauge("g").set(1.5)
+        hub.histogram("h").observe(3.0)
+        snapshot = hub.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_reset_drops_everything(self):
+        hub = MetricsHub()
+        hub.counter("c").add()
+        hub.reset()
+        assert hub.snapshot()["counters"] == {}
+
+    def test_global_hub_is_shared(self):
+        assert get_hub() is get_hub()
