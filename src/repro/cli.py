@@ -178,6 +178,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
             "--path-cache-capacity must be >= 0, got "
             f"{args.path_cache_capacity}"
         )
+    if args.overlay_split_threshold < 1:
+        raise SystemExit(
+            "--overlay-split-threshold must be >= 1, got "
+            f"{args.overlay_split_threshold}"
+        )
+    if not 0 <= args.overlay_merge_threshold < args.overlay_split_threshold:
+        raise SystemExit(
+            "--overlay-merge-threshold must satisfy 0 <= merge < "
+            f"--overlay-split-threshold, got {args.overlay_merge_threshold} "
+            f"vs {args.overlay_split_threshold}"
+        )
     if args.replication is not None and args.replication < 1:
         raise SystemExit(
             f"--replication must be >= 1, got {args.replication}"
@@ -202,6 +213,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             cache_capacity=None if args.no_cache else args.cache_capacity,
             overlay_fanout=args.overlay_fanout,
             path_cache_capacity=args.path_cache_capacity,
+            overlay_adaptive=args.overlay_adaptive,
+            overlay_split_threshold=args.overlay_split_threshold,
+            overlay_merge_threshold=args.overlay_merge_threshold,
             sync=args.sync,
             replication=args.replication,
         )
@@ -227,6 +241,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             wal=args.wal,
             overlay_fanout=args.overlay_fanout,
             path_cache_capacity=args.path_cache_capacity,
+            overlay_adaptive=args.overlay_adaptive,
+            overlay_split_threshold=args.overlay_split_threshold,
+            overlay_merge_threshold=args.overlay_merge_threshold,
             sync=args.sync,
             index_workers=args.index_workers,
             replication=args.replication or 1,
@@ -619,6 +636,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="KEYS",
         help="in-network result-cache size per super-peer for the "
         "hdk_super backend (default 128; 0 disables path caching)",
+    )
+    search.add_argument(
+        "--overlay-adaptive",
+        action="store_true",
+        help="load-aware overlay adaptation for the hdk_super backend: "
+        "super-peer election weighs observed load, hot clusters split "
+        "(and merge back after a cool-down), and path caching extends "
+        "to every super-peer on the query path",
+    )
+    search.add_argument(
+        "--overlay-split-threshold",
+        type=int,
+        default=64,
+        metavar="SCORE",
+        help="windowed per-cluster load score (lookups + cache churn) "
+        "at which a hot cluster splits (default 64; adaptive overlay "
+        "only)",
+    )
+    search.add_argument(
+        "--overlay-merge-threshold",
+        type=int,
+        default=16,
+        metavar="SCORE",
+        help="score at or below which a split pair counts as calm and "
+        "becomes eligible to merge back (default 16; must be below "
+        "--overlay-split-threshold)",
     )
     search.add_argument(
         "--replication",

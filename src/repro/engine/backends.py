@@ -165,6 +165,16 @@ class BackendContext:
         overlay_fanout: leaves per super-peer cluster (``hdk_super``).
         path_cache_capacity: per-super-peer in-network result-cache
             size in keys (``hdk_super``); ``0`` disables path caching.
+        overlay_adaptive: load-aware overlay adaptation
+            (``hdk_super``) — super-peer election weighs observed load,
+            hot clusters split and cooled-down pairs merge back, and
+            path caching extends to every super-peer on the query path
+            with invalidation fan-out.  Off keeps the static,
+            byte-reproducible overlay.
+        overlay_split_threshold: windowed per-cluster load score at
+            which a hot cluster splits (adaptive overlay only).
+        overlay_merge_threshold: score at or below which a split pair
+            counts as calm; must be < ``overlay_split_threshold``.
         sync: fsync segment files on rollover/close (disk-backed
             backends) — the durability knob for real deployments.
         index_workers: thread-pool width of the sharded indexing
@@ -187,6 +197,9 @@ class BackendContext:
     wal: bool | None = None
     overlay_fanout: int = 8
     path_cache_capacity: int = 128
+    overlay_adaptive: bool = False
+    overlay_split_threshold: int = 64
+    overlay_merge_threshold: int = 16
     sync: bool = False
     index_workers: int = 1
     replication: int = 1
@@ -411,9 +424,18 @@ class HDKSuperBackend(HDKBackend):
     result cache (``path_cache_capacity`` keys, invalidated on insert)
     and definitely-absent keys from its Bloom cluster summary.
 
+    With ``overlay_adaptive`` the overlay additionally balances itself
+    under skew: super-peer election weighs observed load, hot clusters
+    split at their median member (and merge back after a cool-down),
+    and responses fill a path cache at *every* super-peer they retrace
+    through, with scoped invalidation fan-out on insert.  Results stay
+    byte-identical to ``hdk`` either way.
+
     Membership changes re-cluster and rebuild the routing state; that
     traffic is accounted under the MAINTENANCE phase alongside the key
-    handoffs themselves.
+    handoffs themselves.  Crash/respawn events repair only the affected
+    cluster (the fault model keeps ring positions), preserving the
+    other clusters' path caches.
 
     Concurrency note: results and posting counts are deterministic at
     any worker count, but per-query *hop* counts can vary with thread
@@ -429,6 +451,9 @@ class HDKSuperBackend(HDKBackend):
         self.router = HierarchicalRouter(
             topology,
             path_cache_capacity=context.path_cache_capacity,
+            adaptive=context.overlay_adaptive,
+            split_threshold=context.overlay_split_threshold,
+            merge_threshold=context.overlay_merge_threshold,
         )
         self.router.install(context.network)
 

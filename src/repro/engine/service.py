@@ -211,6 +211,14 @@ class SearchService:
         overlay_fanout: leaves per super-peer cluster (``hdk_super``).
         path_cache_capacity: per-super-peer in-network result-cache
             size (``hdk_super``); ``0`` disables path caching.
+        overlay_adaptive: load-aware overlay adaptation (``hdk_super``):
+            load-weighed super-peer election, hot-cluster splitting
+            with cool-down merges, and multi-level path caching with
+            invalidation fan-out.  Results stay byte-identical.
+        overlay_split_threshold: windowed load score at which a hot
+            cluster splits (adaptive overlay).
+        overlay_merge_threshold: score at or below which a split pair
+            counts as calm; must be < ``overlay_split_threshold``.
         sync: fsync segment files on rollover/close and the snapshot
             manifest on :meth:`save` (disk-backed durability knob).
         index_workers: thread-pool width of the sharded indexing
@@ -240,6 +248,9 @@ class SearchService:
         wal: bool | None = None,
         overlay_fanout: int = 8,
         path_cache_capacity: int = 128,
+        overlay_adaptive: bool = False,
+        overlay_split_threshold: int = 64,
+        overlay_merge_threshold: int = 16,
         sync: bool = False,
         index_workers: int = 1,
         replication: int = 1,
@@ -277,6 +288,9 @@ class SearchService:
                 wal=wal,
                 overlay_fanout=overlay_fanout,
                 path_cache_capacity=path_cache_capacity,
+                overlay_adaptive=overlay_adaptive,
+                overlay_split_threshold=overlay_split_threshold,
+                overlay_merge_threshold=overlay_merge_threshold,
                 sync=sync,
                 index_workers=index_workers,
                 replication=replication,
@@ -333,6 +347,9 @@ class SearchService:
         wal: bool | None = None,
         overlay_fanout: int = 8,
         path_cache_capacity: int = 128,
+        overlay_adaptive: bool = False,
+        overlay_split_threshold: int = 64,
+        overlay_merge_threshold: int = 16,
         sync: bool = False,
         index_workers: int = 1,
         replication: int = 1,
@@ -365,6 +382,13 @@ class SearchService:
             overlay_fanout: super-peer cluster fanout (``hdk_super``).
             path_cache_capacity: in-network result-cache size per
                 super-peer (``hdk_super``).
+            overlay_adaptive: load-aware overlay adaptation
+                (``hdk_super``): load-weighed election, hot-cluster
+                split/merge, multi-level path caching.
+            overlay_split_threshold: windowed load score at which a
+                hot cluster splits (adaptive overlay).
+            overlay_merge_threshold: calm score for merging a split
+                pair back; must be < ``overlay_split_threshold``.
             sync: fsync segments on rollover/close and the manifest on
                 :meth:`save`.
             index_workers: worker threads for the sharded indexing
@@ -401,6 +425,9 @@ class SearchService:
             wal=wal,
             overlay_fanout=overlay_fanout,
             path_cache_capacity=path_cache_capacity,
+            overlay_adaptive=overlay_adaptive,
+            overlay_split_threshold=overlay_split_threshold,
+            overlay_merge_threshold=overlay_merge_threshold,
             sync=sync,
             index_workers=index_workers,
             replication=replication,
@@ -875,6 +902,9 @@ class SearchService:
         backend_registry: BackendRegistry | None = None,
         overlay_fanout: int = 8,
         path_cache_capacity: int = 128,
+        overlay_adaptive: bool = False,
+        overlay_split_threshold: int = 64,
+        overlay_merge_threshold: int = 16,
         sync: bool = False,
         replication: int | None = None,
     ) -> "SearchService":
@@ -911,6 +941,13 @@ class SearchService:
             overlay_fanout: super-peer cluster fanout (``hdk_super``).
             path_cache_capacity: in-network result-cache size per
                 super-peer (``hdk_super``).
+            overlay_adaptive: load-aware overlay adaptation
+                (``hdk_super``): load-weighed election, hot-cluster
+                split/merge, multi-level path caching.
+            overlay_split_threshold: windowed load score at which a
+                hot cluster splits (adaptive overlay).
+            overlay_merge_threshold: calm score for merging a split
+                pair back; must be < ``overlay_split_threshold``.
             sync: durability knob for the loaded service's own writes
                 and later :meth:`save` calls.
             replication: replica count for the loaded service; ``None``
@@ -954,6 +991,9 @@ class SearchService:
             wal=wal,
             overlay_fanout=overlay_fanout,
             path_cache_capacity=path_cache_capacity,
+            overlay_adaptive=overlay_adaptive,
+            overlay_split_threshold=overlay_split_threshold,
+            overlay_merge_threshold=overlay_merge_threshold,
             sync=sync,
             replication=effective_replication,
         )

@@ -39,6 +39,16 @@ class MessageKind(Enum):
     #: Routing-index / cluster-summary exchange between super-peers and
     #: their members (maintenance; super-peer hierarchy).
     ROUTING_UPDATE = "routing_update"
+    #: A hot cluster handing half its members to a freshly promoted
+    #: super-peer (maintenance; adaptive overlay, see
+    #: :mod:`repro.overlay.topology`).
+    CLUSTER_SPLIT = "cluster_split"
+    #: A cooled-down split pair folding back into one cluster
+    #: (maintenance; adaptive overlay).
+    CLUSTER_MERGE = "cluster_merge"
+    #: Scoped eviction fan-out from a key's home super-peer to the
+    #: super-peers holding path-cache copies of it (no posting payload).
+    CACHE_INVALIDATE = "cache_invalidate"
     #: Replicated write fan-out from the primary owner to the other
     #: replicas of a key range (see :mod:`repro.replication`).
     REPLICA_WRITE = "replica_write"

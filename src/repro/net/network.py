@@ -211,6 +211,32 @@ class P2PNetwork:
             route=route,
         )
 
+    def log_maintenance(
+        self,
+        kind: MessageKind,
+        source: int,
+        destination: int,
+        postings: int = 0,
+        hops: int = 1,
+        key_repr: str = "",
+        route: str | None = None,
+    ) -> None:
+        """Log one overlay-maintenance message under the MAINTENANCE
+        phase regardless of the calling thread's current phase.
+
+        The hook the adaptive overlay's split/merge protocol and scoped
+        repair fan-outs go through: those fire from inside query or
+        insert handling, whose thread-local phase is RETRIEVAL or
+        INDEXING, but the paper's analysis reports maintenance
+        separately — so the override scope wraps each message
+        individually instead of trusting the caller to set it.
+        """
+        with self.accounting.phase_scope(Phase.MAINTENANCE):
+            self.log_message(
+                kind, source, destination, postings, hops, key_repr,
+                route=route,
+            )
+
     def _route_hops(self, source_id: int, key_id: int) -> int:
         """Routed hops from ``source_id`` to the responsible peer —
         through the installed router when present, the overlay walk

@@ -27,7 +27,9 @@ from typing import Mapping, Sequence
 __all__ = [
     "DEFAULT_BUCKET_BOUNDS_MS",
     "Counter",
+    "CounterFamily",
     "Gauge",
+    "GaugeFamily",
     "LatencyHistogram",
     "MetricsHub",
     "get_hub",
@@ -84,6 +86,62 @@ class Gauge:
     def value(self) -> float:
         with self._lock:
             return self._value
+
+
+class CounterFamily:
+    """Monotonic counters keyed by a label value (e.g. a super-peer id).
+
+    The attribution form of :class:`Counter`: one family per metric
+    name, one counter per label, so readers can tell a hot super-peer
+    from uniform load instead of seeing a single process-wide total.
+    Labels are coerced to strings (the snapshot is JSON-ready as-is).
+    """
+
+    __slots__ = ("_lock", "_values")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: dict[str, int] = {}
+
+    def add(self, key: object, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a GaugeFamily")
+        label = str(key)
+        with self._lock:
+            self._values[label] = self._values.get(label, 0) + amount
+
+    def value(self, key: object) -> int:
+        with self._lock:
+            return self._values.get(str(key), 0)
+
+    def values(self) -> dict[str, int]:
+        """Per-label totals (a copy, sorted by label)."""
+        with self._lock:
+            return dict(sorted(self._values.items()))
+
+
+class GaugeFamily:
+    """Point-in-time values keyed by a label value (e.g. per-super-peer
+    window load).  Labels are coerced to strings."""
+
+    __slots__ = ("_lock", "_values")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: dict[str, float] = {}
+
+    def set(self, key: object, value: float) -> None:
+        with self._lock:
+            self._values[str(key)] = float(value)
+
+    def value(self, key: object) -> float:
+        with self._lock:
+            return self._values.get(str(key), 0.0)
+
+    def values(self) -> dict[str, float]:
+        """Per-label values (a copy, sorted by label)."""
+        with self._lock:
+            return dict(sorted(self._values.items()))
 
 
 class LatencyHistogram:
@@ -235,12 +293,16 @@ class MetricsHub:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
+        self._counter_families: dict[str, CounterFamily] = {}
+        self._gauge_families: dict[str, GaugeFamily] = {}
 
     def _check_free(self, name: str, kind: str) -> None:
         for other_kind, table in (
             ("counter", self._counters),
             ("gauge", self._gauges),
             ("histogram", self._histograms),
+            ("counter_family", self._counter_families),
+            ("gauge_family", self._gauge_families),
         ):
             if other_kind != kind and name in table:
                 raise ValueError(
@@ -264,6 +326,22 @@ class MetricsHub:
                 metric = self._gauges[name] = Gauge()
             return metric
 
+    def counter_family(self, name: str) -> CounterFamily:
+        with self._lock:
+            metric = self._counter_families.get(name)
+            if metric is None:
+                self._check_free(name, "counter_family")
+                metric = self._counter_families[name] = CounterFamily()
+            return metric
+
+    def gauge_family(self, name: str) -> GaugeFamily:
+        with self._lock:
+            metric = self._gauge_families.get(name)
+            if metric is None:
+                self._check_free(name, "gauge_family")
+                metric = self._gauge_families[name] = GaugeFamily()
+            return metric
+
     def histogram(
         self, name: str, bounds_ms: Sequence[float] | None = None
     ) -> LatencyHistogram:
@@ -282,6 +360,8 @@ class MetricsHub:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+            counter_families = dict(self._counter_families)
+            gauge_families = dict(self._gauge_families)
         return {
             "counters": {
                 name: metric.value
@@ -295,6 +375,14 @@ class MetricsHub:
                 name: metric.as_dict()
                 for name, metric in sorted(histograms.items())
             },
+            "counter_families": {
+                name: metric.values()
+                for name, metric in sorted(counter_families.items())
+            },
+            "gauge_families": {
+                name: metric.values()
+                for name, metric in sorted(gauge_families.items())
+            },
         }
 
     def reset(self) -> None:
@@ -303,6 +391,8 @@ class MetricsHub:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._counter_families.clear()
+            self._gauge_families.clear()
 
 
 _global_hub = MetricsHub()

@@ -23,9 +23,20 @@ it at double capacity.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..index.bloom import BloomFilter
 
-__all__ = ["ClusterSummary", "DEFAULT_SUMMARY_CAPACITY"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..net.network import P2PNetwork
+    from .topology import Cluster
+
+__all__ = [
+    "ClusterSummary",
+    "DEFAULT_SUMMARY_CAPACITY",
+    "scan_cluster_key_ids",
+    "summary_for_scan",
+]
 
 #: Fresh-cluster filter sizing (keys); doubled on saturation.
 DEFAULT_SUMMARY_CAPACITY = 1024
@@ -85,3 +96,42 @@ class ClusterSummary:
     def expected_fpr(self) -> float:
         """Expected false-positive rate at the current load."""
         return self._filter.expected_fpr()
+
+
+def scan_cluster_key_ids(
+    network: "P2PNetwork", cluster: "Cluster"
+) -> list[tuple[int, list[int]]]:
+    """Per-member key-id scan over ``cluster``'s *live* members.
+
+    The raw material of every summary (re)build — full refreshes,
+    saturation-triggered rebuilds, and the per-half rebuilds after an
+    adaptive split or merge all start from this scan.  A crashed member
+    contributes an empty row: its storage is gone, so its keys must not
+    be claimed (false positives only waste a hop, but claiming keys for
+    a member that *might* hold them is exactly what the filter is for).
+    """
+    rows: list[tuple[int, list[int]]] = []
+    for member in cluster.members:
+        if not network.is_live(member):
+            rows.append((member, []))
+            continue
+        rows.append(
+            (
+                member,
+                [entry.key_id for entry in network.storage_by_id(member)],
+            )
+        )
+    return rows
+
+
+def summary_for_scan(
+    rows: list[tuple[int, list[int]]],
+    minimum_capacity: int = DEFAULT_SUMMARY_CAPACITY,
+) -> ClusterSummary:
+    """An empty summary sized for a :func:`scan_cluster_key_ids` result:
+    2x the scanned key count (headroom before the next saturation),
+    floored at ``minimum_capacity``.  The caller adds the scanned ids —
+    sizing and population are split so the router can charge each
+    member's shipment while it populates."""
+    total = sum(len(key_ids) for _, key_ids in rows)
+    return ClusterSummary(capacity=max(minimum_capacity, 2 * total))

@@ -1,20 +1,36 @@
 """Cluster leaf peers under super-peers by key-range affinity.
 
 Peers are sorted by overlay id and chunked into runs of ``fanout``
-consecutive peers; each run is one *cluster* and its lowest-id member is
-promoted to super-peer.  Because DHT responsibility is the ring
-successor, the peer responsible for any key id lies inside the cluster
-whose id range covers it — so the cluster doubles as the key-range
-routing unit: the super-peers' shared routing index is simply the
-sorted list of cluster boundaries, and the *home* cluster of a key is
-the cluster of its responsible peer.
+consecutive peers; each run is one *cluster*.  Because DHT
+responsibility is the ring successor, the peer responsible for any key
+id lies inside the cluster whose id range covers it — so the cluster
+doubles as the key-range routing unit: the super-peers' shared routing
+index is simply the sorted list of cluster boundaries, and the *home*
+cluster of a key is the cluster of its responsible peer.
+
+**Election** is load-aware: the member with the least observed load
+(fed by the adaptive router via :meth:`SuperPeerTopology.observe_load`)
+is promoted, ties broken by lowest id.  With no load history every load
+is zero, so the static overlay reproduces the original lowest-id choice
+and snapshots stay byte-reproducible; under identical load histories
+the election is deterministic for the same reason.
+
+**Splitting** halves a hot cluster at its median member: the upper half
+becomes a new cluster with its own super-peer, recorded as an extra
+boundary on top of the fanout chunking.  :meth:`merge` removes the
+boundary again (the router drives both off windowed load counters, with
+hysteresis).  A full :meth:`rebuild` — membership changed, so the base
+chunking shifts — clears the extra boundaries; persistent hotspots
+simply re-split.
 
 Membership changes re-cluster from scratch (the peer population is the
 input, not an incremental structure); the registration and
 routing-index-exchange messages this costs are logged under the
 MAINTENANCE phase via a thread-local :meth:`phase_scope`, exactly like
 churn key handoffs — the paper's analysis reports maintenance
-separately from indexing/retrieval.
+separately from indexing/retrieval.  Split/merge/re-election traffic
+goes through :meth:`P2PNetwork.log_maintenance` for the same reason:
+those fire mid-query, where the thread's phase is RETRIEVAL.
 """
 
 from __future__ import annotations
@@ -35,7 +51,8 @@ class Cluster:
 
     Attributes:
         index: position in the topology's cluster list.
-        super_peer: overlay id of the promoted member (lowest id).
+        super_peer: overlay id of the promoted member (least observed
+            load, ties to lowest id).
         members: all member overlay ids, ascending (includes the
             super-peer).
     """
@@ -43,6 +60,14 @@ class Cluster:
     index: int
     super_peer: int
     members: tuple[int, ...]
+
+    @property
+    def start(self) -> int:
+        """Stable identity of the cluster's key range: its lowest
+        member id.  Unlike :attr:`index` it survives splits and merges
+        of *other* clusters (which shift list positions), so the router
+        keys its per-cluster caches/summaries/generations by it."""
+        return self.members[0]
 
     def __len__(self) -> int:
         return len(self.members)
@@ -58,10 +83,14 @@ class SuperPeerTopology:
             case); larger fanouts trade shorter super-peer routing
             tables against larger clusters.
 
-    Thread-safety: the cluster map is swapped atomically on
-    :meth:`rebuild` (readers see the old or the new map, never a
-    half-built one); rebuilds themselves are driven by membership
-    changes, which the simulator performs sequentially.
+    Thread-safety: the cluster map is swapped atomically on every
+    mutation (readers see the old or the new map, never a half-built
+    one).  Full rebuilds are driven by membership changes, which the
+    simulator performs sequentially; split/merge/re-election are driven
+    by the router, which serializes them behind its own adaptation
+    lock.  Load observation is a plain dict update — concurrent
+    observers may lose increments, which only blurs an already
+    heuristic signal; sequential histories stay exactly deterministic.
     """
 
     def __init__(self, network: P2PNetwork, fanout: int = 8) -> None:
@@ -72,9 +101,41 @@ class SuperPeerTopology:
         self.network = network
         self.fanout = fanout
         self.rebuilds = 0
+        self.splits = 0
+        self.merges = 0
+        #: peer id -> cumulative observed load (routing work units the
+        #: adaptive router charges); the election signal.
+        self._peer_load: dict[int, float] = {}
+        #: member ids that start a split-induced cluster, on top of the
+        #: base fanout chunking; cleared by full rebuilds.
+        self._extra_boundaries: set[int] = set()
         #: (clusters, peer id -> cluster index), swapped as one object.
         self._state: tuple[tuple[Cluster, ...], dict[int, int]] = ((), {})
         self.rebuild()
+
+    # -- load-aware election -------------------------------------------------------
+
+    def observe_load(self, peer_id: int, amount: float = 1.0) -> None:
+        """Charge ``amount`` units of routing work to ``peer_id``.
+
+        Fed by the adaptive router for every peer that serves or
+        forwards a request; the next election (rebuild, split, merge,
+        or crash re-election) prefers the least-loaded member.
+        """
+        self._peer_load[peer_id] = self._peer_load.get(peer_id, 0.0) + amount
+
+    def load_of(self, peer_id: int) -> float:
+        """Cumulative observed load of ``peer_id`` (0 if never charged)."""
+        return self._peer_load.get(peer_id, 0.0)
+
+    def _elect(self, members: tuple[int, ...]) -> int:
+        """Least observed load wins; ties — including the cold start,
+        where every load is zero — break to the lowest id.  Identical
+        load histories therefore elect identical super-peers, and an
+        unloaded (static) topology reproduces the lowest-id choice."""
+        return min(
+            members, key=lambda m: (self._peer_load.get(m, 0.0), m)
+        )
 
     # -- construction / maintenance ----------------------------------------------
 
@@ -87,10 +148,16 @@ class SuperPeerTopology:
         a super-peer or answer for its range, and the population
         re-clusters around it exactly as it would around a departure —
         while the peer keeps its ring position, so key responsibility
-        (and replica placement) is unchanged."""
+        (and replica placement) is unchanged.
+
+        Split-induced boundaries are dropped: the base chunking shifts
+        with membership, so carrying them over would split arbitrary
+        cold ranges; a range that stays hot re-splits within one
+        decision window."""
         peer_ids = self.network.live_peer_ids()
         if not peer_ids:
             raise NetworkError("cannot cluster an empty network")
+        self._extra_boundaries.clear()
         clusters: list[Cluster] = []
         cluster_of: dict[int, int] = {}
         for index, start in enumerate(
@@ -99,7 +166,9 @@ class SuperPeerTopology:
             members = tuple(peer_ids[start : start + self.fanout])
             clusters.append(
                 Cluster(
-                    index=index, super_peer=members[0], members=members
+                    index=index,
+                    super_peer=self._elect(members),
+                    members=members,
                 )
             )
             for member in members:
@@ -126,6 +195,189 @@ class SuperPeerTopology:
                         )
         self._state = (tuple(clusters), cluster_of)
         self.rebuilds += 1
+
+    def _swap(self, pieces: list[Cluster]) -> tuple[Cluster, ...]:
+        """Renumber ``pieces``, rebuild the member map, and swap the
+        state atomically.  Returns the installed cluster tuple."""
+        rebuilt = tuple(
+            cluster
+            if cluster.index == index
+            else Cluster(
+                index=index,
+                super_peer=cluster.super_peer,
+                members=cluster.members,
+            )
+            for index, cluster in enumerate(pieces)
+        )
+        cluster_of = {
+            member: cluster.index
+            for cluster in rebuilt
+            for member in cluster.members
+        }
+        self._state = (rebuilt, cluster_of)
+        return rebuilt
+
+    def _current(self, cluster: Cluster) -> Cluster | None:
+        """The live map entry matching a caller-held ``cluster`` handle,
+        or ``None`` when the map changed underneath (handles are
+        immutable snapshots, so every mutation re-validates)."""
+        clusters, _ = self._state
+        if cluster.index < len(clusters):
+            candidate = clusters[cluster.index]
+            if candidate.members == cluster.members:
+                return candidate
+        return None
+
+    def split(self, cluster: Cluster) -> tuple[Cluster, Cluster] | None:
+        """Split ``cluster`` at its median member: the lower half keeps
+        the cluster's start key, the upper half becomes a new cluster
+        whose start is recorded as an extra boundary.  Both halves
+        elect their own super-peer.  Returns ``(lower, upper)``, or
+        ``None`` when the handle is stale or the cluster is too small.
+
+        Deterministic by construction — median split point, (load, id)
+        election — so identical load histories produce identical
+        post-split maps."""
+        current = self._current(cluster)
+        if current is None or len(current.members) < 2:
+            return None
+        clusters, _ = self._state
+        half = len(current.members) // 2
+        lower_members = current.members[:half]
+        upper_members = current.members[half:]
+        lower = Cluster(
+            index=current.index,
+            super_peer=self._elect(lower_members),
+            members=lower_members,
+        )
+        upper = Cluster(
+            index=current.index + 1,
+            super_peer=self._elect(upper_members),
+            members=upper_members,
+        )
+        self._extra_boundaries.add(upper_members[0])
+        installed = self._swap(
+            list(clusters[: current.index])
+            + [lower, upper]
+            + list(clusters[current.index + 1 :])
+        )
+        lower, upper = installed[current.index], installed[current.index + 1]
+        self._log_reshape(
+            MessageKind.CLUSTER_SPLIT,
+            current,
+            (lower, upper),
+            announce=current.super_peer,
+        )
+        self.splits += 1
+        return lower, upper
+
+    def merge(self, lower: Cluster, upper: Cluster) -> Cluster | None:
+        """Fold a cooled-down split pair back into one cluster (the
+        inverse of :meth:`split`): ``upper``'s start must be a
+        split-induced boundary and the two handles must be adjacent.
+        Returns the merged cluster, or ``None`` on a stale handle."""
+        current_lower = self._current(lower)
+        current_upper = self._current(upper)
+        if (
+            current_lower is None
+            or current_upper is None
+            or current_upper.index != current_lower.index + 1
+            or current_upper.start not in self._extra_boundaries
+        ):
+            return None
+        clusters, _ = self._state
+        members = current_lower.members + current_upper.members
+        merged = Cluster(
+            index=current_lower.index,
+            super_peer=self._elect(members),
+            members=members,
+        )
+        self._extra_boundaries.discard(current_upper.start)
+        installed = self._swap(
+            list(clusters[: current_lower.index])
+            + [merged]
+            + list(clusters[current_upper.index + 1 :])
+        )
+        merged = installed[current_lower.index]
+        self._log_reshape(
+            MessageKind.CLUSTER_MERGE,
+            current_upper,
+            (merged,),
+            announce=current_upper.super_peer,
+        )
+        self.merges += 1
+        return merged
+
+    def reelect(self, cluster: Cluster) -> Cluster | None:
+        """Re-run election over ``cluster``'s *live* members (scoped
+        super-peer replacement after its super-peer crashed — the rest
+        of the map is untouched).  Returns the updated cluster, or
+        ``None`` when the handle is stale or every member is crashed
+        (the range is dark; there is nothing to promote)."""
+        current = self._current(cluster)
+        if current is None:
+            return None
+        live = tuple(
+            m for m in current.members if self.network.is_live(m)
+        )
+        if not live:
+            return None
+        super_peer = self._elect(live)
+        if super_peer == current.super_peer:
+            return current
+        clusters, cluster_of = self._state
+        updated = Cluster(
+            index=current.index,
+            super_peer=super_peer,
+            members=current.members,
+        )
+        pieces = list(clusters)
+        pieces[current.index] = updated
+        # Members are unchanged, so the member map carries over.
+        self._state = (tuple(pieces), cluster_of)
+        for member in live:
+            if member != super_peer:
+                self.network.log_maintenance(
+                    MessageKind.CLUSTER_JOIN, member, super_peer
+                )
+        for other in self.super_peers():
+            if other != super_peer:
+                self.network.log_maintenance(
+                    MessageKind.ROUTING_UPDATE, super_peer, other
+                )
+        return updated
+
+    def _log_reshape(
+        self,
+        kind: MessageKind,
+        origin: Cluster,
+        produced: tuple[Cluster, ...],
+        announce: int,
+    ) -> None:
+        """Account a split/merge: one reshape message from the origin
+        super-peer, re-registration of every live member whose
+        super-peer changed, and the new super-peers' boundary
+        announcements to the rest of the routing index."""
+        super_peers = set(self.super_peers())
+        for piece in produced:
+            if piece.super_peer != announce:
+                self.network.log_maintenance(
+                    kind, announce, piece.super_peer
+                )
+            for member in piece.members:
+                if member != piece.super_peer and self.network.is_live(
+                    member
+                ):
+                    self.network.log_maintenance(
+                        MessageKind.CLUSTER_JOIN, member, piece.super_peer
+                    )
+            for other in super_peers:
+                if other != piece.super_peer:
+                    self.network.log_maintenance(
+                        MessageKind.ROUTING_UPDATE,
+                        piece.super_peer,
+                        other,
+                    )
 
     # -- the routing index -------------------------------------------------------
 
@@ -170,4 +422,6 @@ class SuperPeerTopology:
             "clusters": len(clusters),
             "peers": sum(len(c) for c in clusters),
             "rebuilds": self.rebuilds,
+            "splits": self.splits,
+            "merges": self.merges,
         }

@@ -544,7 +544,10 @@ def _aggregate_worker_stats(
             merged = histogram
         else:
             merged.merge(histogram)
-    return {
+    overlay = _merge_overlay_stats(
+        [w["overlay"] for w in reporting if isinstance(w.get("overlay"), dict)]
+    )
+    aggregate = {
         "workers_reporting": len(reporting),
         "workers_errored": len(workers) - len(reporting),
         "cache_hits": hits,
@@ -553,6 +556,64 @@ def _aggregate_worker_stats(
         "traffic": traffic_totals,
         "latency": merged.as_dict() if merged is not None else None,
     }
+    if overlay is not None:
+        aggregate["overlay"] = overlay
+    return aggregate
+
+
+#: Overlay stats keys that describe configuration/shape, not events —
+#: identical across workers, so the aggregate takes the first reporting
+#: worker's value instead of summing them into nonsense.
+_OVERLAY_CONFIG_KEYS = frozenset(
+    {"fanout", "clusters", "peers", "path_cache_capacity", "adaptive"}
+)
+
+
+def _merge_overlay_stats(
+    overlays: list[dict[str, Any]]
+) -> dict[str, Any] | None:
+    """Fold per-worker ``hdk_super`` overlay stats into one view.
+
+    Counters sum; config/shape keys take the first worker's value;
+    keyed sub-dicts (``sp_load``, ``per_super_peer``) merge *per key*,
+    so a super-peer hot on one worker is not averaged away — each
+    worker simulates its own network, and summing whole dicts blind to
+    their keys was exactly the attribution loss this repairs."""
+    if not overlays:
+        return None
+    merged: dict[str, Any] = {}
+    for overlay in overlays:
+        for key, value in overlay.items():
+            if key in _OVERLAY_CONFIG_KEYS or key == "path_cache_hit_rate":
+                merged.setdefault(key, value)
+            elif isinstance(value, dict):
+                merged.setdefault(key, {})
+                _merge_keyed_counts(merged[key], value)
+            elif isinstance(value, (int, float)):
+                merged[key] = merged.get(key, 0) + value
+            else:
+                merged.setdefault(key, value)
+    hits = merged.get("path_cache_hits", 0)
+    misses = merged.get("path_cache_misses", 0)
+    merged["path_cache_hit_rate"] = round(
+        hits / max(1, hits + misses), 4
+    )
+    return merged
+
+
+def _merge_keyed_counts(
+    into: dict[str, Any], update: dict[str, Any]
+) -> None:
+    """Per-key recursive sum (``per_super_peer`` values are themselves
+    counter dicts)."""
+    for key, value in update.items():
+        if isinstance(value, dict):
+            into.setdefault(key, {})
+            _merge_keyed_counts(into[key], value)
+        elif isinstance(value, (int, float)):
+            into[key] = into.get(key, 0) + value
+        else:
+            into.setdefault(key, value)
 
 
 def _encode_response(

@@ -40,6 +40,9 @@ def test_kind_values_cover_protocol():
         "stats_publish",
         "handoff",
         "cluster_join",
+        "cluster_split",
+        "cluster_merge",
+        "cache_invalidate",
         "routing_update",
         "replica_write",
         "replica_probe",

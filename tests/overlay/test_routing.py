@@ -168,10 +168,10 @@ class TestPathCache:
         owner = network.responsible_peer_for(key)
         cluster = router.topology.cluster_of_peer(owner)
         with router._lock:
-            generation = router._insert_gens.get(cluster.index, 0)
+            generation = router._insert_gens.get(cluster.start, 0)
         stale_value = [1]  # what a pre-insert read returned
         insert(network, "peer-001", key, [2])  # bumps the generation
-        router._cache_fill(cluster.index, key, stale_value, generation)
+        router._cache_fill(cluster.start, key, stale_value, generation)
         assert network.lookup(
             "peer-004", key, lambda v: len(v or [])
         ) == [1, 2]
